@@ -1,0 +1,50 @@
+// Ablation: double buffering (compute/memory overlap) on vs off.
+//
+// The simulator overlaps each GEMM repeat's DRAM streaming with compute
+// (double-buffered scratchpad halves): repeat time = max(compute, memory).
+// Without double buffering the phases serialize: compute + memory. This
+// binary quantifies how much of the paper's DDR4-vs-HBM2 story depends on
+// that overlap — and why RNNs are bandwidth-bound either way.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bpvec;
+  using namespace bpvec::bench;
+  std::puts(
+      "Ablation: double buffering on/off (BPVeC, homogeneous 8-bit)\n"
+      "overlapped = max(compute, memory) per tile;"
+      " serialized = compute + memory");
+
+  for (const auto* mem_name : {"DDR4", "HBM2"}) {
+    const arch::DramModel mem =
+        std::string(mem_name) == "DDR4" ? arch::ddr4() : arch::hbm2();
+    Table t(std::string("BPVeC with ") + mem_name);
+    t.set_header({"Network", "Overlapped cycles", "Serialized cycles",
+                  "Overlap benefit"});
+    for (const auto& net :
+         dnn::all_models(dnn::BitwidthMode::kHomogeneous8b)) {
+      const auto r = run(sim::bpvec_accelerator(), mem, net);
+      std::int64_t serialized = 0;
+      for (const auto& l : r.layers) {
+        // Serial execution pays both phases in full.
+        serialized += l.compute_cycles + l.memory_cycles +
+                      (l.total_cycles -
+                       std::max(l.compute_cycles, l.memory_cycles));
+      }
+      t.add_row({net.name(), std::to_string(r.total_cycles),
+                 std::to_string(serialized),
+                 Table::ratio(static_cast<double>(serialized) /
+                              static_cast<double>(r.total_cycles))});
+    }
+    t.print();
+    std::puts("");
+  }
+
+  std::puts("Reading: overlap buys up to ~2x when compute and traffic are"
+            " balanced (CNNs on DDR4); it cannot rescue the RNN/LSTM"
+            " weight streams, whose memory phase dwarfs compute — only"
+            " bandwidth (HBM2) can.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Fig. 1's landscape quantitatively: one representative per
+// design style, priced by our models — functional-unit type (scalar vs
+// vectorized) × bit flexibility × composability (temporal vs spatial).
+// The vacancy the paper fills is the vectorized/flexible/spatial cell.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/arch/cvu_cost.h"
+#include "src/baselines/bit_serial.h"
+
+int main() {
+  using namespace bpvec;
+  std::puts(
+      "Figure 1 (quantified): the DNN-accelerator design landscape\n"
+      "per-8bx8b-MAC power/area normalized to a conventional MAC;\n"
+      "'boost@4b' = throughput multiplier with 4-bit operands");
+
+  const arch::CvuCostModel model;
+  const auto stripes = baselines::bit_serial_cost(
+      arch::tech_45nm(), {baselines::SerialMode::kActivationSerial, 16, 8});
+
+  Table t;
+  t.set_header({"Design style (exemplars)", "Units", "Bit-flexible",
+                "Composability", "Power/op", "Area/op", "Boost@4b"});
+  t.add_row({"Fixed scalar MAC (TPU/Eyeriss PE)", "scalar", "no", "-",
+             Table::ratio(1.0), Table::ratio(1.0), "1x"});
+  t.add_row({"Fixed vector engine (Brainwave-like)", "vector", "no", "-",
+             Table::ratio(0.85), Table::ratio(0.85), "1x"});
+  t.add_row({"Bit-serial (Stripes/Loom)", "vector", "yes", "temporal",
+             Table::ratio(stripes.power_per_mac),
+             Table::ratio(stripes.area_per_mac), "2x"});
+  const auto bitfusion = model.normalized_per_mac({2, 8, 1});
+  t.add_row({"Scalar spatial composable (BitFusion)", "scalar", "yes",
+             "spatial", Table::ratio(bitfusion.power_total()),
+             Table::ratio(bitfusion.area_total()), "4x"});
+  const auto bpvec = model.normalized_per_mac({2, 8, 16});
+  t.add_row({"BPVeC (this paper)", "vector", "yes", "spatial",
+             Table::ratio(bpvec.power_total()),
+             Table::ratio(bpvec.area_total()), "4x"});
+  t.print();
+
+  std::puts(
+      "\nNotes: the fixed vector engine shares operand/accumulator\n"
+      "registers across lanes (~15% saving) but cannot exploit\n"
+      "quantization at all; Stripes gets linear (activation-only) scaling\n"
+      "at serial latency; BitFusion pays the ~40% scalar-composability\n"
+      "area premium; BPVeC amortizes that same aggregation logic across\n"
+      "the vector and ends *cheaper* than the fixed design while keeping\n"
+      "the full composability boost — the paper's vacancy, filled.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 4: design-space exploration over bit-slice width (1-bit
+// vs 2-bit) and NBVE vector length L ∈ {1, 2, 4, 8, 16} — power and area
+// per 8-bit × 8-bit MAC, normalized to a conventional 8-bit digital MAC,
+// broken down over multiplication / addition / shifting / registering.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/design_space.h"
+
+int main() {
+  using namespace bpvec;
+  std::puts(
+      "Figure 4: power/area per 8bx8b MAC vs slice width and vector "
+      "length,\nnormalized to a conventional 8-bit MAC (lower is better)");
+
+  const auto points = core::explore_design_space({1, 2}, {1, 2, 4, 8, 16});
+
+  for (const char* metric : {"Power/op", "Area/op"}) {
+    const bool power = metric[0] == 'P';
+    Table t(metric);
+    t.set_header({"Slicing", "L", "Multiplication", "Addition", "Shifting",
+                  "Register", "TOTAL"});
+    for (const auto& p : points) {
+      const auto& c = p.cost;
+      t.add_row({std::to_string(p.geometry.slice_bits) + "-bit",
+                 std::to_string(p.geometry.lanes),
+                 Table::num(power ? c.power_mult : c.area_mult, 3),
+                 Table::num(power ? c.power_add : c.area_add, 3),
+                 Table::num(power ? c.power_shift : c.area_shift, 3),
+                 Table::num(power ? c.power_reg : c.area_reg, 3),
+                 Table::ratio(power ? c.power_total() : c.area_total())});
+    }
+    t.print();
+    std::puts("");
+  }
+
+  std::puts("Paper anchors: 1-bit L=1 ~3.6x; 2-bit L=16 ~0.5x power /"
+            " ~0.59x area; 2-bit L=1 (BitFusion-like) ~1.4x area.");
+
+  // §III-B conclusion: the optimum over the deep-quantized mix.
+  const std::vector<core::BitwidthMixEntry> mix{
+      {8, 8, 0.2}, {4, 4, 0.6}, {8, 2, 0.1}, {2, 2, 0.1}};
+  const auto best = core::best_design(
+      core::explore_design_space({1, 2, 4}, {1, 2, 4, 8, 16}), mix, 0.99);
+  std::printf("\nBest design over the quantized bitwidth mix: %s\n",
+              best.geometry.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Architect's view: sweep the CVU design space (slice width × vector
+// length), print the power/area frontier, and let the library pick the
+// best geometry for *your* bitwidth mix — then size a full accelerator
+// from the winner under a power budget.
+#include <cstdio>
+
+#include "src/arch/cvu_cost.h"
+#include "src/common/table.h"
+#include "src/core/design_space.h"
+#include "src/sim/config.h"
+
+int main() {
+  using namespace bpvec;
+
+  const auto points =
+      core::explore_design_space({1, 2, 4}, {1, 2, 4, 8, 16, 32});
+
+  Table t("CVU design space (per 8bx8b MAC, normalized to conventional)");
+  t.set_header({"Geometry", "Power/op", "Area/op"});
+  for (const auto& p : points) {
+    t.add_row({p.geometry.to_string(), Table::ratio(p.cost.power_total()),
+               Table::ratio(p.cost.area_total())});
+  }
+  t.print();
+
+  // Your workload's bitwidth mix: mostly 4-bit with 8-bit edges and some
+  // aggressive 2-bit weight layers (PACT/WRPN-style quantization).
+  const std::vector<core::BitwidthMixEntry> mix{
+      {8, 8, 0.10}, {4, 4, 0.65}, {8, 2, 0.15}, {2, 2, 0.10}};
+  const auto best = core::best_design(points, mix, /*min_utilization=*/0.9);
+  std::printf("\nBest geometry for the mix: %s (bit-efficiency %.2f)\n",
+              best.geometry.to_string().c_str(), best.mix_utilization);
+
+  // Size an accelerator from it under the paper's 250 mW core budget.
+  const arch::CvuCostModel cost;
+  const double cvu_mw = cost.cvu_power_mw(best.geometry);
+  const int cvus = static_cast<int>(250.0 / cvu_mw);
+  std::printf("One CVU: %.2f mW, %.0f um^2  ->  %d CVUs fit a 250 mW core"
+              " = %d MAC-equivalents\n",
+              cvu_mw, cost.cvu_area_um2(best.geometry), cvus,
+              cvus * best.geometry.lanes);
+
+  // Compare against the paper's shipped configuration.
+  const auto paper = sim::bpvec_accelerator();
+  std::printf("Paper configuration: %d CVUs of %s = %lld MAC-equivalents\n",
+              paper.num_pes(), paper.cvu.to_string().c_str(),
+              static_cast<long long>(paper.equivalent_macs()));
+  return 0;
+}

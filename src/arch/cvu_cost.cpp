@@ -1,0 +1,115 @@
+#include "src/arch/cvu_cost.h"
+
+#include "src/common/error.h"
+
+namespace bpvec::arch {
+
+namespace {
+constexpr int kAccumulatorWidth = 32;
+}
+
+CvuCostModel::CvuCostModel(const Technology& tech) : tech_(tech) {}
+
+CvuStructuralCost CvuCostModel::structural_cost(
+    const bitslice::CvuGeometry& g) const {
+  g.validate();
+  const int s = g.num_nbves();
+  const int alpha = g.slice_bits;
+  const int lanes = g.lanes;
+
+  CvuStructuralCost c;
+
+  // --- Multiplication: S·L narrow multipliers.
+  c.multiply =
+      static_cast<double>(s) * lanes * multiplier_cost(tech_, alpha, alpha);
+
+  // --- Addition.
+  // Private per-NBVE adder trees: L products of 2α bits each.
+  const Cost private_tree = adder_tree_cost(tech_, lanes, 2 * alpha);
+  const int nbve_out_width = adder_tree_output_width(lanes, 2 * alpha);
+  // Global tree aggregates the S shifted NBVE scalars. Maximum shift is
+  // 2·(B − α), i.e. both operands' top significance positions.
+  const int max_shift = 2 * (g.max_bits - alpha);
+  const int shifted_width = nbve_out_width + max_shift;
+  const Cost global_tree = adder_tree_cost(tech_, s, shifted_width);
+  const Cost accumulator = adder_cost(tech_, kAccumulatorWidth);
+  c.addition = static_cast<double>(s) * private_tree + global_tree +
+               accumulator;
+
+  // --- Shifting: one logarithmic shifter per NBVE. Distinct shift amounts
+  // are the distinct (j + k) significance sums: 2·(B/α − 1) + 1.
+  const int positions = 2 * (g.slices_per_operand() - 1) + 1;
+  c.shifting = static_cast<double>(s) *
+               shifter_cost(tech_, nbve_out_width, positions);
+
+  // --- Registering: NBVE output registers plus the 32-bit accumulator.
+  c.registering =
+      static_cast<double>(s) * register_cost(tech_, nbve_out_width) +
+      register_cost(tech_, kAccumulatorWidth);
+
+  return c;
+}
+
+Fig4Point CvuCostModel::normalized_per_mac(
+    const bitslice::CvuGeometry& g) const {
+  const CvuStructuralCost c = structural_cost(g);
+  const ConvMacCost conv = conventional_mac_cost(tech_, g.max_bits);
+  const double conv_area = conv.total().area_um2;
+  const double conv_energy = conv.total().energy_fj;
+  const double lanes = static_cast<double>(g.lanes);
+
+  const auto& ac = tech_.area_cal;
+  const auto& pc = tech_.power_cal;
+
+  Fig4Point p;
+  p.area_mult = c.multiply.area_um2 * ac.mult / lanes / conv_area;
+  p.area_add = c.addition.area_um2 * ac.add / lanes / conv_area;
+  p.area_shift = c.shifting.area_um2 * ac.shift / lanes / conv_area;
+  p.area_reg = c.registering.area_um2 * ac.reg / lanes / conv_area;
+
+  p.power_mult = c.multiply.energy_fj * pc.mult / lanes / conv_energy;
+  p.power_add = c.addition.energy_fj * pc.add / lanes / conv_energy;
+  p.power_shift = c.shifting.energy_fj * pc.shift / lanes / conv_energy;
+  p.power_reg = c.registering.energy_fj * pc.reg / lanes / conv_energy;
+  return p;
+}
+
+double CvuCostModel::conventional_mac_power_mw() const {
+  return tech_.conv_mac_power_mw;
+}
+
+double CvuCostModel::conventional_mac_energy_pj() const {
+  // P = E·f  ⇒  E[pJ] = P[mW] / f[GHz] · 1e... : mW / Hz = mJ·s / 1e3 —
+  // work in SI: watts / hertz = joules; convert to pJ.
+  return tech_.conv_mac_power_mw * 1e-3 / tech_.frequency_hz * 1e12;
+}
+
+double CvuCostModel::conventional_mac_area_um2() const {
+  return tech_.conv_mac_area_um2;
+}
+
+double CvuCostModel::cvu_power_mw(const bitslice::CvuGeometry& g) const {
+  const Fig4Point p = normalized_per_mac(g);
+  return p.power_total() * conventional_mac_power_mw() * g.lanes;
+}
+
+double CvuCostModel::cvu_energy_per_cycle_pj(
+    const bitslice::CvuGeometry& g) const {
+  return cvu_power_mw(g) * 1e-3 / tech_.frequency_hz * 1e12;
+}
+
+double CvuCostModel::cvu_area_um2(const bitslice::CvuGeometry& g) const {
+  const Fig4Point p = normalized_per_mac(g);
+  return p.area_total() * conventional_mac_area_um2() * g.lanes;
+}
+
+double CvuCostModel::mac_energy_pj(const bitslice::CvuGeometry& g, int x_bits,
+                                   int w_bits) const {
+  const auto plan = bitslice::plan_composition(g, x_bits, w_bits);
+  const double macs_per_cycle =
+      static_cast<double>(plan.clusters) * g.lanes;
+  BPVEC_CHECK(macs_per_cycle > 0);
+  return cvu_energy_per_cycle_pj(g) / macs_per_cycle;
+}
+
+}  // namespace bpvec::arch

@@ -1,0 +1,83 @@
+// Area/power model of a Composable Vector Unit — the model behind the
+// paper's Fig. 4 design-space exploration and behind the energy accounting
+// of the end-to-end simulator.
+//
+// Structure priced (matches src/bitslice/cvu.h):
+//   multiply   S·L narrow α×α multipliers            (S = (B/α)² NBVEs)
+//   addition   S private adder trees (L inputs of 2α bits)
+//              + 1 global adder tree (S shifted inputs)
+//              + 1 accumulator adder (32 b)
+//   shifting   S logarithmic shifters (one per NBVE output)
+//   register   S NBVE output registers + accumulator register
+//
+// Per-MAC normalization: in homogeneous max-bitwidth mode the CVU performs
+// L B-bit MACs per cycle, so per-MAC cost is CVU cost / L — this is what
+// amortizes composability overhead across the vector and is the paper's
+// central claim.
+#pragma once
+
+#include "src/arch/technology.h"
+#include "src/arch/units.h"
+#include "src/bitslice/composition.h"
+
+namespace bpvec::arch {
+
+/// One point of Fig. 4: per-MAC area and power, normalized to a
+/// conventional B-bit MAC unit (1.0 == conventional), broken down by logic
+/// category.
+struct Fig4Point {
+  double area_mult = 0, area_add = 0, area_shift = 0, area_reg = 0;
+  double power_mult = 0, power_add = 0, power_shift = 0, power_reg = 0;
+
+  double area_total() const {
+    return area_mult + area_add + area_shift + area_reg;
+  }
+  double power_total() const {
+    return power_mult + power_add + power_shift + power_reg;
+  }
+};
+
+/// Raw (uncalibrated, absolute-unit) per-CVU structural costs by category.
+struct CvuStructuralCost {
+  Cost multiply;
+  Cost addition;
+  Cost shifting;
+  Cost registering;
+  Cost total() const {
+    return multiply + addition + shifting + registering;
+  }
+};
+
+class CvuCostModel {
+ public:
+  explicit CvuCostModel(const Technology& tech = tech_45nm());
+
+  /// Raw structural cost of one CVU (before calibration).
+  CvuStructuralCost structural_cost(const bitslice::CvuGeometry& g) const;
+
+  /// Normalized per-MAC breakdown (the Fig. 4 Y axis) for a geometry.
+  Fig4Point normalized_per_mac(const bitslice::CvuGeometry& g) const;
+
+  /// Absolute numbers, anchored to the conventional-MAC scale of the
+  /// Technology (so 512 conventional MACs ≈ 250 mW).
+  double conventional_mac_power_mw() const;
+  double conventional_mac_energy_pj() const;
+  double conventional_mac_area_um2() const;
+
+  double cvu_power_mw(const bitslice::CvuGeometry& g) const;
+  double cvu_energy_per_cycle_pj(const bitslice::CvuGeometry& g) const;
+  double cvu_area_um2(const bitslice::CvuGeometry& g) const;
+
+  /// Per-effective-MAC energy when the CVU is composed for a
+  /// (x_bits, w_bits) layer: CVU cycle energy divided by the MACs the
+  /// composition completes per cycle (clusters · L).
+  double mac_energy_pj(const bitslice::CvuGeometry& g, int x_bits,
+                       int w_bits) const;
+
+  const Technology& technology() const { return tech_; }
+
+ private:
+  const Technology& tech_;
+};
+
+}  // namespace bpvec::arch

@@ -1,0 +1,34 @@
+// CACTI-like analytical on-chip SRAM (scratchpad) model.
+//
+// The paper models its 112 KB scratchpads with CACTI-P at 45 nm. We
+// substitute a standard analytical fit: per-access energy grows with the
+// square root of capacity (bitline/wordline length), plus a constant
+// per-byte component. Constants chosen to land in the range CACTI-P
+// reports for tens-of-KB 45 nm SRAMs (~0.5–2 pJ/byte).
+#pragma once
+
+#include <cstdint>
+
+namespace bpvec::arch {
+
+class ScratchpadModel {
+ public:
+  /// `capacity_bytes` > 0.
+  explicit ScratchpadModel(std::int64_t capacity_bytes);
+
+  std::int64_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Energy of reading or writing one byte (pJ).
+  double energy_per_byte_pj() const;
+
+  /// Leakage power (mW) — small but nonzero; scales with capacity.
+  double leakage_mw() const;
+
+  /// Area (mm²) at 45 nm.
+  double area_mm2() const;
+
+ private:
+  std::int64_t capacity_bytes_;
+};
+
+}  // namespace bpvec::arch

@@ -1,0 +1,10 @@
+#include "src/arch/technology.h"
+
+namespace bpvec::arch {
+
+const Technology& tech_45nm() {
+  static const Technology t{};
+  return t;
+}
+
+}  // namespace bpvec::arch

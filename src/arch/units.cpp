@@ -1,0 +1,79 @@
+#include "src/arch/units.h"
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+
+namespace bpvec::arch {
+
+Cost multiplier_cost(const Technology& t, int n_bits, int m_bits) {
+  BPVEC_CHECK(n_bits >= 1 && m_bits >= 1);
+  const double pp = static_cast<double>(n_bits) * m_bits;
+  const double fas = pp - n_bits - m_bits + 1;  // 0 for 1×1
+  return {pp * t.and_area + fas * t.fa_area,
+          pp * t.and_energy + fas * t.fa_energy};
+}
+
+Cost adder_cost(const Technology& t, int width_bits) {
+  BPVEC_CHECK(width_bits >= 1);
+  return {width_bits * t.fa_area, width_bits * t.fa_energy};
+}
+
+Cost adder_tree_cost(const Technology& t, int inputs, int input_width_bits) {
+  BPVEC_CHECK(inputs >= 1 && input_width_bits >= 1);
+  Cost c;
+  if (inputs == 1) return c;
+  // Level i (1-based) has ceil(inputs / 2^i) adders of width (w + i).
+  int remaining = inputs;
+  int level = 0;
+  while (remaining > 1) {
+    ++level;
+    const int adders = remaining / 2;
+    c += static_cast<double>(adders) *
+         adder_cost(t, input_width_bits + level);
+    remaining = adders + (remaining % 2);
+  }
+  return c;
+}
+
+int adder_tree_output_width(int inputs, int input_width_bits) {
+  BPVEC_CHECK(inputs >= 1 && input_width_bits >= 1);
+  int width = input_width_bits;
+  int remaining = inputs;
+  while (remaining > 1) {
+    ++width;
+    remaining = (remaining + 1) / 2;
+  }
+  return width;
+}
+
+Cost shifter_cost(const Technology& t, int width_bits, int num_positions) {
+  BPVEC_CHECK(width_bits >= 1 && num_positions >= 1);
+  if (num_positions == 1) return {};  // fixed wiring, free
+  int stages = 0;
+  int span = 1;
+  while (span < num_positions) {
+    span <<= 1;
+    ++stages;
+  }
+  const double muxes = static_cast<double>(width_bits) * stages;
+  return {muxes * t.mux_area, muxes * t.mux_energy};
+}
+
+Cost register_cost(const Technology& t, int width_bits) {
+  BPVEC_CHECK(width_bits >= 1);
+  return {width_bits * t.ff_area, width_bits * t.ff_energy};
+}
+
+ConvMacCost conventional_mac_cost(const Technology& t, int bits) {
+  BPVEC_CHECK(bits >= 1);
+  ConvMacCost c;
+  c.multiply = multiplier_cost(t, bits, bits);
+  const int acc_width = 3 * bits;  // standard accumulator headroom
+  c.accumulate = adder_cost(t, acc_width);
+  // Accumulator register plus the two operand pipeline registers a systolic
+  // PE carries.
+  c.registers = register_cost(t, acc_width) + register_cost(t, 2 * bits);
+  return c;
+}
+
+}  // namespace bpvec::arch

@@ -1,0 +1,44 @@
+// Analytical area/energy models of the datapath primitives a CVU (and a
+// conventional MAC) is built from. Uncalibrated — raw structural costs in
+// primitive-cell units; the per-category calibration lives in CvuCostModel.
+#pragma once
+
+#include "src/arch/technology.h"
+
+namespace bpvec::arch {
+
+/// n-bit × m-bit array multiplier: n·m partial-product AND gates plus a
+/// carry-save reduction of (n·m − n − m + 1) full adders. Degenerates to a
+/// single AND gate for 1×1 (the paper's 1-bit slicing case).
+Cost multiplier_cost(const Technology& t, int n_bits, int m_bits);
+
+/// Ripple/carry adder of the given width (full adders, one per bit).
+Cost adder_cost(const Technology& t, int width_bits);
+
+/// Balanced binary adder tree reducing `inputs` operands of
+/// `input_width_bits` each; operand width grows by one bit per level.
+/// Cost is zero for a single input.
+Cost adder_tree_cost(const Technology& t, int inputs, int input_width_bits);
+
+/// Output width of that adder tree.
+int adder_tree_output_width(int inputs, int input_width_bits);
+
+/// Logarithmic (mux-stage) shifter of the given datapath width supporting
+/// `num_positions` distinct shift amounts (stages = ceil(log2(positions))).
+Cost shifter_cost(const Technology& t, int width_bits, int num_positions);
+
+/// Register (flops) of the given width.
+Cost register_cost(const Technology& t, int width_bits);
+
+/// Structural cost of a conventional 8-bit (or `bits`-wide) MAC unit:
+/// bits×bits multiplier + accumulator adder + accumulator and operand
+/// pipeline registers. This is the normalization denominator of Fig. 4.
+struct ConvMacCost {
+  Cost multiply;
+  Cost accumulate;
+  Cost registers;
+  Cost total() const { return multiply + accumulate + registers; }
+};
+ConvMacCost conventional_mac_cost(const Technology& t, int bits);
+
+}  // namespace bpvec::arch

@@ -1,0 +1,68 @@
+#include "src/baselines/bit_serial.h"
+
+#include "src/arch/units.h"
+#include "src/common/error.h"
+
+namespace bpvec::baselines {
+
+std::int64_t BitSerialConfig::cycles_per_mac(int x_bits, int w_bits) const {
+  BPVEC_CHECK(x_bits >= 1 && x_bits <= max_bits);
+  BPVEC_CHECK(w_bits >= 1 && w_bits <= max_bits);
+  switch (mode) {
+    case SerialMode::kActivationSerial:
+      return x_bits;
+    case SerialMode::kFullySerial:
+      return static_cast<std::int64_t>(x_bits) * w_bits;
+  }
+  return 1;
+}
+
+double BitSerialConfig::macs_per_cycle(int x_bits, int w_bits) const {
+  return static_cast<double>(lanes) /
+         static_cast<double>(cycles_per_mac(x_bits, w_bits));
+}
+
+BitSerialCost bit_serial_cost(const arch::Technology& tech,
+                              const BitSerialConfig& config) {
+  const auto conv = arch::conventional_mac_cost(tech, config.max_bits);
+  const double conv_area = conv.total().area_um2;
+  const double conv_energy = conv.total().energy_fj;
+
+  // One lane:
+  //  * activation-serial (Stripes): the serial bit ANDs a full-width
+  //    parallel weight (max_bits AND gates), feeding a shift-accumulator
+  //    of ~2·max_bits + log2(lanes) bits.
+  //  * fully serial (Loom): a single AND gate plus the accumulator.
+  const int acc_width = 2 * config.max_bits + 4;
+  arch::Cost lane;
+  if (config.mode == SerialMode::kActivationSerial) {
+    lane += arch::multiplier_cost(tech, 1, config.max_bits);
+  } else {
+    lane += arch::multiplier_cost(tech, 1, 1);
+  }
+  lane += arch::adder_cost(tech, acc_width);
+  lane += arch::register_cost(tech, acc_width);
+  // Lanes share an adder tree for the vector reduction.
+  const arch::Cost tree =
+      arch::adder_tree_cost(tech, config.lanes, acc_width);
+  const arch::Cost engine =
+      static_cast<double>(config.lanes) * lane + tree;
+
+  // Per 8-bit MAC at max bitwidth, the engine needs cycles_per_mac cycles
+  // per lane: energy integrates over those cycles; area is shared but each
+  // MAC monopolizes its lane for the full serial latency, so per-MAC area
+  // is lane-area × cycles (area-time product, the standard comparison).
+  const double serial_cycles = static_cast<double>(
+      config.cycles_per_mac(config.max_bits, config.max_bits));
+  const auto& pc = tech.power_cal;
+  const auto& ac = tech.area_cal;
+
+  BitSerialCost c;
+  c.power_per_mac = engine.energy_fj * pc.add / config.lanes *
+                    serial_cycles / conv_energy;
+  c.area_per_mac = engine.area_um2 * ac.add / config.lanes * serial_cycles /
+                   conv_area;
+  return c;
+}
+
+}  // namespace bpvec::baselines

@@ -1,0 +1,55 @@
+// Temporal (bit-serial) composability baseline — the Stripes/Loom design
+// style from the paper's Fig. 1 taxonomy and §V ("Design with support for
+// bit-level flexibility through bit-serial computation").
+//
+// A bit-serial engine processes one bit of one operand per cycle (Stripes:
+// serial activations × parallel weights; Loom: serial × serial), trading
+// latency for perfect bitwidth proportionality: a bw-bit operand takes bw
+// cycles, so quantization buys exactly linear speedup with no composition
+// logic at all. Data-level parallelism across wide vector lanes compensates
+// the serial latency.
+//
+// This model lets the repository quantify the paper's positioning: spatial
+// vector composability reaches the same bitwidth proportionality while
+// keeping single-cycle MACs, at the cost of the shift/aggregation network
+// that Fig. 4 prices.
+#pragma once
+
+#include <cstdint>
+
+#include "src/arch/technology.h"
+
+namespace bpvec::baselines {
+
+enum class SerialMode {
+  kActivationSerial,  // Stripes: x serial, w parallel
+  kFullySerial,       // Loom: both operands serial
+};
+
+struct BitSerialConfig {
+  SerialMode mode = SerialMode::kActivationSerial;
+  int lanes = 16;     // vector lanes per engine (DLP compensating serialism)
+  int max_bits = 8;
+
+  /// Cycles to complete one bw_x × bw_w MAC (per lane).
+  /// Activation-serial: bw_x cycles. Fully serial: bw_x · bw_w cycles.
+  std::int64_t cycles_per_mac(int x_bits, int w_bits) const;
+
+  /// Effective MACs per engine per cycle at the given bitwidths.
+  double macs_per_cycle(int x_bits, int w_bits) const;
+};
+
+/// Area/power of one bit-serial engine, per 8-bit-MAC-equivalent at
+/// maximum bitwidth, normalized to the conventional 8-bit MAC (the same
+/// normalization as Fig. 4). A serial lane is a bw-wide AND array + a
+/// shift-accumulator; its cost advantage per lane is paid back by needing
+/// `bw` cycles per MAC.
+struct BitSerialCost {
+  double power_per_mac = 0.0;  // normalized, at 8-bit operands
+  double area_per_mac = 0.0;
+};
+
+BitSerialCost bit_serial_cost(const arch::Technology& tech,
+                              const BitSerialConfig& config);
+
+}  // namespace bpvec::baselines

@@ -1,0 +1,77 @@
+#include "src/baselines/gpu_model.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace bpvec::baselines {
+
+GpuModel::GpuModel(GpuSpec spec) : spec_(spec) {}
+
+double GpuSpec::peak_macs_per_s(int bits) const {
+  BPVEC_CHECK(bits >= 1 && bits <= 8);
+  const double int8_peak = tensor_cores * int8_macs_per_core_per_clock *
+                           frequency_ghz * 1e9;
+  return bits <= 4 ? 2.0 * int8_peak : int8_peak;
+}
+
+GpuLayerTime GpuModel::layer_time(const dnn::Layer& layer) const {
+  GpuLayerTime t;
+  if (!layer.is_compute()) {
+    // Pooling fuses into the preceding kernel on TensorRT.
+    return t;
+  }
+  const double overhead = spec_.kernel_overhead_us * 1e-6;
+  const double bw =
+      spec_.memory_bandwidth_gbps * 1e9 * spec_.gemv_bandwidth_fraction;
+  // The GPU executes at the padded INT precision: INT4 when both operands
+  // are ≤ 4 bits, INT8 otherwise.
+  const int bits = std::max(layer.x_bits, layer.w_bits) <= 4 ? 4 : 8;
+
+  switch (layer.kind) {
+    case dnn::LayerKind::kConv: {
+      const double compute =
+          static_cast<double>(layer.macs()) /
+          (spec_.peak_macs_per_s(bits) * spec_.conv_utilization);
+      t.seconds = overhead + compute;
+      break;
+    }
+    case dnn::LayerKind::kFullyConnected: {
+      // Batch-1 FC is a GEMV: one pass over the weights, bandwidth-bound.
+      const double bytes =
+          static_cast<double>(layer.weights()) * bits / 8.0;
+      t.seconds = overhead + bytes / bw;
+      t.bandwidth_bound = true;
+      break;
+    }
+    case dnn::LayerKind::kRecurrent: {
+      // One fused GEMV kernel per time step, streaming the gate matrices.
+      const auto& p = layer.recurrent();
+      const double bytes_per_step =
+          static_cast<double>(layer.weights()) * bits / 8.0;
+      const double per_step = overhead + bytes_per_step / bw;
+      t.seconds = per_step * p.time_steps;
+      t.bandwidth_bound = true;
+      break;
+    }
+    case dnn::LayerKind::kPool:
+      break;
+  }
+  return t;
+}
+
+GpuRunResult GpuModel::run(const dnn::Network& network) const {
+  GpuRunResult r;
+  r.network = network.name();
+  std::int64_t macs = 0;
+  for (const dnn::Layer& layer : network.layers()) {
+    r.runtime_s += layer_time(layer).seconds;
+    macs += layer.macs();
+  }
+  BPVEC_CHECK(r.runtime_s > 0);
+  r.gops_per_s = 2.0 * static_cast<double>(macs) / r.runtime_s / 1e9;
+  r.gops_per_w = r.gops_per_s / spec_.board_power_w;
+  return r;
+}
+
+}  // namespace bpvec::baselines

@@ -1,0 +1,121 @@
+#include "src/bitslice/bit_slicing.h"
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+
+namespace bpvec::bitslice {
+
+int num_slices(int operand_bits, int slice_bits) {
+  BPVEC_CHECK(operand_bits >= 1 && slice_bits >= 1);
+  return static_cast<int>(ceil_div(operand_bits, slice_bits));
+}
+
+int padded_bits(int operand_bits, int slice_bits) {
+  return num_slices(operand_bits, slice_bits) * slice_bits;
+}
+
+bool fits_signed(std::int64_t value, int bits) {
+  BPVEC_CHECK(bits >= 1 && bits <= 62);
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+bool fits_unsigned(std::int64_t value, int bits) {
+  BPVEC_CHECK(bits >= 1 && bits <= 62);
+  return value >= 0 && value <= (std::int64_t{1} << bits) - 1;
+}
+
+std::vector<std::int32_t> slice_signed(std::int32_t value, int operand_bits,
+                                       int slice_bits) {
+  BPVEC_CHECK_MSG(fits_signed(value, operand_bits),
+                  "value out of range for operand_bits");
+  const int n = num_slices(operand_bits, slice_bits);
+  const int width = n * slice_bits;
+  // Two's-complement pattern of the value at the padded width.
+  std::uint64_t pattern =
+      static_cast<std::uint64_t>(value) & ((std::uint64_t{1} << width) - 1);
+
+  std::vector<std::int32_t> slices(n);
+  const std::uint64_t mask = (std::uint64_t{1} << slice_bits) - 1;
+  for (int j = 0; j < n; ++j) {
+    std::uint64_t raw = (pattern >> (j * slice_bits)) & mask;
+    if (j == n - 1) {
+      // Top slice: sign-extend from slice_bits.
+      const std::uint64_t sign_bit = std::uint64_t{1} << (slice_bits - 1);
+      if (raw & sign_bit) raw |= ~mask;
+      slices[j] = static_cast<std::int32_t>(static_cast<std::int64_t>(raw));
+    } else {
+      slices[j] = static_cast<std::int32_t>(raw);
+    }
+  }
+  return slices;
+}
+
+std::vector<std::int32_t> slice_unsigned(std::uint32_t value,
+                                         int operand_bits, int slice_bits) {
+  BPVEC_CHECK_MSG(fits_unsigned(static_cast<std::int64_t>(value), operand_bits),
+                  "value out of range for operand_bits");
+  const int n = num_slices(operand_bits, slice_bits);
+  std::vector<std::int32_t> slices(n);
+  const std::uint32_t mask = (slice_bits >= 32)
+                                 ? ~std::uint32_t{0}
+                                 : ((std::uint32_t{1} << slice_bits) - 1);
+  for (int j = 0; j < n; ++j) {
+    slices[j] = static_cast<std::int32_t>((value >> (j * slice_bits)) & mask);
+  }
+  return slices;
+}
+
+std::int64_t recompose(const std::vector<std::int32_t>& slices,
+                       int slice_bits) {
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j < slices.size(); ++j) {
+    acc += static_cast<std::int64_t>(slices[j])
+           << (static_cast<int>(j) * slice_bits);
+  }
+  return acc;
+}
+
+namespace {
+SlicedVector slice_vector_impl(const std::vector<std::int32_t>& values,
+                               int operand_bits, int slice_bits,
+                               bool is_signed) {
+  SlicedVector sv;
+  sv.operand_bits = operand_bits;
+  sv.slice_bits = slice_bits;
+  sv.is_signed = is_signed;
+  const int n = num_slices(operand_bits, slice_bits);
+  sv.sub.assign(n, std::vector<std::int32_t>(values.size()));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto slices =
+        is_signed ? slice_signed(values[i], operand_bits, slice_bits)
+                  : slice_unsigned(static_cast<std::uint32_t>(values[i]),
+                                   operand_bits, slice_bits);
+    for (int j = 0; j < n; ++j) sv.sub[j][i] = slices[j];
+  }
+  return sv;
+}
+}  // namespace
+
+SlicedVector slice_vector_signed(const std::vector<std::int32_t>& values,
+                                 int operand_bits, int slice_bits) {
+  return slice_vector_impl(values, operand_bits, slice_bits, /*signed=*/true);
+}
+
+SlicedVector slice_vector_unsigned(const std::vector<std::int32_t>& values,
+                                   int operand_bits, int slice_bits) {
+  return slice_vector_impl(values, operand_bits, slice_bits,
+                           /*signed=*/false);
+}
+
+std::int64_t recompose_element(const SlicedVector& sv, std::size_t i) {
+  BPVEC_CHECK(i < sv.length());
+  std::int64_t acc = 0;
+  for (int j = 0; j < sv.slices(); ++j) {
+    acc += static_cast<std::int64_t>(sv.sub[j][i]) << (j * sv.slice_bits);
+  }
+  return acc;
+}
+
+}  // namespace bpvec::bitslice

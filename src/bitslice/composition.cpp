@@ -1,0 +1,106 @@
+#include "src/bitslice/composition.h"
+
+#include <sstream>
+
+#include "src/bitslice/bit_slicing.h"
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+
+namespace bpvec::bitslice {
+
+int CvuGeometry::slices_per_operand() const { return max_bits / slice_bits; }
+
+int CvuGeometry::num_nbves() const {
+  const int s = slices_per_operand();
+  return s * s;
+}
+
+int CvuGeometry::num_multipliers() const { return num_nbves() * lanes; }
+
+void CvuGeometry::validate() const {
+  BPVEC_CHECK_MSG(slice_bits >= 1 && slice_bits <= 8, "slice_bits in [1,8]");
+  BPVEC_CHECK_MSG(max_bits >= slice_bits, "max_bits >= slice_bits");
+  BPVEC_CHECK_MSG(max_bits % slice_bits == 0,
+                  "max_bits must be a multiple of slice_bits");
+  BPVEC_CHECK_MSG(lanes >= 1, "lanes >= 1");
+}
+
+std::string CvuGeometry::to_string() const {
+  std::ostringstream os;
+  os << "CVU(alpha=" << slice_bits << "b, B=" << max_bits << "b, L=" << lanes
+     << ", NBVEs=" << num_nbves() << ")";
+  return os.str();
+}
+
+int CompositionPlan::elements_per_cycle() const {
+  return clusters * geometry.lanes;
+}
+
+double CompositionPlan::speedup_vs_max_bitwidth() const {
+  return static_cast<double>(clusters);
+}
+
+double CompositionPlan::utilization() const {
+  return static_cast<double>(clusters * pairs) /
+         static_cast<double>(geometry.num_nbves());
+}
+
+double CompositionPlan::bit_efficiency() const {
+  const double useful =
+      static_cast<double>(x_bits) * w_bits * clusters;
+  const double provisioned =
+      static_cast<double>(geometry.num_nbves()) * geometry.slice_bits *
+      geometry.slice_bits;
+  return useful / provisioned;
+}
+
+std::string CompositionPlan::to_string() const {
+  std::ostringstream os;
+  os << geometry.to_string() << " executing " << x_bits << "b x " << w_bits
+     << "b: " << x_slices << "x" << w_slices << " slice pairs, " << clusters
+     << " cluster(s), " << elements_per_cycle() << " elements/cycle, "
+     << "utilization " << utilization();
+  return os.str();
+}
+
+CompositionPlan plan_composition(const CvuGeometry& geometry, int x_bits,
+                                 int w_bits) {
+  geometry.validate();
+  BPVEC_CHECK_MSG(x_bits >= 1 && x_bits <= geometry.max_bits,
+                  "x_bits out of range for CVU geometry");
+  BPVEC_CHECK_MSG(w_bits >= 1 && w_bits <= geometry.max_bits,
+                  "w_bits out of range for CVU geometry");
+
+  CompositionPlan plan;
+  plan.geometry = geometry;
+  plan.x_bits = x_bits;
+  plan.w_bits = w_bits;
+  plan.x_slices = num_slices(x_bits, geometry.slice_bits);
+  plan.w_slices = num_slices(w_bits, geometry.slice_bits);
+  plan.pairs = plan.x_slices * plan.w_slices;
+
+  const int total = geometry.num_nbves();
+  BPVEC_CHECK_MSG(plan.pairs <= total,
+                  "bitwidth pair needs more NBVEs than the CVU has");
+  plan.clusters = total / plan.pairs;
+
+  plan.assignments.reserve(
+      static_cast<std::size_t>(plan.clusters * plan.pairs));
+  int nbve = 0;
+  for (int c = 0; c < plan.clusters; ++c) {
+    for (int j = 0; j < plan.x_slices; ++j) {
+      for (int k = 0; k < plan.w_slices; ++k) {
+        NbveAssignment a;
+        a.nbve_index = nbve++;
+        a.cluster = c;
+        a.x_slice = j;
+        a.w_slice = k;
+        a.shift = geometry.slice_bits * (j + k);
+        plan.assignments.push_back(a);
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace bpvec::bitslice

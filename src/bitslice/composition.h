@@ -1,0 +1,85 @@
+// Composition planning: how a CVU's NBVEs are grouped at runtime to match
+// the bitwidths of a layer (paper §III-A, Fig. 3b/3c).
+//
+// A CVU built for maximum bitwidth B with slice width α contains
+// S = (B/α)² NBVEs. Executing a bw_x × bw_w dot product needs
+// pairs = (bw_x/α)·(bw_w/α) significance positions. The planner groups the
+// S NBVEs into `clusters = S / pairs` clusters; each cluster privately
+// shift-adds its `pairs` NBVE outputs to finish one dot-product of length L,
+// and the CVU globally aggregates the clusters — multiplying the effective
+// vector length by `clusters` (the composability boost of Fig. 2b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpvec::bitslice {
+
+/// Static geometry of a Composable Vector Unit.
+struct CvuGeometry {
+  int slice_bits = 2;   // α: bitwidth of the narrow multipliers
+  int max_bits = 8;     // B: maximum supported operand bitwidth
+  int lanes = 16;       // L: multipliers per NBVE (vector lanes)
+
+  /// Slices per max-width operand: B/α.
+  int slices_per_operand() const;
+  /// NBVEs in the CVU: (B/α)².
+  int num_nbves() const;
+  /// Narrow multipliers in the whole CVU: num_nbves() · lanes.
+  int num_multipliers() const;
+  /// Validates the geometry (throws bpvec::Error when inconsistent).
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+/// Assignment of one NBVE inside a composition plan.
+struct NbveAssignment {
+  int nbve_index = 0;   // which physical NBVE
+  int cluster = 0;      // which cluster it belongs to
+  int x_slice = 0;      // significance position of the input slice (j)
+  int w_slice = 0;      // significance position of the weight slice (k)
+  int shift = 0;        // α·(j + k): left-shift applied to its scalar output
+};
+
+/// A composition plan for executing bw_x × bw_w dot products on a CVU.
+struct CompositionPlan {
+  CvuGeometry geometry;
+  int x_bits = 8;       // requested input bitwidth (possibly unpadded)
+  int w_bits = 8;       // requested weight bitwidth
+  int x_slices = 4;     // (padded x_bits)/α
+  int w_slices = 4;     // (padded w_bits)/α
+  int pairs = 16;       // x_slices · w_slices = NBVEs per cluster
+  int clusters = 1;     // S / pairs
+  std::vector<NbveAssignment> assignments;  // size == S when fully used
+
+  /// Effective dot-product elements the CVU consumes per cycle:
+  /// clusters · lanes.
+  int elements_per_cycle() const;
+
+  /// Throughput boost relative to the homogeneous max-bitwidth mode
+  /// (== clusters).
+  double speedup_vs_max_bitwidth() const;
+
+  /// Fraction of the CVU's NBVEs doing useful work (1.0 when `pairs`
+  /// divides S; < 1.0 when the bitwidth mix leaves engines idle).
+  double utilization() const;
+
+  /// Fraction of provisioned bit-level work that is useful:
+  /// x_bits·w_bits·clusters / (S·α²). Unlike utilization(), this also
+  /// charges *padding waste* — e.g. 2-bit operands on 4-bit slices keep
+  /// every engine busy but throw away 3/4 of each product (the paper's
+  /// argument for 2-bit over 4-bit slicing, §III-B).
+  double bit_efficiency() const;
+
+  std::string to_string() const;
+};
+
+/// Builds the composition plan for (x_bits, w_bits) on `geometry`.
+/// Bitwidths are padded up to multiples of α; bitwidths above
+/// geometry.max_bits are rejected.
+CompositionPlan plan_composition(const CvuGeometry& geometry, int x_bits,
+                                 int w_bits);
+
+}  // namespace bpvec::bitslice

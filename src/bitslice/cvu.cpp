@@ -1,0 +1,76 @@
+#include "src/bitslice/cvu.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+
+namespace bpvec::bitslice {
+
+Cvu::Cvu(CvuGeometry geometry) : geometry_(geometry) {
+  geometry_.validate();
+  engines_.reserve(static_cast<std::size_t>(geometry_.num_nbves()));
+  for (int i = 0; i < geometry_.num_nbves(); ++i) {
+    engines_.emplace_back(geometry_.lanes, geometry_.slice_bits);
+  }
+}
+
+CompositionPlan Cvu::plan_for(int x_bits, int w_bits) const {
+  return plan_composition(geometry_, x_bits, w_bits);
+}
+
+CvuResult Cvu::dot_product(const std::vector<std::int32_t>& x,
+                           const std::vector<std::int32_t>& w, int x_bits,
+                           int w_bits, bool x_signed, bool w_signed) {
+  BPVEC_CHECK_MSG(x.size() == w.size(), "operand vectors differ in length");
+  const CompositionPlan plan = plan_composition(geometry_, x_bits, w_bits);
+
+  const SlicedVector xs =
+      x_signed ? slice_vector_signed(x, x_bits, geometry_.slice_bits)
+               : slice_vector_unsigned(x, x_bits, geometry_.slice_bits);
+  const SlicedVector ws =
+      w_signed ? slice_vector_signed(w, w_bits, geometry_.slice_bits)
+               : slice_vector_unsigned(w, w_bits, geometry_.slice_bits);
+  BPVEC_CHECK(xs.slices() == plan.x_slices);
+  BPVEC_CHECK(ws.slices() == plan.w_slices);
+
+  CvuResult result;
+  result.utilization = plan.utilization();
+
+  const int lanes = geometry_.lanes;
+  const std::size_t n = x.size();
+  const std::size_t per_cycle =
+      static_cast<std::size_t>(plan.elements_per_cycle());
+
+  for (std::size_t base = 0; base < n; base += per_cycle) {
+    // One CVU cycle: each cluster c covers elements
+    // [base + c·L, base + (c+1)·L) of the vectors.
+    std::int64_t cycle_sum = 0;
+    for (const NbveAssignment& a : plan.assignments) {
+      const std::size_t seg_begin = std::min(
+          n, base + static_cast<std::size_t>(a.cluster) * lanes);
+      const std::size_t seg_end =
+          std::min(n, seg_begin + static_cast<std::size_t>(lanes));
+      const std::size_t len = seg_end - seg_begin;
+      if (len == 0) continue;
+
+      Nbve& engine = engines_[static_cast<std::size_t>(a.nbve_index)];
+      const std::int64_t partial = engine.dot_cycle(
+          std::span<const std::int32_t>(&xs.sub[a.x_slice][seg_begin], len),
+          std::span<const std::int32_t>(&ws.sub[a.w_slice][seg_begin], len));
+      // Shift by the combined significance position (Eq. 3 factor 2^(j+k)α)
+      // and aggregate. Cluster-private vs global aggregation is a hardware
+      // cost distinction (see arch::CvuCostModel); the sum is associative,
+      // so the functional model folds both levels together.
+      cycle_sum += partial << a.shift;
+      result.mult_ops += static_cast<std::int64_t>(len);
+      result.add_ops += static_cast<std::int64_t>(len);
+      result.shift_ops += 1;
+    }
+    result.value += cycle_sum;
+    result.cycles += 1;
+  }
+  return result;
+}
+
+}  // namespace bpvec::bitslice

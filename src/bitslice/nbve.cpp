@@ -1,0 +1,41 @@
+#include "src/bitslice/nbve.h"
+
+#include "src/common/error.h"
+
+namespace bpvec::bitslice {
+
+Nbve::Nbve(int lanes, int slice_bits)
+    : lanes_(lanes), slice_bits_(slice_bits) {
+  BPVEC_CHECK(lanes >= 1);
+  BPVEC_CHECK(slice_bits >= 1 && slice_bits <= 8);
+}
+
+std::int64_t Nbve::dot_cycle(std::span<const std::int32_t> x,
+                             std::span<const std::int32_t> w) {
+  BPVEC_CHECK_MSG(x.size() == w.size(), "operand sub-vectors differ in size");
+  BPVEC_CHECK_MSG(static_cast<int>(x.size()) <= lanes_,
+                  "sub-vector longer than NBVE lane count");
+
+  // Physical multiplier input range: a slice is either an unsigned α-bit
+  // value or (top slice) a signed α-bit value, so any input lies in
+  // [-2^(α-1), 2^α).
+  const std::int32_t lo = -(std::int32_t{1} << (slice_bits_ - 1));
+  const std::int32_t hi = (std::int32_t{1} << slice_bits_) - 1;
+
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    BPVEC_CHECK_MSG(x[i] >= lo && x[i] <= hi, "x slice exceeds datapath");
+    BPVEC_CHECK_MSG(w[i] >= lo && w[i] <= hi, "w slice exceeds datapath");
+    acc += static_cast<std::int64_t>(x[i]) * static_cast<std::int64_t>(w[i]);
+  }
+  mult_ops_ += static_cast<std::int64_t>(x.size());
+  cycles_ += 1;
+  return acc;
+}
+
+void Nbve::reset_stats() {
+  mult_ops_ = 0;
+  cycles_ = 0;
+}
+
+}  // namespace bpvec::bitslice

@@ -1,0 +1,48 @@
+// Narrow-Bitwidth Vector Engine (NBVE): the building block of a CVU
+// (paper §III-A, Fig. 3a).
+//
+// An NBVE is a spatial array of L narrow (α-bit × α-bit) multipliers whose
+// products feed a private adder tree, producing one scalar per cycle: the
+// dot product of two α-bit-sliced sub-vectors of length ≤ L. This class is
+// the *functional* model (bit-exact behaviour); the area/power of the same
+// structure is modelled in src/arch/cvu_cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/bitslice/composition.h"
+
+namespace bpvec::bitslice {
+
+class Nbve {
+ public:
+  /// `lanes` = L, `slice_bits` = α. Both must be >= 1.
+  Nbve(int lanes, int slice_bits);
+
+  int lanes() const { return lanes_; }
+  int slice_bits() const { return slice_bits_; }
+
+  /// One cycle of the engine: multiplies x[i]·w[i] lane-wise and reduces
+  /// through the adder tree. x and w must have equal size ≤ lanes(); unused
+  /// lanes are gated off (contribute 0). Slice operands must fit in
+  /// slice_bits as signed values when `signed_slice` or unsigned otherwise —
+  /// the caller (the CVU) guarantees this by construction; the engine
+  /// checks it to model the physical datapath width.
+  std::int64_t dot_cycle(std::span<const std::int32_t> x,
+                         std::span<const std::int32_t> w);
+
+  /// Cumulative number of multiply operations issued (active lanes only).
+  std::int64_t mult_ops() const { return mult_ops_; }
+  /// Cumulative number of cycles executed.
+  std::int64_t cycles() const { return cycles_; }
+  void reset_stats();
+
+ private:
+  int lanes_;
+  int slice_bits_;
+  std::int64_t mult_ops_ = 0;
+  std::int64_t cycles_ = 0;
+};
+
+}  // namespace bpvec::bitslice

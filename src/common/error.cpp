@@ -1,0 +1,15 @@
+#include "src/common/error.h"
+
+#include <sstream>
+
+namespace bpvec::detail {
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "BPVEC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace bpvec::detail

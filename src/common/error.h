@@ -1,0 +1,42 @@
+// Error handling primitives for the bpvec library.
+//
+// The library throws `bpvec::Error` (a std::runtime_error subclass) for
+// violated preconditions on public APIs. Internal invariants use
+// BPVEC_CHECK, which always fires (it is not compiled out in release
+// builds): a hardware model that silently produces wrong numbers is worse
+// than one that stops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bpvec {
+
+/// Exception type thrown by all bpvec components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& msg);
+}  // namespace detail
+
+/// Always-on invariant check. Throws bpvec::Error with location info.
+#define BPVEC_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::bpvec::detail::fail_check(#expr, __FILE__, __LINE__, "");         \
+    }                                                                     \
+  } while (false)
+
+/// Invariant check with an explanatory message.
+#define BPVEC_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::bpvec::detail::fail_check(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                     \
+  } while (false)
+
+}  // namespace bpvec

@@ -1,0 +1,41 @@
+#include "src/common/mathutil.h"
+
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace bpvec {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  BPVEC_CHECK(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int ilog2(std::int64_t v) {
+  BPVEC_CHECK(v > 0);
+  int r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+double geomean(const std::vector<double>& v) {
+  BPVEC_CHECK(!v.empty());
+  double acc = 0.0;
+  for (double x : v) {
+    BPVEC_CHECK(x > 0.0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(v.size()));
+}
+
+std::int64_t round_up(std::int64_t v, std::int64_t m) {
+  BPVEC_CHECK(v >= 0 && m > 0);
+  return ceil_div(v, m) * m;
+}
+
+}  // namespace bpvec

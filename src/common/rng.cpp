@@ -1,0 +1,76 @@
+#include "src/common/rng.h"
+
+#include "src/common/error.h"
+
+namespace bpvec {
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four lanes via splitmix64 as recommended by the xoshiro authors.
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  BPVEC_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r >= limit);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int32_t Rng::signed_value(int bits) {
+  BPVEC_CHECK(bits >= 1 && bits <= 32);
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  return static_cast<std::int32_t>(uniform(lo, hi));
+}
+
+std::uint32_t Rng::unsigned_value(int bits) {
+  BPVEC_CHECK(bits >= 1 && bits <= 32);
+  const std::int64_t hi = (std::int64_t{1} << bits) - 1;
+  return static_cast<std::uint32_t>(uniform(0, hi));
+}
+
+std::vector<std::int32_t> Rng::signed_vector(std::size_t n, int bits) {
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v) x = signed_value(bits);
+  return v;
+}
+
+}  // namespace bpvec

@@ -1,0 +1,39 @@
+// Deterministic random number generation for tests, benchmarks, and
+// synthetic workload data. All randomness in the repository flows through
+// this class so experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bpvec {
+
+/// xoshiro256** — small, fast, reproducible across platforms (unlike
+/// std::mt19937 distributions, whose outputs are not pinned by the standard).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform signed value representable in `bits` two's-complement bits,
+  /// i.e. in [-2^(bits-1), 2^(bits-1) - 1]. Requires 1 <= bits <= 32.
+  std::int32_t signed_value(int bits);
+
+  /// Uniform unsigned value in [0, 2^bits - 1]. Requires 1 <= bits <= 32.
+  std::uint32_t unsigned_value(int bits);
+
+  /// Vector of `n` signed `bits`-wide values.
+  std::vector<std::int32_t> signed_vector(std::size_t n, int bits);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bpvec

@@ -1,0 +1,83 @@
+#include "src/core/accelerator.h"
+
+#include "src/common/error.h"
+
+namespace bpvec::core {
+
+arch::DramModel make_memory(Memory memory) {
+  return memory == Memory::kDdr4 ? arch::ddr4() : arch::hbm2();
+}
+
+Accelerator Accelerator::bpvec(Memory memory) {
+  return Accelerator(sim::bpvec_accelerator(), make_memory(memory));
+}
+
+Accelerator Accelerator::tpu_like(Memory memory) {
+  return Accelerator(sim::tpu_like_baseline(), make_memory(memory));
+}
+
+Accelerator Accelerator::bitfusion(Memory memory) {
+  return Accelerator(sim::bitfusion_accelerator(), make_memory(memory));
+}
+
+Accelerator::Accelerator(sim::AcceleratorConfig config, arch::DramModel dram)
+    : config_(std::move(config)), dram_(std::move(dram)) {
+  config_.validate();
+}
+
+sim::RunResult Accelerator::simulate(const dnn::Network& network) const {
+  return sim::Simulator(config_, dram_).run(network);
+}
+
+bitslice::CvuResult Accelerator::dot_product(
+    const std::vector<std::int32_t>& x, const std::vector<std::int32_t>& w,
+    int x_bits, int w_bits) const {
+  BPVEC_CHECK_MSG(config_.pe_kind != sim::PeKind::kConventional,
+                  "conventional platform has no composable vector unit");
+  bitslice::CvuGeometry g = config_.cvu;
+  if (config_.pe_kind == sim::PeKind::kBitFusion) g.lanes = 1;
+  bitslice::Cvu cvu(g);
+  return cvu.dot_product(x, w, x_bits, w_bits);
+}
+
+bitslice::CompositionPlan Accelerator::plan(int x_bits, int w_bits) const {
+  bitslice::CvuGeometry g = config_.cvu;
+  if (config_.pe_kind == sim::PeKind::kBitFusion) g.lanes = 1;
+  return bitslice::plan_composition(g, x_bits, w_bits);
+}
+
+arch::Fig4Point Accelerator::pe_cost_per_mac() const {
+  switch (config_.pe_kind) {
+    case sim::PeKind::kConventional: {
+      // The conventional MAC is the Fig. 4 normalization baseline: 1.0,
+      // split per its structural categories.
+      const auto conv = arch::conventional_mac_cost(
+          cost_.technology(), config_.cvu.max_bits);
+      const double ta = conv.total().area_um2;
+      const double te = conv.total().energy_fj;
+      arch::Fig4Point p;
+      p.area_mult = conv.multiply.area_um2 / ta;
+      p.area_add = conv.accumulate.area_um2 / ta;
+      p.area_reg = conv.registers.area_um2 / ta;
+      p.power_mult = conv.multiply.energy_fj / te;
+      p.power_add = conv.accumulate.energy_fj / te;
+      p.power_reg = conv.registers.energy_fj / te;
+      return p;
+    }
+    case sim::PeKind::kBitFusion: {
+      bitslice::CvuGeometry g = config_.cvu;
+      g.lanes = 1;
+      return cost_.normalized_per_mac(g);
+    }
+    case sim::PeKind::kBpvec:
+      return cost_.normalized_per_mac(config_.cvu);
+  }
+  return {};
+}
+
+double Accelerator::core_power_mw() const {
+  return config_.pe_energy_per_cycle_pj(cost_) * config_.num_pes() *
+         config_.frequency_hz * 1e-9;
+}
+
+}  // namespace bpvec::core

@@ -1,0 +1,69 @@
+// bpvec::core::Accelerator — the library's top-level facade.
+//
+// Wraps a platform configuration (CVU geometry + systolic array + memory
+// system) and exposes:
+//   * the functional path  — exact integer dot products / GEMMs executed
+//     through composable vector units (for verification and numerics),
+//   * the performance path — cycle-level simulation of whole networks,
+//   * the cost path        — area/power of the configured design.
+//
+// Typical use (see examples/quickstart.cpp):
+//   auto acc = core::Accelerator::bpvec(core::Memory::kDdr4);
+//   auto result = acc.simulate(dnn::make_resnet18(
+//       dnn::BitwidthMode::kHeterogeneous));
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/cvu_cost.h"
+#include "src/arch/dram.h"
+#include "src/baselines/gpu_model.h"
+#include "src/bitslice/cvu.h"
+#include "src/dnn/network.h"
+#include "src/sim/simulator.h"
+
+namespace bpvec::core {
+
+enum class Memory { kDdr4, kHbm2 };
+
+arch::DramModel make_memory(Memory memory);
+
+class Accelerator {
+ public:
+  /// The paper's BPVeC design point (Table II).
+  static Accelerator bpvec(Memory memory);
+  /// The TPU-like conventional baseline (Table II).
+  static Accelerator tpu_like(Memory memory);
+  /// The BitFusion comparison point (Table II).
+  static Accelerator bitfusion(Memory memory);
+  /// Custom platform.
+  Accelerator(sim::AcceleratorConfig config, arch::DramModel dram);
+
+  const sim::AcceleratorConfig& config() const { return config_; }
+
+  /// --- Performance path ---
+  sim::RunResult simulate(const dnn::Network& network) const;
+
+  /// --- Functional path ---
+  /// Exact dot product through the platform's CVU (throws for the
+  /// conventional platform, which has no CVU).
+  bitslice::CvuResult dot_product(const std::vector<std::int32_t>& x,
+                                  const std::vector<std::int32_t>& w,
+                                  int x_bits, int w_bits) const;
+  /// Composition plan the CVU would use at these bitwidths.
+  bitslice::CompositionPlan plan(int x_bits, int w_bits) const;
+
+  /// --- Cost path ---
+  /// Per-MAC normalized area/power of the processing element (Fig. 4 axis).
+  arch::Fig4Point pe_cost_per_mac() const;
+  /// Core power in mW (PE array only).
+  double core_power_mw() const;
+
+ private:
+  sim::AcceleratorConfig config_;
+  arch::DramModel dram_;
+  arch::CvuCostModel cost_;
+};
+
+}  // namespace bpvec::core

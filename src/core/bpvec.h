@@ -1,0 +1,39 @@
+// Umbrella header: everything a downstream user of the BPVeC library
+// needs. Include this and link against bpvec_core.
+//
+//   #include "src/core/bpvec.h"
+//
+//   auto acc = bpvec::core::Accelerator::bpvec(bpvec::core::Memory::kDdr4);
+//   auto run = acc.simulate(bpvec::dnn::make_resnet18(
+//       bpvec::dnn::BitwidthMode::kHeterogeneous));
+#pragma once
+
+// Public API facade.
+#include "src/core/accelerator.h"
+#include "src/core/design_space.h"
+#include "src/core/gemm_executor.h"
+
+// The paper's arithmetic: slicing, composition, functional CVU.
+#include "src/bitslice/bit_slicing.h"
+#include "src/bitslice/composition.h"
+#include "src/bitslice/cvu.h"
+
+// Hardware models.
+#include "src/arch/cvu_cost.h"
+#include "src/arch/dram.h"
+#include "src/arch/scratchpad.h"
+
+// Workloads and the functional verification path.
+#include "src/dnn/model_zoo.h"
+#include "src/dnn/quantize.h"
+#include "src/dnn/reference_ops.h"
+#include "src/dnn/runner.h"
+
+// Cycle-level simulation and reporting.
+#include "src/sim/cycle_sim.h"
+#include "src/sim/report.h"
+#include "src/sim/simulator.h"
+
+// Comparison points.
+#include "src/baselines/bit_serial.h"
+#include "src/baselines/gpu_model.h"

@@ -1,0 +1,65 @@
+#include "src/core/design_space.h"
+
+#include <limits>
+
+#include "src/common/error.h"
+
+namespace bpvec::core {
+
+std::vector<DesignPoint> explore_design_space(
+    const std::vector<int>& slice_widths, const std::vector<int>& lanes,
+    int max_bits) {
+  arch::CvuCostModel cost;
+  std::vector<DesignPoint> points;
+  for (int alpha : slice_widths) {
+    for (int l : lanes) {
+      DesignPoint p;
+      p.geometry = bitslice::CvuGeometry{alpha, max_bits, l};
+      p.geometry.validate();
+      p.cost = cost.normalized_per_mac(p.geometry);
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+double mix_utilization(const bitslice::CvuGeometry& geometry,
+                       const std::vector<BitwidthMixEntry>& mix) {
+  BPVEC_CHECK(!mix.empty());
+  double total_weight = 0.0;
+  double acc = 0.0;
+  for (const auto& e : mix) {
+    const auto plan =
+        bitslice::plan_composition(geometry, e.x_bits, e.w_bits);
+    acc += plan.bit_efficiency() * e.weight;
+    total_weight += e.weight;
+  }
+  BPVEC_CHECK(total_weight > 0.0);
+  return acc / total_weight;
+}
+
+DesignPoint best_design(const std::vector<DesignPoint>& points,
+                        const std::vector<BitwidthMixEntry>& mix,
+                        double min_utilization) {
+  BPVEC_CHECK(!points.empty());
+  const DesignPoint* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    const double util = mix_utilization(p.geometry, mix);
+    if (util + 1e-12 < min_utilization) continue;
+    // Power·area per effective MAC: divide by utilization so idle NBVEs
+    // count against a design.
+    const double score =
+        p.cost.power_total() * p.cost.area_total() / (util * util);
+    if (score < best_score) {
+      best_score = score;
+      best = &p;
+    }
+  }
+  BPVEC_CHECK_MSG(best != nullptr, "no design point meets the utilization bar");
+  DesignPoint result = *best;
+  result.mix_utilization = mix_utilization(result.geometry, mix);
+  return result;
+}
+
+}  // namespace bpvec::core

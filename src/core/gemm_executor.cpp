@@ -1,0 +1,38 @@
+#include "src/core/gemm_executor.h"
+
+#include "src/common/error.h"
+
+namespace bpvec::core {
+
+std::vector<std::int64_t> execute_gemm(bitslice::Cvu& cvu,
+                                       const dnn::Matrix& a,
+                                       const dnn::Matrix& b, int x_bits,
+                                       int w_bits,
+                                       GemmExecutionStats* stats) {
+  BPVEC_CHECK_MSG(a.cols == b.cols, "GEMM inner dimensions disagree");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(a.rows * b.rows));
+  GemmExecutionStats s;
+
+  std::vector<std::int32_t> x(static_cast<std::size_t>(a.cols));
+  std::vector<std::int32_t> w(static_cast<std::size_t>(b.cols));
+  for (std::int64_t m = 0; m < a.rows; ++m) {
+    for (std::int64_t k = 0; k < a.cols; ++k) {
+      x[static_cast<std::size_t>(k)] = a.at(m, k);
+    }
+    for (std::int64_t n = 0; n < b.rows; ++n) {
+      for (std::int64_t k = 0; k < b.cols; ++k) {
+        w[static_cast<std::size_t>(k)] = b.at(n, k);
+      }
+      const bitslice::CvuResult r =
+          cvu.dot_product(x, w, x_bits, w_bits);
+      out[static_cast<std::size_t>(m * b.rows + n)] = r.value;
+      s.cvu_cycles += r.cycles;
+      s.mult_ops += r.mult_ops;
+      s.utilization = r.utilization;
+    }
+  }
+  if (stats != nullptr) *stats = s;
+  return out;
+}
+
+}  // namespace bpvec::core

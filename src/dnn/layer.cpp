@@ -1,0 +1,202 @@
+#include "src/dnn/layer.h"
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+
+namespace bpvec::dnn {
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kPool: return "pool";
+    case LayerKind::kRecurrent: return "recurrent";
+  }
+  return "?";
+}
+
+int ConvParams::out_h() const {
+  BPVEC_CHECK(stride >= 1);
+  return (in_h + 2 * pad - kh) / stride + 1;
+}
+
+int ConvParams::out_w() const { return (in_w + 2 * pad - kw) / stride + 1; }
+
+int PoolParams::out_h() const { return (in_h - k) / stride + 1; }
+int PoolParams::out_w() const { return (in_w - k) / stride + 1; }
+
+int RecurrentParams::gates() const {
+  return cell == RecurrentCellKind::kLstm ? 4 : 1;
+}
+
+const ConvParams& Layer::conv() const {
+  BPVEC_CHECK(kind == LayerKind::kConv);
+  return std::get<ConvParams>(params);
+}
+const FcParams& Layer::fc() const {
+  BPVEC_CHECK(kind == LayerKind::kFullyConnected);
+  return std::get<FcParams>(params);
+}
+const PoolParams& Layer::pool() const {
+  BPVEC_CHECK(kind == LayerKind::kPool);
+  return std::get<PoolParams>(params);
+}
+const RecurrentParams& Layer::recurrent() const {
+  BPVEC_CHECK(kind == LayerKind::kRecurrent);
+  return std::get<RecurrentParams>(params);
+}
+
+std::int64_t Layer::macs() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = conv();
+      return static_cast<std::int64_t>(p.out_h()) * p.out_w() * p.out_c *
+             p.in_c * p.kh * p.kw;
+    }
+    case LayerKind::kFullyConnected: {
+      const auto& p = fc();
+      return static_cast<std::int64_t>(p.in_features) * p.out_features;
+    }
+    case LayerKind::kPool:
+      return 0;
+    case LayerKind::kRecurrent: {
+      const auto& p = recurrent();
+      return static_cast<std::int64_t>(p.gates()) * p.hidden_size *
+             (p.input_size + p.hidden_size) * p.time_steps;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Layer::weights() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = conv();
+      return static_cast<std::int64_t>(p.out_c) * p.in_c * p.kh * p.kw;
+    }
+    case LayerKind::kFullyConnected: {
+      const auto& p = fc();
+      return static_cast<std::int64_t>(p.in_features) * p.out_features;
+    }
+    case LayerKind::kPool:
+      return 0;
+    case LayerKind::kRecurrent: {
+      const auto& p = recurrent();
+      return static_cast<std::int64_t>(p.gates()) * p.hidden_size *
+             (p.input_size + p.hidden_size);
+    }
+  }
+  return 0;
+}
+
+std::int64_t Layer::input_elems() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = conv();
+      return static_cast<std::int64_t>(p.in_c) * p.in_h * p.in_w;
+    }
+    case LayerKind::kFullyConnected:
+      return fc().in_features;
+    case LayerKind::kPool: {
+      const auto& p = pool();
+      return static_cast<std::int64_t>(p.channels) * p.in_h * p.in_w;
+    }
+    case LayerKind::kRecurrent: {
+      const auto& p = recurrent();
+      return static_cast<std::int64_t>(p.input_size) * p.time_steps;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Layer::output_elems() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = conv();
+      return static_cast<std::int64_t>(p.out_c) * p.out_h() * p.out_w();
+    }
+    case LayerKind::kFullyConnected:
+      return fc().out_features;
+    case LayerKind::kPool: {
+      const auto& p = pool();
+      return static_cast<std::int64_t>(p.channels) * p.out_h() * p.out_w();
+    }
+    case LayerKind::kRecurrent: {
+      const auto& p = recurrent();
+      return static_cast<std::int64_t>(p.hidden_size) * p.time_steps;
+    }
+  }
+  return 0;
+}
+
+GemmShape Layer::gemm(int time_chunk) const {
+  BPVEC_CHECK(time_chunk >= 1);
+  GemmShape g;
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = conv();
+      g.m = static_cast<std::int64_t>(p.out_h()) * p.out_w();
+      g.n = p.out_c;
+      g.k = static_cast<std::int64_t>(p.in_c) * p.kh * p.kw;
+      break;
+    }
+    case LayerKind::kFullyConnected: {
+      const auto& p = fc();
+      g.m = 1;
+      g.n = p.out_features;
+      g.k = p.in_features;
+      break;
+    }
+    case LayerKind::kPool:
+      return g;  // no GEMM
+    case LayerKind::kRecurrent: {
+      const auto& p = recurrent();
+      const int chunk = std::min(time_chunk, p.time_steps);
+      g.m = chunk;
+      g.n = static_cast<std::int64_t>(p.gates()) * p.hidden_size;
+      g.k = p.input_size + p.hidden_size;
+      g.repeats = ceil_div(p.time_steps, chunk);
+      g.weights_streamed_per_repeat = true;
+      break;
+    }
+  }
+  return g;
+}
+
+Layer make_conv(std::string name, ConvParams p) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kConv;
+  l.params = p;
+  BPVEC_CHECK_MSG(p.out_h() >= 1 && p.out_w() >= 1,
+                  "conv output collapsed: " + l.name);
+  return l;
+}
+
+Layer make_fc(std::string name, FcParams p) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kFullyConnected;
+  l.params = p;
+  return l;
+}
+
+Layer make_pool(std::string name, PoolParams p) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kPool;
+  l.params = p;
+  BPVEC_CHECK_MSG(p.out_h() >= 1 && p.out_w() >= 1,
+                  "pool output collapsed: " + l.name);
+  return l;
+}
+
+Layer make_recurrent(std::string name, RecurrentParams p) {
+  Layer l;
+  l.name = std::move(name);
+  l.kind = LayerKind::kRecurrent;
+  l.params = p;
+  return l;
+}
+
+}  // namespace bpvec::dnn

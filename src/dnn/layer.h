@@ -1,0 +1,106 @@
+// Layer descriptors for the evaluated DNNs.
+//
+// A layer carries its shape parameters, its per-layer operand bitwidths
+// (the algorithmic bitwidth heterogeneity of Table I), and knows how to
+// describe itself as a GEMM — the form every accelerator in the paper
+// consumes (systolic arrays execute convolutions via im2col-style
+// lowering, recurrent cells via gate matrices).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace bpvec::dnn {
+
+enum class LayerKind { kConv, kFullyConnected, kPool, kRecurrent };
+
+const char* to_string(LayerKind kind);
+
+struct ConvParams {
+  int in_c = 0, in_h = 0, in_w = 0;
+  int out_c = 0;
+  int kh = 0, kw = 0;
+  int stride = 1, pad = 0;
+
+  int out_h() const;
+  int out_w() const;
+};
+
+struct FcParams {
+  int in_features = 0;
+  int out_features = 0;
+};
+
+enum class PoolKind { kMax, kAverage };
+
+struct PoolParams {
+  int channels = 0, in_h = 0, in_w = 0;
+  int k = 2, stride = 2;
+  PoolKind kind = PoolKind::kMax;
+
+  int out_h() const;
+  int out_w() const;
+};
+
+enum class RecurrentCellKind { kVanillaRnn, kLstm };
+
+struct RecurrentParams {
+  RecurrentCellKind cell = RecurrentCellKind::kVanillaRnn;
+  int input_size = 0;
+  int hidden_size = 0;
+  int time_steps = 1;
+
+  /// Gate matrices per step: 1 for vanilla RNN, 4 for LSTM (i, f, g, o).
+  int gates() const;
+};
+
+/// GEMM view of a layer: `repeats` independent M×N×K products. When
+/// `weights_streamed_per_repeat` is set the N×K weight matrix must be
+/// re-fetched from DRAM for every repeat (recurrent layers: the scratchpad
+/// cannot hold the full matrices, and the recurrence limits how many time
+/// steps can share one residency — modelled by M = time_chunk).
+struct GemmShape {
+  std::int64_t m = 0, n = 0, k = 0;
+  std::int64_t repeats = 1;
+  bool weights_streamed_per_repeat = false;
+
+  std::int64_t macs() const { return m * n * k * repeats; }
+};
+
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  int x_bits = 8;  // activation bitwidth
+  int w_bits = 8;  // weight bitwidth
+  std::variant<ConvParams, FcParams, PoolParams, RecurrentParams> params;
+
+  const ConvParams& conv() const;
+  const FcParams& fc() const;
+  const PoolParams& pool() const;
+  const RecurrentParams& recurrent() const;
+
+  /// Multiply-accumulate count (0 for pooling).
+  std::int64_t macs() const;
+  /// Weight parameter count (0 for pooling).
+  std::int64_t weights() const;
+  /// Input/output activation element counts (per full layer execution,
+  /// i.e. across all time steps for recurrent layers).
+  std::int64_t input_elems() const;
+  std::int64_t output_elems() const;
+
+  /// True for layers that perform MACs (conv/fc/recurrent).
+  bool is_compute() const { return kind != LayerKind::kPool; }
+
+  /// GEMM view. `time_chunk` bounds how many recurrent time steps share one
+  /// weight residency (see GemmShape).
+  GemmShape gemm(int time_chunk = 16) const;
+};
+
+/// Convenience factories.
+Layer make_conv(std::string name, ConvParams p);
+Layer make_fc(std::string name, FcParams p);
+Layer make_pool(std::string name, PoolParams p);
+Layer make_recurrent(std::string name, RecurrentParams p);
+
+}  // namespace bpvec::dnn

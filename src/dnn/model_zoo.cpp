@@ -1,0 +1,216 @@
+#include "src/dnn/model_zoo.h"
+
+#include "src/common/error.h"
+
+namespace bpvec::dnn {
+
+namespace {
+
+/// Applies the "first and last layer 8-bit, rest 4-bit" rule (or leaves
+/// everything at 8-bit for the homogeneous mode). Pool layers inherit their
+/// neighbours' precision but carry no MACs, so their bitwidths are cosmetic.
+void assign_bitwidths(Network& net, BitwidthMode mode,
+                      bool all_layers_4bit) {
+  if (mode == BitwidthMode::kHomogeneous8b) {
+    for (Layer& l : net.layers()) {
+      l.x_bits = 8;
+      l.w_bits = 8;
+    }
+    net.set_bitwidth_note("All layers 8-bit");
+    return;
+  }
+  // Heterogeneous: find first/last compute layers.
+  int first = -1, last = -1;
+  auto& layers = net.layers();
+  for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+    if (!layers[i].is_compute()) continue;
+    if (first < 0) first = i;
+    last = i;
+  }
+  BPVEC_CHECK(first >= 0);
+  for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+    const bool boundary = (i == first || i == last);
+    const int bits = (!all_layers_4bit && boundary) ? 8 : 4;
+    layers[i].x_bits = bits;
+    layers[i].w_bits = bits;
+  }
+  net.set_bitwidth_note(all_layers_4bit
+                            ? "All layers with 4-bit"
+                            : "First and last layer 8-bit, the rest 4-bit");
+}
+
+}  // namespace
+
+Network make_alexnet(BitwidthMode mode) {
+  Network net("AlexNet", NetworkType::kCnn);
+  net.add(make_conv("conv1", {3, 227, 227, 96, 11, 11, 4, 0}));
+  net.add(make_pool("pool1", {96, 55, 55, 3, 2}));
+  net.add(make_conv("conv2", {96, 27, 27, 256, 5, 5, 1, 2}));
+  net.add(make_pool("pool2", {256, 27, 27, 3, 2}));
+  net.add(make_conv("conv3", {256, 13, 13, 384, 3, 3, 1, 1}));
+  net.add(make_conv("conv4", {384, 13, 13, 384, 3, 3, 1, 1}));
+  net.add(make_conv("conv5", {384, 13, 13, 256, 3, 3, 1, 1}));
+  net.add(make_pool("pool5", {256, 13, 13, 3, 2}));
+  net.add(make_fc("fc6", {256 * 6 * 6, 4096}));
+  net.add(make_fc("fc7", {4096, 4096}));
+  net.add(make_fc("fc8", {4096, 1000}));
+  assign_bitwidths(net, mode, /*all_layers_4bit=*/false);
+  return net;
+}
+
+namespace {
+
+/// Adds one GoogLeNet inception module: four parallel branches
+/// (1×1; 1×1→3×3; 1×1→5×5; pool→1×1), all at the same spatial size.
+void add_inception(Network& net, const std::string& name, int in_c, int hw,
+                   int n1x1, int n3x3red, int n3x3, int n5x5red, int n5x5,
+                   int pool_proj) {
+  net.add(make_conv(name + "/1x1", {in_c, hw, hw, n1x1, 1, 1, 1, 0}));
+  net.add(make_conv(name + "/3x3_reduce", {in_c, hw, hw, n3x3red, 1, 1, 1, 0}));
+  net.add(make_conv(name + "/3x3", {n3x3red, hw, hw, n3x3, 3, 3, 1, 1}));
+  net.add(make_conv(name + "/5x5_reduce", {in_c, hw, hw, n5x5red, 1, 1, 1, 0}));
+  net.add(make_conv(name + "/5x5", {n5x5red, hw, hw, n5x5, 5, 5, 1, 2}));
+  net.add(make_conv(name + "/pool_proj", {in_c, hw, hw, pool_proj, 1, 1, 1, 0}));
+}
+
+}  // namespace
+
+Network make_inception_v1(BitwidthMode mode) {
+  Network net("Inception-v1", NetworkType::kCnn);
+  net.add(make_conv("conv1/7x7_s2", {3, 224, 224, 64, 7, 7, 2, 3}));
+  net.add(make_pool("pool1", {64, 112, 112, 3, 2}));
+  net.add(make_conv("conv2/3x3_reduce", {64, 56, 56, 64, 1, 1, 1, 0}));
+  net.add(make_conv("conv2/3x3", {64, 56, 56, 192, 3, 3, 1, 1}));
+  net.add(make_pool("pool2", {192, 56, 56, 3, 2}));
+  add_inception(net, "inception_3a", 192, 28, 64, 96, 128, 16, 32, 32);
+  add_inception(net, "inception_3b", 256, 28, 128, 128, 192, 32, 96, 64);
+  net.add(make_pool("pool3", {480, 28, 28, 3, 2}));
+  add_inception(net, "inception_4a", 480, 14, 192, 96, 208, 16, 48, 64);
+  add_inception(net, "inception_4b", 512, 14, 160, 112, 224, 24, 64, 64);
+  add_inception(net, "inception_4c", 512, 14, 128, 128, 256, 24, 64, 64);
+  add_inception(net, "inception_4d", 512, 14, 112, 144, 288, 32, 64, 64);
+  add_inception(net, "inception_4e", 528, 14, 256, 160, 320, 32, 128, 128);
+  net.add(make_pool("pool4", {832, 14, 14, 3, 2}));
+  add_inception(net, "inception_5a", 832, 7, 256, 160, 320, 32, 128, 128);
+  add_inception(net, "inception_5b", 832, 7, 384, 192, 384, 48, 128, 128);
+  net.add(make_pool("pool5/avg", {1024, 7, 7, 7, 1, PoolKind::kAverage}));
+  net.add(make_fc("loss3/classifier", {1024, 1000}));
+  assign_bitwidths(net, mode, /*all_layers_4bit=*/false);
+  return net;
+}
+
+namespace {
+
+/// Adds a ResNet basic block (two 3×3 convs); `downsample` adds the 1×1
+/// stride-2 projection on the shortcut.
+void add_basic_block(Network& net, const std::string& name, int in_c,
+                     int out_c, int in_hw, int stride) {
+  const int out_hw = in_hw / stride;
+  net.add(make_conv(name + "/conv1",
+                    {in_c, in_hw, in_hw, out_c, 3, 3, stride, 1}));
+  net.add(make_conv(name + "/conv2",
+                    {out_c, out_hw, out_hw, out_c, 3, 3, 1, 1}));
+  if (stride != 1 || in_c != out_c) {
+    net.add(make_conv(name + "/downsample",
+                      {in_c, in_hw, in_hw, out_c, 1, 1, stride, 0}));
+  }
+}
+
+/// Adds a ResNet bottleneck block (1×1 reduce, 3×3, 1×1 expand).
+void add_bottleneck(Network& net, const std::string& name, int in_c,
+                    int mid_c, int out_c, int in_hw, int stride) {
+  const int out_hw = in_hw / stride;
+  net.add(make_conv(name + "/conv1", {in_c, in_hw, in_hw, mid_c, 1, 1, 1, 0}));
+  net.add(make_conv(name + "/conv2",
+                    {mid_c, in_hw, in_hw, mid_c, 3, 3, stride, 1}));
+  net.add(make_conv(name + "/conv3",
+                    {mid_c, out_hw, out_hw, out_c, 1, 1, 1, 0}));
+  if (stride != 1 || in_c != out_c) {
+    net.add(make_conv(name + "/downsample",
+                      {in_c, in_hw, in_hw, out_c, 1, 1, stride, 0}));
+  }
+}
+
+}  // namespace
+
+Network make_resnet18(BitwidthMode mode) {
+  Network net("ResNet-18", NetworkType::kCnn);
+  net.add(make_conv("conv1", {3, 224, 224, 64, 7, 7, 2, 3}));
+  net.add(make_pool("pool1", {64, 112, 112, 3, 2}));
+  add_basic_block(net, "layer1.0", 64, 64, 56, 1);
+  add_basic_block(net, "layer1.1", 64, 64, 56, 1);
+  add_basic_block(net, "layer2.0", 64, 128, 56, 2);
+  add_basic_block(net, "layer2.1", 128, 128, 28, 1);
+  add_basic_block(net, "layer3.0", 128, 256, 28, 2);
+  add_basic_block(net, "layer3.1", 256, 256, 14, 1);
+  add_basic_block(net, "layer4.0", 256, 512, 14, 2);
+  add_basic_block(net, "layer4.1", 512, 512, 7, 1);
+  net.add(make_pool("avgpool", {512, 7, 7, 7, 1, PoolKind::kAverage}));
+  net.add(make_fc("fc", {512, 1000}));
+  assign_bitwidths(net, mode, /*all_layers_4bit=*/false);
+  return net;
+}
+
+Network make_resnet50(BitwidthMode mode) {
+  Network net("ResNet-50", NetworkType::kCnn);
+  net.add(make_conv("conv1", {3, 224, 224, 64, 7, 7, 2, 3}));
+  net.add(make_pool("pool1", {64, 112, 112, 3, 2}));
+  struct Stage {
+    const char* name;
+    int blocks, mid_c, out_c, in_hw, first_stride;
+  };
+  const Stage stages[] = {
+      {"layer1", 3, 64, 256, 56, 1},
+      {"layer2", 4, 128, 512, 56, 2},
+      {"layer3", 6, 256, 1024, 28, 2},
+      {"layer4", 3, 512, 2048, 14, 2},
+  };
+  int in_c = 64;
+  for (const Stage& s : stages) {
+    int hw = s.in_hw;
+    for (int b = 0; b < s.blocks; ++b) {
+      const int stride = (b == 0) ? s.first_stride : 1;
+      add_bottleneck(net, std::string(s.name) + "." + std::to_string(b),
+                     in_c, s.mid_c, s.out_c, hw, stride);
+      in_c = s.out_c;
+      hw /= stride;
+    }
+  }
+  net.add(make_pool("avgpool", {2048, 7, 7, 7, 1, PoolKind::kAverage}));
+  net.add(make_fc("fc", {2048, 1000}));
+  assign_bitwidths(net, mode, /*all_layers_4bit=*/true);
+  return net;
+}
+
+Network make_rnn(BitwidthMode mode) {
+  // Sized to Table I: (2880 + 2880)·2880 ≈ 16.6 M weights → 15.8 MB INT8;
+  // 512 steps → 2·8.5 G multiply-adds ≈ 17 GOps.
+  Network net("RNN", NetworkType::kRnn);
+  net.add(make_recurrent(
+      "rnn", {RecurrentCellKind::kVanillaRnn, 2880, 2880, 512}));
+  assign_bitwidths(net, mode, /*all_layers_4bit=*/true);
+  return net;
+}
+
+Network make_lstm(BitwidthMode mode) {
+  // Sized to Table I: 4·(2048 + 1024)·1024 ≈ 12.6 M weights → 12 MB INT8;
+  // 512 steps → ≈ 13 GOps.
+  Network net("LSTM", NetworkType::kRnn);
+  net.add(
+      make_recurrent("lstm", {RecurrentCellKind::kLstm, 2048, 1024, 512}));
+  assign_bitwidths(net, mode, /*all_layers_4bit=*/true);
+  return net;
+}
+
+std::vector<Network> all_models(BitwidthMode mode) {
+  std::vector<Network> v;
+  v.push_back(make_alexnet(mode));
+  v.push_back(make_inception_v1(mode));
+  v.push_back(make_resnet18(mode));
+  v.push_back(make_resnet50(mode));
+  v.push_back(make_rnn(mode));
+  v.push_back(make_lstm(mode));
+  return v;
+}
+
+}  // namespace bpvec::dnn

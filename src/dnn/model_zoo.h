@@ -1,0 +1,28 @@
+// The six evaluated networks (paper Table I): AlexNet, Inception-v1,
+// ResNet-18, ResNet-50, a vanilla RNN, and an LSTM.
+//
+// Shapes follow the canonical architectures (224/227-pixel ImageNet CNNs;
+// recurrent models sized to match Table I's model sizes and op counts).
+// The heterogeneous bitwidth assignment follows Table I:
+//   AlexNet / Inception-v1 / ResNet-18 — first and last layer 8-bit,
+//                                         everything else 4-bit,
+//   ResNet-50 / RNN / LSTM             — all layers 4-bit.
+#pragma once
+
+#include <vector>
+
+#include "src/dnn/network.h"
+
+namespace bpvec::dnn {
+
+Network make_alexnet(BitwidthMode mode);
+Network make_inception_v1(BitwidthMode mode);
+Network make_resnet18(BitwidthMode mode);
+Network make_resnet50(BitwidthMode mode);
+Network make_rnn(BitwidthMode mode);
+Network make_lstm(BitwidthMode mode);
+
+/// All six, in the paper's order.
+std::vector<Network> all_models(BitwidthMode mode);
+
+}  // namespace bpvec::dnn

@@ -1,0 +1,47 @@
+#include "src/dnn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace bpvec::dnn {
+
+QuantizedTensor quantize_symmetric(const std::vector<double>& reals,
+                                   int bits) {
+  BPVEC_CHECK(bits >= 2 && bits <= 31);
+  QuantizedTensor q;
+  q.bits = bits;
+  double max_abs = 0.0;
+  for (double r : reals) max_abs = std::max(max_abs, std::fabs(r));
+  const double qmax = static_cast<double>((std::int64_t{1} << (bits - 1)) - 1);
+  q.scale = (max_abs == 0.0) ? 1.0 : max_abs / qmax;
+  q.values.reserve(reals.size());
+  for (double r : reals) {
+    const double v = std::round(r / q.scale);
+    q.values.push_back(static_cast<std::int32_t>(
+        std::clamp(v, -qmax - 1.0, qmax)));
+  }
+  return q;
+}
+
+std::vector<double> dequantize(const QuantizedTensor& q) {
+  std::vector<double> out;
+  out.reserve(q.values.size());
+  for (std::int32_t v : q.values) out.push_back(v * q.scale);
+  return out;
+}
+
+std::int32_t requantize(std::int64_t acc, int shift, int bits) {
+  BPVEC_CHECK(shift >= 0 && bits >= 2 && bits <= 31);
+  if (shift > 0) {
+    // Round half up: add 2^(shift-1) then arithmetic-shift (floors).
+    const std::int64_t rounding = std::int64_t{1} << (shift - 1);
+    acc = (acc + rounding) >> shift;
+  }
+  const std::int64_t qmax = (std::int64_t{1} << (bits - 1)) - 1;
+  const std::int64_t qmin = -(std::int64_t{1} << (bits - 1));
+  return static_cast<std::int32_t>(std::clamp(acc, qmin, qmax));
+}
+
+}  // namespace bpvec::dnn

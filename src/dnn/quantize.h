@@ -1,0 +1,32 @@
+// Symmetric linear quantization utilities.
+//
+// The paper's heterogeneous-bitwidth mode assumes deep-quantized DNNs
+// (PACT / WRPN / QNN-style). This module provides the numeric bridge:
+// float ↔ signed n-bit integers with a per-tensor scale, so the functional
+// path can run integer math on the CVU and compare against references.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bpvec::dnn {
+
+struct QuantizedTensor {
+  std::vector<std::int32_t> values;  // each within [-2^(b-1), 2^(b-1)-1]
+  double scale = 1.0;                // real = value · scale
+  int bits = 8;
+};
+
+/// Largest-magnitude symmetric quantization of `reals` to `bits` bits.
+/// An all-zero input quantizes with scale 1.
+QuantizedTensor quantize_symmetric(const std::vector<double>& reals,
+                                   int bits);
+
+/// Inverse map.
+std::vector<double> dequantize(const QuantizedTensor& q);
+
+/// Clamps an accumulator back to `bits`-wide signed range after requantize
+/// by `shift` (arithmetic right shift with round-to-nearest).
+std::int32_t requantize(std::int64_t acc, int shift, int bits);
+
+}  // namespace bpvec::dnn

@@ -1,0 +1,43 @@
+// Integer reference operators (direct, unlowered). These are the ground
+// truth the CVU-backed execution path is verified against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dnn/layer.h"
+#include "src/dnn/tensor.h"
+
+namespace bpvec::dnn {
+
+/// Direct convolution. `weights` is laid out [out_c][in_c][kh][kw].
+/// Output element (oc, oy, ox) = Σ in(ic, oy·s − pad + ky, ox·s − pad + kx)
+/// · w(oc, ic, ky, kx), 64-bit accumulation returned per element.
+std::vector<std::int64_t> conv2d_reference(
+    const Tensor& input, const std::vector<std::int32_t>& weights,
+    const ConvParams& p);
+
+/// Fully connected: out[n] = Σ_k in[k] · w[n][k] (row-major weights).
+std::vector<std::int64_t> fc_reference(
+    const std::vector<std::int32_t>& input,
+    const std::vector<std::int32_t>& weights, const FcParams& p);
+
+/// Max pooling on an integer tensor.
+Tensor maxpool_reference(const Tensor& input, const PoolParams& p);
+
+/// Average pooling (integer mean over the window's in-bounds elements,
+/// round half up).
+Tensor avgpool_reference(const Tensor& input, const PoolParams& p);
+
+/// Dispatches on p.kind.
+Tensor pool_reference(const Tensor& input, const PoolParams& p);
+
+/// One vanilla-RNN step on integer state (tanh replaced by a hard clamp to
+/// the activation bitwidth — standard for quantized recurrent inference):
+/// h' = clamp(Wx·x + Wh·h >> shift). Weights: [hidden][input+hidden].
+std::vector<std::int32_t> rnn_step_reference(
+    const std::vector<std::int32_t>& x, const std::vector<std::int32_t>& h,
+    const std::vector<std::int32_t>& weights, int hidden, int shift,
+    int out_bits);
+
+}  // namespace bpvec::dnn

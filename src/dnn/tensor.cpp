@@ -1,0 +1,37 @@
+#include "src/dnn/tensor.h"
+
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace bpvec::dnn {
+
+Tensor::Tensor(int channels, int height, int width)
+    : c_(channels), h_(height), w_(width) {
+  BPVEC_CHECK(channels >= 1 && height >= 1 && width >= 1);
+  data_.assign(static_cast<std::size_t>(size()), 0);
+}
+
+std::int32_t& Tensor::at(int c, int y, int x) {
+  BPVEC_CHECK(c >= 0 && c < c_ && y >= 0 && y < h_ && x >= 0 && x < w_);
+  return data_[(static_cast<std::size_t>(c) * h_ + y) * w_ + x];
+}
+
+std::int32_t Tensor::at(int c, int y, int x) const {
+  BPVEC_CHECK(c >= 0 && c < c_ && y >= 0 && y < h_ && x >= 0 && x < w_);
+  return data_[(static_cast<std::size_t>(c) * h_ + y) * w_ + x];
+}
+
+std::int32_t Tensor::at_padded(int c, int y, int x) const {
+  BPVEC_CHECK(c >= 0 && c < c_);
+  if (y < 0 || y >= h_ || x < 0 || x >= w_) return 0;
+  return at(c, y, x);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << c_ << "x" << h_ << "x" << w_;
+  return os.str();
+}
+
+}  // namespace bpvec::dnn

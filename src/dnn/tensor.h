@@ -1,0 +1,41 @@
+// Minimal integer tensor (CHW layout, batch 1) used by the functional
+// verification path: quantized reference operators and the CVU-backed GEMM
+// execution are checked against each other on these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpvec::dnn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// CHW tensor, zero-initialized.
+  Tensor(int channels, int height, int width);
+
+  int channels() const { return c_; }
+  int height() const { return h_; }
+  int width() const { return w_; }
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(c_) * h_ * w_;
+  }
+
+  std::int32_t& at(int c, int y, int x);
+  std::int32_t at(int c, int y, int x) const;
+
+  /// Value with zero padding outside bounds (used by convolution).
+  std::int32_t at_padded(int c, int y, int x) const;
+
+  std::vector<std::int32_t>& data() { return data_; }
+  const std::vector<std::int32_t>& data() const { return data_; }
+
+  std::string shape_string() const;
+
+ private:
+  int c_ = 0, h_ = 0, w_ = 0;
+  std::vector<std::int32_t> data_;
+};
+
+}  // namespace bpvec::dnn

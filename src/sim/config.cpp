@@ -1,0 +1,144 @@
+#include "src/sim/config.h"
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+
+namespace bpvec::sim {
+
+namespace {
+
+/// BitFusion pads operand bitwidths to the next power of two ≥ 2 (its
+/// bit-bricks fuse in power-of-two groups).
+int pad_pow2(int bits) {
+  BPVEC_CHECK(bits >= 1);
+  int p = 2;
+  while (p < bits) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* to_string(PeKind kind) {
+  switch (kind) {
+    case PeKind::kConventional: return "conventional";
+    case PeKind::kBitFusion: return "bitfusion";
+    case PeKind::kBpvec: return "bpvec";
+  }
+  return "?";
+}
+
+std::int64_t AcceleratorConfig::equivalent_macs() const {
+  switch (pe_kind) {
+    case PeKind::kConventional:
+    case PeKind::kBitFusion:
+      return num_pes();
+    case PeKind::kBpvec:
+      return static_cast<std::int64_t>(num_pes()) * cvu.lanes;
+  }
+  return 0;
+}
+
+double AcceleratorConfig::composability_boost(int x_bits, int w_bits) const {
+  BPVEC_CHECK(x_bits >= 1 && x_bits <= cvu.max_bits);
+  BPVEC_CHECK(w_bits >= 1 && w_bits <= cvu.max_bits);
+  switch (pe_kind) {
+    case PeKind::kConventional:
+      return 1.0;  // fixed bitwidth: no benefit below 8 bits
+    case PeKind::kBitFusion: {
+      const int px = pad_pow2(x_bits);
+      const int pw = pad_pow2(w_bits);
+      return (static_cast<double>(cvu.max_bits) / px) *
+             (static_cast<double>(cvu.max_bits) / pw);
+    }
+    case PeKind::kBpvec: {
+      const auto plan = bitslice::plan_composition(cvu, x_bits, w_bits);
+      return plan.speedup_vs_max_bitwidth();
+    }
+  }
+  return 1.0;
+}
+
+std::int64_t AcceleratorConfig::k_per_pe(int x_bits, int w_bits) const {
+  const double boost = composability_boost(x_bits, w_bits);
+  switch (pe_kind) {
+    case PeKind::kConventional:
+      return 1;
+    case PeKind::kBitFusion:
+      // A fusion unit composed below 8 bits performs `boost` MACs per
+      // cycle; mapped along the dot-product dimension.
+      return static_cast<std::int64_t>(boost);
+    case PeKind::kBpvec:
+      return static_cast<std::int64_t>(boost) * cvu.lanes;
+  }
+  return 1;
+}
+
+double AcceleratorConfig::pe_energy_per_cycle_pj(
+    const arch::CvuCostModel& cost) const {
+  switch (pe_kind) {
+    case PeKind::kConventional:
+      return cost.conventional_mac_energy_pj();
+    case PeKind::kBitFusion: {
+      bitslice::CvuGeometry fu = cvu;
+      fu.lanes = 1;  // a fusion unit is the L = 1 degenerate CVU
+      return cost.cvu_energy_per_cycle_pj(fu);
+    }
+    case PeKind::kBpvec:
+      return cost.cvu_energy_per_cycle_pj(cvu);
+  }
+  return 0.0;
+}
+
+double AcceleratorConfig::core_area_um2(const arch::CvuCostModel& cost) const {
+  switch (pe_kind) {
+    case PeKind::kConventional:
+      return num_pes() * cost.conventional_mac_area_um2();
+    case PeKind::kBitFusion: {
+      bitslice::CvuGeometry fu = cvu;
+      fu.lanes = 1;
+      return num_pes() * cost.cvu_area_um2(fu);
+    }
+    case PeKind::kBpvec:
+      return num_pes() * cost.cvu_area_um2(cvu);
+  }
+  return 0.0;
+}
+
+void AcceleratorConfig::validate() const {
+  BPVEC_CHECK(rows >= 1 && cols >= 1);
+  BPVEC_CHECK(scratchpad_bytes > 0);
+  BPVEC_CHECK(frequency_hz > 0);
+  BPVEC_CHECK(time_chunk >= 1);
+  BPVEC_CHECK(batch_size >= 1);
+  cvu.validate();
+}
+
+AcceleratorConfig tpu_like_baseline() {
+  AcceleratorConfig c;
+  c.name = "TPU-like";
+  c.pe_kind = PeKind::kConventional;
+  c.rows = 16;
+  c.cols = 32;  // 512 MACs (Table II)
+  return c;
+}
+
+AcceleratorConfig bitfusion_accelerator() {
+  AcceleratorConfig c;
+  c.name = "BitFusion";
+  c.pe_kind = PeKind::kBitFusion;
+  c.rows = 16;
+  c.cols = 28;  // 448 fusion units (Table II)
+  return c;
+}
+
+AcceleratorConfig bpvec_accelerator() {
+  AcceleratorConfig c;
+  c.name = "BPVeC";
+  c.pe_kind = PeKind::kBpvec;
+  c.rows = 8;
+  c.cols = 8;  // 64 CVUs × 16 lanes = 1024 MACs (Table II)
+  c.cvu = bitslice::CvuGeometry{2, 8, 16};
+  return c;
+}
+
+}  // namespace bpvec::sim

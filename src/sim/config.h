@@ -1,0 +1,86 @@
+// Accelerator platform configuration (paper Table II).
+//
+// All three ASIC platforms share the systolic organization, the 112 KB
+// scratchpad, 500 MHz, and the 250 mW core budget; they differ in the
+// processing element:
+//   TPU-like baseline — conventional 8-bit MACs (512 of them),
+//   BitFusion        — scalar spatially-composable fusion units (448),
+//   BPVeC            — CVUs: vector-composable NBVE collections
+//                       (64 CVUs × 16 lanes = 1024 MAC-equivalents).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/cvu_cost.h"
+#include "src/arch/dram.h"
+#include "src/arch/scratchpad.h"
+#include "src/bitslice/composition.h"
+
+namespace bpvec::sim {
+
+enum class PeKind {
+  kConventional,  // fixed-bitwidth MAC; no composability boost
+  kBitFusion,     // scalar spatial composability (per-operand boost)
+  kBpvec,         // bit-parallel vector composability (this paper)
+};
+
+const char* to_string(PeKind kind);
+
+struct AcceleratorConfig {
+  std::string name;
+  PeKind pe_kind = PeKind::kConventional;
+
+  int rows = 16;  // PEs along the dot-product (K) dimension
+  int cols = 32;  // PEs along the output-channel (N) dimension
+
+  /// CVU geometry (kBpvec); also prices a BitFusion fusion unit as the
+  /// L = 1 degenerate CVU (the paper's observation in §III-B).
+  bitslice::CvuGeometry cvu{2, 8, 16};
+
+  std::int64_t scratchpad_bytes = 112 * 1024;
+  double frequency_hz = 500e6;
+
+  /// Recurrent-layer time-batching bound (see dnn::GemmShape).
+  int time_chunk = 16;
+
+  /// Inference batch size for conv/FC layers (the paper evaluates
+  /// latency-style batch 1; raising this multiplies the GEMM M dimension
+  /// and amortizes weight traffic for throughput-mode studies).
+  int batch_size = 1;
+
+  /// Fixed core leakage/clock overhead charged per active cycle, mW.
+  double static_core_mw = 20.0;
+
+  // ----- Derived quantities -----
+
+  /// Number of PEs in the array.
+  int num_pes() const { return rows * cols; }
+
+  /// Max-bitwidth (8b×8b) MAC throughput of the array per cycle — the
+  /// "# of MACs" row of Table II.
+  std::int64_t equivalent_macs() const;
+
+  /// Composability boost at (x_bits, w_bits): how many bw×bw MACs one PE
+  /// completes per cycle relative to its max-bitwidth rate. 1 for the
+  /// conventional PE regardless of bitwidth.
+  double composability_boost(int x_bits, int w_bits) const;
+
+  /// Dot-product (K) elements one PE consumes per cycle at the given mode.
+  std::int64_t k_per_pe(int x_bits, int w_bits) const;
+
+  /// Dynamic energy one PE burns per active cycle (pJ).
+  double pe_energy_per_cycle_pj(const arch::CvuCostModel& cost) const;
+
+  /// Core area (µm²).
+  double core_area_um2(const arch::CvuCostModel& cost) const;
+
+  void validate() const;
+};
+
+/// Table II platform factories.
+AcceleratorConfig tpu_like_baseline();
+AcceleratorConfig bitfusion_accelerator();
+AcceleratorConfig bpvec_accelerator();
+
+}  // namespace bpvec::sim

@@ -1,0 +1,61 @@
+// Register-accurate systolic-array simulation.
+//
+// The analytical model in src/sim/systolic.h estimates cycle counts with a
+// closed-form tile formula. This module *executes* the array: explicit
+// input/weight/psum registers, skewed operand injection, one simulated
+// clock at a time — and produces both the exact GEMM results and the exact
+// cycle count. It exists to (a) validate the analytical model (tests assert
+// the closed form matches the simulated clock) and (b) give downstream
+// users a ground-truth reference when they modify the dataflow.
+//
+// Dataflow (TPU-style weight-stationary, matching §III-C):
+//   * PE(r, c) holds the weights for K-slice r of output column c; each PE
+//     consumes `k_per_pe` dot-product elements per cycle (1 for the
+//     conventional MAC, clusters·L for a composed CVU).
+//   * Input bundles enter at the left edge, skewed one cycle per row, and
+//     travel rightward one PE per cycle.
+//   * Partial sums travel down the column one PE per cycle and exit at the
+//     bottom, one output per column per cycle.
+//   * Weights for the next tile shift in on a shadow plane while the
+//     current tile streams (double buffering), so only one pipeline
+//     fill/drain is paid per GEMM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dnn/gemm_lowering.h"
+
+namespace bpvec::sim {
+
+struct CycleSimConfig {
+  int rows = 8;
+  int cols = 8;
+  std::int64_t k_per_pe = 16;  // elements per PE per cycle
+
+  void validate() const;
+};
+
+struct CycleSimResult {
+  std::vector<std::int64_t> out;  // [M × N], row-major
+  std::int64_t cycles = 0;        // simulated clock at last output
+  std::int64_t macs = 0;          // useful MACs performed
+  std::int64_t pe_active_cycles = 0;  // Σ over PEs of busy cycles
+};
+
+class SystolicArraySim {
+ public:
+  explicit SystolicArraySim(CycleSimConfig config);
+
+  const CycleSimConfig& config() const { return config_; }
+
+  /// Executes out[m][n] = Σ_k a[m][k]·b[n][k] on the simulated array,
+  /// tiling K across rows (k_per_pe elements per PE) and N across columns,
+  /// with psum accumulation across K passes.
+  CycleSimResult run_gemm(const dnn::Matrix& a, const dnn::Matrix& b) const;
+
+ private:
+  CycleSimConfig config_;
+};
+
+}  // namespace bpvec::sim

@@ -1,0 +1,41 @@
+#include "src/sim/energy.h"
+
+#include "src/common/error.h"
+
+namespace bpvec::sim {
+
+EnergyModel::EnergyModel(const AcceleratorConfig& config,
+                         const arch::DramModel& dram,
+                         const arch::CvuCostModel& cost)
+    : config_(config),
+      dram_(dram),
+      spad_(config.scratchpad_bytes),
+      pe_cycle_energy_pj_(config.pe_energy_per_cycle_pj(cost)) {}
+
+EnergyBreakdown EnergyModel::layer_energy(std::int64_t active_cycles,
+                                          double utilization,
+                                          std::int64_t total_cycles,
+                                          std::int64_t sram_bytes,
+                                          std::int64_t dram_bytes) const {
+  BPVEC_CHECK(active_cycles >= 0 && total_cycles >= 0);
+  BPVEC_CHECK(utilization >= 0.0 && utilization <= 1.0 + 1e-9);
+
+  EnergyBreakdown e;
+  // Dynamic PE energy: engaged lanes switch; idle lanes are clock-gated
+  // but still pay a 10% residual (clock network).
+  const double activity = 0.1 + 0.9 * utilization;
+  e.compute_pj = pe_cycle_energy_pj_ * config_.num_pes() *
+                 static_cast<double>(active_cycles) * activity;
+
+  e.sram_pj = spad_.energy_per_byte_pj() * static_cast<double>(sram_bytes);
+  e.dram_pj = dram_.transfer_energy_pj(dram_bytes);
+
+  const double static_mw = config_.static_core_mw + spad_.leakage_mw() +
+                           dram_.background_power_w * 1e3;
+  e.static_pj = static_mw * 1e-3 /* W */ *
+                (static_cast<double>(total_cycles) / config_.frequency_hz) *
+                1e12;
+  return e;
+}
+
+}  // namespace bpvec::sim

@@ -1,0 +1,52 @@
+// Energy accounting: E = compute + scratchpad + DRAM + static.
+#pragma once
+
+#include <cstdint>
+
+#include "src/arch/cvu_cost.h"
+#include "src/arch/dram.h"
+#include "src/arch/scratchpad.h"
+#include "src/sim/config.h"
+
+namespace bpvec::sim {
+
+struct EnergyBreakdown {
+  double compute_pj = 0.0;
+  double sram_pj = 0.0;
+  double dram_pj = 0.0;
+  double static_pj = 0.0;
+
+  double total_pj() const {
+    return compute_pj + sram_pj + dram_pj + static_pj;
+  }
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) {
+    compute_pj += o.compute_pj;
+    sram_pj += o.sram_pj;
+    dram_pj += o.dram_pj;
+    static_pj += o.static_pj;
+    return *this;
+  }
+};
+
+class EnergyModel {
+ public:
+  EnergyModel(const AcceleratorConfig& config, const arch::DramModel& dram,
+              const arch::CvuCostModel& cost);
+
+  /// Energy of one layer execution.
+  /// `active_cycles` — cycles the PE array is busy (charged PE dynamic
+  /// energy scaled by utilization); `total_cycles` — wall-clock cycles
+  /// (charged static power); `sram_bytes`/`dram_bytes` — traffic.
+  EnergyBreakdown layer_energy(std::int64_t active_cycles,
+                               double utilization, std::int64_t total_cycles,
+                               std::int64_t sram_bytes,
+                               std::int64_t dram_bytes) const;
+
+ private:
+  const AcceleratorConfig& config_;
+  arch::DramModel dram_;
+  arch::ScratchpadModel spad_;
+  double pe_cycle_energy_pj_;
+};
+
+}  // namespace bpvec::sim

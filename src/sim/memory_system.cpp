@@ -1,0 +1,72 @@
+#include "src/sim/memory_system.h"
+
+#include "src/common/error.h"
+#include <algorithm>
+
+#include "src/common/mathutil.h"
+
+namespace bpvec::sim {
+
+namespace {
+constexpr int kPsumBytesPerElement = 4;  // 32-bit partial accumulators
+}
+
+double TrafficEstimate::memory_cycles(const arch::DramModel& dram,
+                                      double frequency_hz) const {
+  return dram.transfer_cycles(dram_bytes(), frequency_hz);
+}
+
+TrafficEstimate estimate_traffic(const AcceleratorConfig& config,
+                                 const dnn::GemmShape& gemm, int x_bits,
+                                 int w_bits, int out_bits,
+                                 std::int64_t n_passes) {
+  config.validate();
+  BPVEC_CHECK(x_bits >= 1 && w_bits >= 1 && out_bits >= 1);
+  BPVEC_CHECK(n_passes >= 1);
+
+  TrafficEstimate t;
+  const std::int64_t w_total = ceil_div(gemm.n * gemm.k * w_bits, 8);
+  const std::int64_t i_total = ceil_div(gemm.m * gemm.k * x_bits, 8);
+  const std::int64_t o_total = ceil_div(gemm.m * gemm.n * out_bits, 8);
+
+  // Half the scratchpad buffers one stationary operand, half buffers the
+  // streaming side (double-buffered halves; this coarse split matches the
+  // BitFusion simulator's model).
+  const std::int64_t buf = config.scratchpad_bytes / 2;
+
+  t.weight_bytes = w_total;
+  t.input_bytes = i_total;
+  t.output_bytes = o_total;
+
+  if (i_total > buf && w_total > buf) {
+    // Neither side resident. The mapper picks the cheapest loop order:
+    //  (a) weight-stationary groups: re-stream inputs per resident weight
+    //      group — extra input traffic,
+    //  (b) input-stationary groups: re-stream weights per resident input
+    //      group — extra weight traffic,
+    //  (c) K-split: both stream once but partial sums spill to DRAM at
+    //      accumulator precision between K groups.
+    const std::int64_t extra_a = i_total * (ceil_div(w_total, buf) - 1);
+    const std::int64_t extra_b = w_total * (ceil_div(i_total, buf) - 1);
+    const std::int64_t kg = ceil_div(i_total, buf);
+    const std::int64_t extra_c =
+        2 * (kg - 1) * gemm.m * gemm.n * kPsumBytesPerElement;
+    const std::int64_t best = std::min({extra_a, extra_b, extra_c});
+    if (best == extra_c) {
+      t.k_groups = kg;
+      t.psum_bytes = extra_c;
+    } else if (best == extra_a) {
+      t.input_bytes += extra_a;
+    } else {
+      t.weight_bytes += extra_b;
+    }
+  }
+
+  // Scratchpad accesses: every DRAM byte passes through the scratchpad
+  // (write + read), inputs are re-read once per N pass (each output-column
+  // group consumes the whole input tile), outputs written once.
+  t.sram_bytes = 2 * t.dram_bytes() + i_total * n_passes + o_total;
+  return t;
+}
+
+}  // namespace bpvec::sim

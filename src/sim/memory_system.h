@@ -1,0 +1,56 @@
+// Off-chip traffic and scratchpad-access model with double buffering.
+//
+// Per GEMM repeat, the mapper picks the loop order that minimizes DRAM
+// traffic (weights N·K·w_bits, inputs M·K·x_bits, outputs M·N·out_bits):
+//
+//  * inputs fit their scratchpad half   — everything streams once
+//    (input-stationary; weights stream through).
+//  * weights fit their scratchpad half  — everything streams once
+//    (weight-stationary; inputs stream through).
+//  * neither fits                        — split the K dimension into
+//    groups whose input slice fits on-chip; weights still stream once
+//    (each K-slice of every output column), and the partial sums make
+//    (k_groups − 1) round trips through DRAM at accumulator precision.
+//
+// Recurrent layers set weights_streamed_per_repeat: the weight matrix
+// re-streams on every time chunk — the paper's "limited data reuse" that
+// starves RNNs under DDR4.
+#pragma once
+
+#include <cstdint>
+
+#include "src/arch/dram.h"
+#include "src/dnn/layer.h"
+#include "src/sim/config.h"
+
+namespace bpvec::sim {
+
+struct TrafficEstimate {
+  // Per single repeat:
+  std::int64_t weight_bytes = 0;
+  std::int64_t input_bytes = 0;
+  std::int64_t output_bytes = 0;
+  std::int64_t psum_bytes = 0;   // partial-sum spill round trips
+  std::int64_t k_groups = 1;     // K splits chosen by the mapper
+
+  // Scratchpad traffic per repeat (fills from DRAM + operand re-reads for
+  // each N pass + output writes).
+  std::int64_t sram_bytes = 0;
+
+  std::int64_t dram_bytes() const {
+    return weight_bytes + input_bytes + output_bytes + psum_bytes;
+  }
+
+  /// DRAM-limited cycles for one repeat.
+  double memory_cycles(const arch::DramModel& dram,
+                       double frequency_hz) const;
+};
+
+/// Traffic for one repeat of `gemm` (layer bitwidths given; outputs are
+/// written at activation precision `out_bits`).
+TrafficEstimate estimate_traffic(const AcceleratorConfig& config,
+                                 const dnn::GemmShape& gemm, int x_bits,
+                                 int w_bits, int out_bits,
+                                 std::int64_t n_passes);
+
+}  // namespace bpvec::sim

@@ -1,0 +1,69 @@
+#include "src/sim/report.h"
+
+#include <sstream>
+
+namespace bpvec::sim {
+
+Table layer_table(const RunResult& run, bool include_pools) {
+  Table t(run.network + " on " + run.platform + "/" + run.memory);
+  t.set_header({"Layer", "Bits", "MACs (M)", "Cycles (k)", "Util",
+                "DRAM (KB)", "Energy (uJ)", "Bound"});
+  for (const auto& l : run.layers) {
+    if (!include_pools && l.macs == 0) continue;
+    t.add_row({l.name,
+               std::to_string(l.x_bits) + "/" + std::to_string(l.w_bits),
+               Table::num(static_cast<double>(l.macs) / 1e6, 1),
+               Table::num(static_cast<double>(l.total_cycles) / 1e3, 1),
+               Table::num(l.utilization, 2),
+               Table::num(static_cast<double>(l.dram_bytes) / 1024.0, 0),
+               Table::num(l.energy.total_pj() / 1e6, 1),
+               l.macs == 0 ? "-" : (l.memory_bound ? "memory" : "compute")});
+  }
+  return t;
+}
+
+std::string summary_line(const RunResult& run) {
+  std::ostringstream os;
+  os << run.network << " on " << run.platform << "/" << run.memory << ": "
+     << Table::num(run.runtime_s * 1e3, 3) << " ms, "
+     << Table::num(run.energy_j * 1e3, 3) << " mJ, "
+     << Table::num(run.gops_per_s, 0) << " GOps/s, "
+     << Table::num(run.gops_per_w, 0) << " GOps/W";
+  return os.str();
+}
+
+Table comparison_table(const std::vector<RunResult>& runs) {
+  Table t(runs.empty() ? "comparison" : runs.front().network);
+  t.set_header({"Platform", "Memory", "Latency (ms)", "Energy (mJ)",
+                "GOps/s", "GOps/W"});
+  for (const auto& r : runs) {
+    t.add_row({r.platform, r.memory, Table::num(r.runtime_s * 1e3, 3),
+               Table::num(r.energy_j * 1e3, 3), Table::num(r.gops_per_s, 0),
+               Table::num(r.gops_per_w, 0)});
+  }
+  return t;
+}
+
+std::string to_csv(const RunResult& run) {
+  Table t;
+  t.set_header({"layer", "kind", "x_bits", "w_bits", "macs",
+                "compute_cycles", "memory_cycles", "total_cycles",
+                "utilization", "dram_bytes", "sram_bytes", "compute_pj",
+                "sram_pj", "dram_pj", "static_pj", "memory_bound"});
+  for (const auto& l : run.layers) {
+    t.add_row({l.name, dnn::to_string(l.kind), std::to_string(l.x_bits),
+               std::to_string(l.w_bits), std::to_string(l.macs),
+               std::to_string(l.compute_cycles),
+               std::to_string(l.memory_cycles),
+               std::to_string(l.total_cycles), Table::num(l.utilization, 4),
+               std::to_string(l.dram_bytes), std::to_string(l.sram_bytes),
+               Table::num(l.energy.compute_pj, 1),
+               Table::num(l.energy.sram_pj, 1),
+               Table::num(l.energy.dram_pj, 1),
+               Table::num(l.energy.static_pj, 1),
+               l.memory_bound ? "1" : "0"});
+  }
+  return t.to_csv();
+}
+
+}  // namespace bpvec::sim

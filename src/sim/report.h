@@ -1,0 +1,25 @@
+// Rendering of simulation results: per-layer tables, run summaries, and
+// CSV export for plotting — shared by the examples and bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/sim/simulator.h"
+
+namespace bpvec::sim {
+
+/// Per-layer table for one run (compute layers only by default).
+Table layer_table(const RunResult& run, bool include_pools = false);
+
+/// One-line run summary: platform/memory, latency, energy, throughput.
+std::string summary_line(const RunResult& run);
+
+/// Side-by-side comparison of several runs of the same network.
+Table comparison_table(const std::vector<RunResult>& runs);
+
+/// CSV of the per-layer results (all layers).
+std::string to_csv(const RunResult& run);
+
+}  // namespace bpvec::sim

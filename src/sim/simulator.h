@@ -1,0 +1,77 @@
+// End-to-end cycle-level simulator: runs a network on an accelerator
+// platform + memory system, producing per-layer and total cycles/energy.
+//
+// Per compute layer: lower to GEMM, estimate compute cycles and DRAM
+// traffic per repeat, overlap them (double buffering ⇒ the slower of the
+// two wins each repeat), sum across repeats, account energy. Pool layers
+// contribute output traffic only (they run on the on-chip vector unit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/cvu_cost.h"
+#include "src/arch/dram.h"
+#include "src/dnn/network.h"
+#include "src/sim/config.h"
+#include "src/sim/energy.h"
+#include "src/sim/memory_system.h"
+#include "src/sim/systolic.h"
+
+namespace bpvec::sim {
+
+struct LayerResult {
+  std::string name;
+  dnn::LayerKind kind = dnn::LayerKind::kConv;
+  int x_bits = 8, w_bits = 8;
+  std::int64_t macs = 0;
+  std::int64_t compute_cycles = 0;  // across all repeats
+  std::int64_t memory_cycles = 0;   // across all repeats
+  std::int64_t total_cycles = 0;    // max-overlapped, plus DRAM startup
+  double utilization = 0.0;
+  std::int64_t dram_bytes = 0;
+  std::int64_t sram_bytes = 0;
+  EnergyBreakdown energy;
+  bool memory_bound = false;
+};
+
+struct RunResult {
+  std::string platform;
+  std::string network;
+  std::string memory;
+  std::vector<LayerResult> layers;
+
+  std::int64_t total_cycles = 0;
+  std::int64_t total_macs = 0;
+  EnergyBreakdown energy;
+
+  double runtime_s = 0.0;
+  double energy_j = 0.0;
+  /// Average power (W) over the run, including DRAM access energy.
+  double average_power_w = 0.0;
+  /// Throughput in multiply-add GOps/s (2 ops per MAC, paper convention).
+  double gops_per_s = 0.0;
+  /// GOps per watt — the Fig. 9 metric.
+  double gops_per_w = 0.0;
+};
+
+class Simulator {
+ public:
+  Simulator(AcceleratorConfig config, arch::DramModel dram);
+
+  const AcceleratorConfig& config() const { return config_; }
+  const arch::DramModel& dram() const { return dram_; }
+
+  RunResult run(const dnn::Network& network) const;
+
+ private:
+  LayerResult run_layer(const dnn::Layer& layer) const;
+
+  AcceleratorConfig config_;
+  arch::DramModel dram_;
+  arch::CvuCostModel cost_;
+  EnergyModel energy_;
+};
+
+}  // namespace bpvec::sim

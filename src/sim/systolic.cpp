@@ -1,0 +1,38 @@
+#include "src/sim/systolic.h"
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+
+namespace bpvec::sim {
+
+ComputeEstimate estimate_compute(const AcceleratorConfig& config,
+                                 const dnn::GemmShape& gemm, int x_bits,
+                                 int w_bits) {
+  config.validate();
+  BPVEC_CHECK(gemm.m >= 1 && gemm.n >= 1 && gemm.k >= 1);
+
+  ComputeEstimate e;
+  const std::int64_t k_tile =
+      static_cast<std::int64_t>(config.rows) * config.k_per_pe(x_bits, w_bits);
+  e.k_passes = ceil_div(gemm.k, k_tile);
+  e.n_passes = ceil_div(gemm.n, config.cols);
+
+  // Each (K, N) tile streams M rows through the array; weight reloads are
+  // double-buffered behind compute, so fill/drain is paid once per repeat.
+  const std::int64_t fill_drain = config.rows + config.cols;
+  e.cycles = e.k_passes * e.n_passes * gemm.m + fill_drain;
+  e.macs = gemm.m * gemm.n * gemm.k;
+
+  // Peak MAC slots: each PE retires k_per_pe MACs (at these bitwidths)
+  // per cycle, one output column per PE column.
+  const double peak_macs_per_cycle =
+      static_cast<double>(config.num_pes()) *
+      static_cast<double>(config.k_per_pe(x_bits, w_bits));
+  e.utilization =
+      static_cast<double>(e.macs) /
+      (static_cast<double>(e.cycles) * peak_macs_per_cycle);
+  BPVEC_CHECK(e.utilization <= 1.0 + 1e-9);
+  return e;
+}
+
+}  // namespace bpvec::sim

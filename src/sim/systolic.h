@@ -1,0 +1,33 @@
+// Compute-cycle model of the 2D systolic array (paper §III-C).
+//
+// Mapping (shared by all three ASIC platforms, matching the TPU-like and
+// BitFusion organizations): the K (dot-product) dimension is spread across
+// the `rows` PEs of a column — each PE consuming k_per_pe(bitwidths)
+// elements per cycle — and the N (output-channel) dimension across `cols`.
+// The M dimension streams through the array; weights are double-buffered
+// inside the PEs so tile reloads overlap compute, leaving one pipeline
+// fill/drain per GEMM repeat.
+#pragma once
+
+#include <cstdint>
+
+#include "src/dnn/layer.h"
+#include "src/sim/config.h"
+
+namespace bpvec::sim {
+
+struct ComputeEstimate {
+  std::int64_t cycles = 0;          // per single GEMM repeat
+  std::int64_t macs = 0;            // useful MACs per repeat
+  std::int64_t k_passes = 0;        // tiles along K
+  std::int64_t n_passes = 0;        // tiles along N
+  double utilization = 0.0;         // useful MACs / peak MAC slots
+};
+
+/// Cycle estimate for one repeat of `gemm` on `config` at the given
+/// operand bitwidths.
+ComputeEstimate estimate_compute(const AcceleratorConfig& config,
+                                 const dnn::GemmShape& gemm, int x_bits,
+                                 int w_bits);
+
+}  // namespace bpvec::sim

@@ -1,0 +1,145 @@
+#include "src/bitslice/bit_slicing.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace bpvec::bitslice {
+namespace {
+
+TEST(NumSlices, CountsAndPadding) {
+  EXPECT_EQ(num_slices(8, 2), 4);
+  EXPECT_EQ(num_slices(8, 1), 8);
+  EXPECT_EQ(num_slices(8, 4), 2);
+  EXPECT_EQ(num_slices(3, 2), 2);  // padded
+  EXPECT_EQ(padded_bits(3, 2), 4);
+  EXPECT_EQ(padded_bits(8, 2), 8);
+}
+
+TEST(Fits, SignedRanges) {
+  EXPECT_TRUE(fits_signed(127, 8));
+  EXPECT_TRUE(fits_signed(-128, 8));
+  EXPECT_FALSE(fits_signed(128, 8));
+  EXPECT_FALSE(fits_signed(-129, 8));
+  EXPECT_TRUE(fits_signed(0, 1));
+  EXPECT_TRUE(fits_signed(-1, 1));
+  EXPECT_FALSE(fits_signed(1, 1));
+}
+
+TEST(Fits, UnsignedRanges) {
+  EXPECT_TRUE(fits_unsigned(255, 8));
+  EXPECT_FALSE(fits_unsigned(256, 8));
+  EXPECT_FALSE(fits_unsigned(-1, 8));
+}
+
+TEST(SliceSigned, KnownPattern) {
+  // -93 = 0b10100011 in 8-bit two's complement. 2-bit slices LSB-first:
+  // 11, 00, 10, 10(top, signed) = 3, 0, 2, -2.
+  const auto s = slice_signed(-93, 8, 2);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s[1], 0);
+  EXPECT_EQ(s[2], 2);
+  EXPECT_EQ(s[3], -2);
+  EXPECT_EQ(recompose(s, 2), -93);
+}
+
+TEST(SliceSigned, TopSliceCarriesSign) {
+  const auto s = slice_signed(-1, 8, 2);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(s[3], -1);  // sign-extended
+}
+
+TEST(SliceSigned, RejectsOutOfRange) {
+  EXPECT_THROW(slice_signed(128, 8, 2), Error);
+  EXPECT_THROW(slice_signed(-129, 8, 2), Error);
+}
+
+TEST(SliceUnsigned, KnownPattern) {
+  const auto s = slice_unsigned(0xA3, 8, 4);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], 0x3);
+  EXPECT_EQ(s[1], 0xA);  // zero-extended, not signed
+  EXPECT_EQ(recompose(s, 4), 0xA3);
+}
+
+TEST(SliceVector, LayoutIsSliceMajor) {
+  const auto sv = slice_vector_signed({1, -2, 3}, 4, 2);
+  EXPECT_EQ(sv.slices(), 2);
+  EXPECT_EQ(sv.length(), 3u);
+  EXPECT_EQ(sv.sub[0].size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(recompose_element(sv, i), std::vector<int>({1, -2, 3})[i]);
+  }
+}
+
+// ---- Property: slice → recompose is the identity over full sweeps ----
+
+class SliceRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SliceRoundTrip, SignedIdentityExhaustiveOrSampled) {
+  const auto [bits, alpha] = GetParam();
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  if (bits <= 10) {
+    for (std::int64_t v = lo; v <= hi; ++v) {
+      const auto s =
+          slice_signed(static_cast<std::int32_t>(v), bits, alpha);
+      EXPECT_EQ(static_cast<int>(s.size()), num_slices(bits, alpha));
+      EXPECT_EQ(recompose(s, alpha), v) << "bits=" << bits << " a=" << alpha;
+    }
+  } else {
+    Rng rng(static_cast<std::uint64_t>(bits * 131 + alpha));
+    for (int i = 0; i < 2000; ++i) {
+      const std::int32_t v = rng.signed_value(bits);
+      EXPECT_EQ(recompose(slice_signed(v, bits, alpha), alpha), v);
+    }
+  }
+}
+
+TEST_P(SliceRoundTrip, UnsignedIdentity) {
+  const auto [bits, alpha] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits * 977 + alpha));
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t v = rng.unsigned_value(bits);
+    EXPECT_EQ(recompose(slice_unsigned(v, bits, alpha), alpha),
+              static_cast<std::int64_t>(v));
+  }
+}
+
+TEST_P(SliceRoundTrip, SliceRangeInvariant) {
+  const auto [bits, alpha] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits * 31 + alpha));
+  const std::int32_t lo_top = -(std::int32_t{1} << (alpha - 1));
+  const std::int32_t hi_any = (std::int32_t{1} << alpha) - 1;
+  for (int i = 0; i < 500; ++i) {
+    const auto s = slice_signed(rng.signed_value(bits), bits, alpha);
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      if (j + 1 == s.size()) {
+        EXPECT_GE(s[j], lo_top);
+        EXPECT_LT(s[j], std::int32_t{1} << (alpha - 1));
+      } else {
+        EXPECT_GE(s[j], 0);
+        EXPECT_LE(s[j], hi_any);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsByAlpha, SliceRoundTrip,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16),
+                       ::testing::Values(1, 2, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "bits" + std::to_string(std::get<0>(info.param)) + "_alpha" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace bpvec::bitslice

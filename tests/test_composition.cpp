@@ -1,0 +1,122 @@
+#include "src/bitslice/composition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "src/common/error.h"
+
+namespace bpvec::bitslice {
+namespace {
+
+TEST(CvuGeometry, PaperDefaultCounts) {
+  const CvuGeometry g{2, 8, 16};
+  EXPECT_EQ(g.slices_per_operand(), 4);
+  EXPECT_EQ(g.num_nbves(), 16);
+  EXPECT_EQ(g.num_multipliers(), 256);
+}
+
+TEST(CvuGeometry, OneBitSlicing) {
+  const CvuGeometry g{1, 8, 16};
+  EXPECT_EQ(g.num_nbves(), 64);  // paper §III-B: 64 NBVEs for 1-bit
+}
+
+TEST(CvuGeometry, ValidationRejectsBadShapes) {
+  EXPECT_THROW((CvuGeometry{0, 8, 16}.validate()), Error);
+  EXPECT_THROW((CvuGeometry{3, 8, 16}.validate()), Error);  // 8 % 3 != 0
+  EXPECT_THROW((CvuGeometry{2, 1, 16}.validate()), Error);
+  EXPECT_THROW((CvuGeometry{2, 8, 0}.validate()), Error);
+}
+
+TEST(PlanComposition, Homogeneous8Bit) {
+  const auto plan = plan_composition({2, 8, 16}, 8, 8);
+  EXPECT_EQ(plan.pairs, 16);
+  EXPECT_EQ(plan.clusters, 1);
+  EXPECT_EQ(plan.elements_per_cycle(), 16);
+  EXPECT_DOUBLE_EQ(plan.utilization(), 1.0);
+  EXPECT_EQ(plan.assignments.size(), 16u);
+}
+
+TEST(PlanComposition, Heterogeneous8x2) {
+  // Paper Fig. 3c: 8-bit × 2-bit → four clusters of four NBVEs.
+  const auto plan = plan_composition({2, 8, 16}, 8, 2);
+  EXPECT_EQ(plan.x_slices, 4);
+  EXPECT_EQ(plan.w_slices, 1);
+  EXPECT_EQ(plan.pairs, 4);
+  EXPECT_EQ(plan.clusters, 4);
+  EXPECT_EQ(plan.elements_per_cycle(), 64);
+  EXPECT_DOUBLE_EQ(plan.speedup_vs_max_bitwidth(), 4.0);
+}
+
+TEST(PlanComposition, TwoByTwoGives16x) {
+  // Paper §III-A: 2-bit × 2-bit → 16 independent NBVEs, 16× throughput.
+  const auto plan = plan_composition({2, 8, 16}, 2, 2);
+  EXPECT_EQ(plan.clusters, 16);
+  EXPECT_DOUBLE_EQ(plan.speedup_vs_max_bitwidth(), 16.0);
+}
+
+TEST(PlanComposition, OddBitwidthsArePadded) {
+  const auto plan = plan_composition({2, 8, 16}, 3, 5);
+  EXPECT_EQ(plan.x_slices, 2);
+  EXPECT_EQ(plan.w_slices, 3);
+  EXPECT_EQ(plan.pairs, 6);
+  EXPECT_EQ(plan.clusters, 2);           // 16 / 6
+  EXPECT_LT(plan.utilization(), 1.0);    // 12 of 16 NBVEs used
+  EXPECT_DOUBLE_EQ(plan.utilization(), 12.0 / 16.0);
+}
+
+TEST(PlanComposition, RejectsOverwideOperands) {
+  EXPECT_THROW(plan_composition({2, 8, 16}, 9, 8), Error);
+  EXPECT_THROW(plan_composition({2, 8, 16}, 8, 0), Error);
+}
+
+TEST(PlanComposition, ShiftsMatchSignificancePositions) {
+  const auto plan = plan_composition({2, 8, 16}, 4, 4);
+  for (const auto& a : plan.assignments) {
+    EXPECT_EQ(a.shift, 2 * (a.x_slice + a.w_slice));
+    EXPECT_LT(a.x_slice, plan.x_slices);
+    EXPECT_LT(a.w_slice, plan.w_slices);
+  }
+}
+
+// ---- Properties over all supported bitwidth pairs ----
+
+class PlanProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PlanProperty, ResourceConservationAndCoverage) {
+  const auto [alpha, xb, wb] = GetParam();
+  const CvuGeometry g{alpha, 8, 16};
+  const auto plan = plan_composition(g, xb, wb);
+
+  // Engines used never exceed what exists, and each is used at most once.
+  EXPECT_LE(plan.clusters * plan.pairs, g.num_nbves());
+  std::set<int> used;
+  for (const auto& a : plan.assignments) {
+    EXPECT_TRUE(used.insert(a.nbve_index).second)
+        << "NBVE assigned twice: " << a.nbve_index;
+  }
+
+  // Every cluster covers every (x_slice, w_slice) pair exactly once.
+  std::set<std::tuple<int, int, int>> pairs;
+  for (const auto& a : plan.assignments) {
+    EXPECT_TRUE(
+        pairs.insert({a.cluster, a.x_slice, a.w_slice}).second);
+  }
+  EXPECT_EQ(static_cast<int>(pairs.size()), plan.clusters * plan.pairs);
+
+  // Throughput boost equals cluster count and never exceeds the
+  // theoretical (B/α)²-way boost.
+  EXPECT_DOUBLE_EQ(plan.speedup_vs_max_bitwidth(), plan.clusters);
+  EXPECT_LE(plan.clusters, g.num_nbves());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, PlanProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8)));
+
+}  // namespace
+}  // namespace bpvec::bitslice

@@ -1,0 +1,129 @@
+// Platform configuration tests against Table II.
+#include "src/sim/config.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/error.h"
+
+namespace bpvec::sim {
+namespace {
+
+TEST(TableTwo, BaselineHas512Macs) {
+  const auto c = tpu_like_baseline();
+  EXPECT_EQ(c.equivalent_macs(), 512);
+  EXPECT_EQ(c.pe_kind, PeKind::kConventional);
+  EXPECT_EQ(c.scratchpad_bytes, 112 * 1024);
+  EXPECT_DOUBLE_EQ(c.frequency_hz, 500e6);
+}
+
+TEST(TableTwo, BitFusionHas448Units) {
+  const auto c = bitfusion_accelerator();
+  EXPECT_EQ(c.equivalent_macs(), 448);
+  EXPECT_EQ(c.pe_kind, PeKind::kBitFusion);
+}
+
+TEST(TableTwo, BpvecHas1024MacEquivalents) {
+  const auto c = bpvec_accelerator();
+  EXPECT_EQ(c.equivalent_macs(), 1024);
+  EXPECT_EQ(c.num_pes(), 64);  // 64 CVUs × 16 lanes
+  EXPECT_EQ(c.cvu.slice_bits, 2);
+  EXPECT_EQ(c.cvu.lanes, 16);
+}
+
+TEST(TableTwo, CorePowersStayNearBudget) {
+  // All three platforms are sized against the same 250 mW core budget.
+  const arch::CvuCostModel cost;
+  for (const auto& c : {tpu_like_baseline(), bitfusion_accelerator(),
+                        bpvec_accelerator()}) {
+    const double power_mw =
+        c.pe_energy_per_cycle_pj(cost) * c.num_pes() * c.frequency_hz * 1e-9;
+    EXPECT_GT(power_mw, 120.0) << c.name;
+    EXPECT_LT(power_mw, 300.0) << c.name;
+  }
+}
+
+TEST(Boost, ConventionalNeverBoosts) {
+  const auto c = tpu_like_baseline();
+  for (int xb : {2, 4, 8}) {
+    for (int wb : {2, 4, 8}) {
+      EXPECT_DOUBLE_EQ(c.composability_boost(xb, wb), 1.0);
+      EXPECT_EQ(c.k_per_pe(xb, wb), 1);
+    }
+  }
+}
+
+TEST(Boost, BitFusionPadsToPowersOfTwo) {
+  const auto c = bitfusion_accelerator();
+  EXPECT_DOUBLE_EQ(c.composability_boost(8, 8), 1.0);
+  EXPECT_DOUBLE_EQ(c.composability_boost(4, 4), 4.0);
+  EXPECT_DOUBLE_EQ(c.composability_boost(8, 2), 4.0);
+  EXPECT_DOUBLE_EQ(c.composability_boost(2, 2), 16.0);
+  EXPECT_DOUBLE_EQ(c.composability_boost(3, 3), 4.0);  // padded to 4
+}
+
+TEST(Boost, BpvecFollowsCompositionPlan) {
+  const auto c = bpvec_accelerator();
+  EXPECT_DOUBLE_EQ(c.composability_boost(8, 8), 1.0);
+  EXPECT_DOUBLE_EQ(c.composability_boost(4, 4), 4.0);
+  EXPECT_DOUBLE_EQ(c.composability_boost(8, 2), 4.0);
+  EXPECT_DOUBLE_EQ(c.composability_boost(2, 2), 16.0);
+  // 6-bit: 3×3 slice pairs = 9 NBVEs → 1 cluster only (16/9).
+  EXPECT_DOUBLE_EQ(c.composability_boost(6, 6), 1.0);
+}
+
+TEST(Boost, KPerPeIncludesVectorLanes) {
+  const auto c = bpvec_accelerator();
+  EXPECT_EQ(c.k_per_pe(8, 8), 16);
+  EXPECT_EQ(c.k_per_pe(4, 4), 64);
+  EXPECT_EQ(c.k_per_pe(2, 2), 256);
+  const auto bf = bitfusion_accelerator();
+  EXPECT_EQ(bf.k_per_pe(8, 8), 1);
+  EXPECT_EQ(bf.k_per_pe(4, 4), 4);
+}
+
+TEST(Config, ValidationCatchesBadShapes) {
+  auto c = bpvec_accelerator();
+  c.rows = 0;
+  EXPECT_THROW(c.validate(), Error);
+  c = bpvec_accelerator();
+  c.cvu.slice_bits = 3;
+  EXPECT_THROW(c.validate(), Error);
+  c = bpvec_accelerator();
+  c.time_chunk = 0;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(Config, BoostRejectsOverwideBitwidths) {
+  const auto c = bpvec_accelerator();
+  EXPECT_THROW(c.composability_boost(9, 8), Error);
+  EXPECT_THROW(c.composability_boost(8, 0), Error);
+}
+
+class BoostSymmetry
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BoostSymmetry, BoostIsSymmetricInOperands) {
+  const auto [xb, wb] = GetParam();
+  for (const auto& c : {bitfusion_accelerator(), bpvec_accelerator()}) {
+    EXPECT_DOUBLE_EQ(c.composability_boost(xb, wb),
+                     c.composability_boost(wb, xb))
+        << c.name << " xb=" << xb << " wb=" << wb;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, BoostSymmetry,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5,
+                                                              6, 7, 8),
+                                            ::testing::Values(1, 2, 3, 4, 5,
+                                                              6, 7, 8)));
+
+TEST(PeKindNames, Strings) {
+  EXPECT_STREQ(to_string(PeKind::kConventional), "conventional");
+  EXPECT_STREQ(to_string(PeKind::kBitFusion), "bitfusion");
+  EXPECT_STREQ(to_string(PeKind::kBpvec), "bpvec");
+}
+
+}  // namespace
+}  // namespace bpvec::sim

@@ -1,0 +1,146 @@
+#include "src/bitslice/cvu.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+#include "src/common/rng.h"
+
+namespace bpvec::bitslice {
+namespace {
+
+std::int64_t reference_dot(const std::vector<std::int32_t>& x,
+                           const std::vector<std::int32_t>& w) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<std::int64_t>(x[i]) * w[i];
+  }
+  return acc;
+}
+
+TEST(Cvu, PaperExampleFigure2a) {
+  // Fig. 2a: two vectors of two 4-bit elements, 2-bit slicing.
+  Cvu cvu({2, 4, 2});
+  const std::vector<std::int32_t> x{5, -3}, w{7, 6};
+  const auto r = cvu.dot_product(x, w, 4, 4);
+  EXPECT_EQ(r.value, 35 - 18);
+  EXPECT_EQ(r.cycles, 1);
+}
+
+TEST(Cvu, EmptyVectorsAreZeroWork) {
+  Cvu cvu({2, 8, 16});
+  const auto r = cvu.dot_product({}, {}, 8, 8);
+  EXPECT_EQ(r.value, 0);
+  EXPECT_EQ(r.cycles, 0);
+  EXPECT_EQ(r.mult_ops, 0);
+}
+
+TEST(Cvu, RejectsLengthMismatch) {
+  Cvu cvu({2, 8, 16});
+  EXPECT_THROW(cvu.dot_product({1, 2}, {1}, 8, 8), Error);
+}
+
+TEST(Cvu, CycleCountFollowsCompositionBoost) {
+  Cvu cvu({2, 8, 16});
+  Rng rng(3);
+  const auto x8 = rng.signed_vector(256, 8);
+  const auto w8 = rng.signed_vector(256, 8);
+  // Homogeneous 8-bit: 16 elements per cycle → 16 cycles for 256.
+  EXPECT_EQ(cvu.dot_product(x8, w8, 8, 8).cycles, 16);
+
+  const auto x4 = rng.signed_vector(256, 4);
+  const auto w4 = rng.signed_vector(256, 4);
+  // 4-bit: 4 clusters → 64 elements per cycle → 4 cycles.
+  EXPECT_EQ(cvu.dot_product(x4, w4, 4, 4).cycles, 4);
+
+  const auto w2 = rng.signed_vector(256, 2);
+  // 8-bit × 2-bit (Fig. 3c): 4 clusters.
+  EXPECT_EQ(cvu.dot_product(x8, w2, 8, 2).cycles, 4);
+
+  const auto x2 = rng.signed_vector(256, 2);
+  // 2×2: all 16 NBVEs independent → 1 cycle for 256 elements.
+  EXPECT_EQ(cvu.dot_product(x2, w2, 2, 2).cycles, 1);
+}
+
+TEST(Cvu, UnsignedOperandsSupported) {
+  Cvu cvu({2, 8, 16});
+  Rng rng(17);
+  std::vector<std::int32_t> x, w;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(static_cast<std::int32_t>(rng.unsigned_value(8)));
+    w.push_back(rng.signed_value(8));
+  }
+  const auto r = cvu.dot_product(x, w, 8, 8, /*x_signed=*/false,
+                                 /*w_signed=*/true);
+  EXPECT_EQ(r.value, reference_dot(x, w));
+}
+
+TEST(Cvu, MaxMagnitudeOperandsExact) {
+  Cvu cvu({2, 8, 16});
+  const std::vector<std::int32_t> x(1000, -128), w(1000, -128);
+  EXPECT_EQ(cvu.dot_product(x, w, 8, 8).value, 1000LL * 16384);
+  const std::vector<std::int32_t> y(1000, -128), v(1000, 127);
+  EXPECT_EQ(cvu.dot_product(y, v, 8, 8).value, 1000LL * -16256);
+}
+
+// ---- The central property of the paper: bit-parallel vector
+// composability computes *exact* dot products for every bitwidth mode,
+// vector length, slice width, and lane count. ----
+
+struct CvuCase {
+  int alpha, lanes, x_bits, w_bits;
+};
+
+class CvuExactness : public ::testing::TestWithParam<CvuCase> {};
+
+TEST_P(CvuExactness, MatchesInt64Reference) {
+  const auto p = GetParam();
+  Cvu cvu({p.alpha, 8, p.lanes});
+  Rng rng(static_cast<std::uint64_t>(p.alpha * 7919 + p.lanes * 131 +
+                                     p.x_bits * 17 + p.w_bits));
+  for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{16},
+                        std::size_t{63}, std::size_t{64}, std::size_t{200}}) {
+    const auto x = rng.signed_vector(n, p.x_bits);
+    const auto w = rng.signed_vector(n, p.w_bits);
+    const auto r = cvu.dot_product(x, w, p.x_bits, p.w_bits);
+    EXPECT_EQ(r.value, reference_dot(x, w))
+        << "alpha=" << p.alpha << " L=" << p.lanes << " xb=" << p.x_bits
+        << " wb=" << p.w_bits << " n=" << n;
+
+    // Cycle accounting: ceil(n / elements_per_cycle).
+    const auto plan = cvu.plan_for(p.x_bits, p.w_bits);
+    EXPECT_EQ(r.cycles,
+              ceil_div(static_cast<std::int64_t>(n),
+                       plan.elements_per_cycle()));
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0);
+  }
+}
+
+std::vector<CvuCase> exactness_cases() {
+  std::vector<CvuCase> cases;
+  for (int alpha : {1, 2, 4}) {
+    for (int lanes : {1, 2, 4, 16}) {
+      for (int xb : {1, 2, 3, 4, 5, 8}) {
+        for (int wb : {1, 2, 4, 7, 8}) {
+          cases.push_back({alpha, lanes, xb, wb});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullSweep, CvuExactness, ::testing::ValuesIn(exactness_cases()),
+    [](const ::testing::TestParamInfo<CvuCase>& info) {
+      const auto& p = info.param;
+      return "a" + std::to_string(p.alpha) + "_L" + std::to_string(p.lanes) +
+             "_x" + std::to_string(p.x_bits) + "_w" +
+             std::to_string(p.w_bits);
+    });
+
+}  // namespace
+}  // namespace bpvec::bitslice

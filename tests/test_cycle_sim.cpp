@@ -1,0 +1,136 @@
+// The register-accurate array must (a) compute exact GEMMs and (b) agree
+// with the analytical cycle model of src/sim/systolic.h.
+#include "src/sim/cycle_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/dnn/gemm_lowering.h"
+#include "src/sim/systolic.h"
+
+namespace bpvec::sim {
+namespace {
+
+dnn::Matrix random_matrix(Rng& rng, std::int64_t rows, std::int64_t cols,
+                          int bits) {
+  dnn::Matrix m{rows, cols, {}};
+  m.data = rng.signed_vector(static_cast<std::size_t>(rows * cols), bits);
+  return m;
+}
+
+TEST(CycleSim, SinglePeSingleElement) {
+  SystolicArraySim sim({1, 1, 1});
+  dnn::Matrix a{1, 1, {3}};
+  dnn::Matrix b{1, 1, {-4}};
+  const auto r = sim.run_gemm(a, b);
+  EXPECT_EQ(r.out[0], -12);
+  EXPECT_EQ(r.macs, 1);
+}
+
+TEST(CycleSim, KnownSmallGemm) {
+  SystolicArraySim sim({2, 2, 1});
+  dnn::Matrix a{2, 2, {1, 2, 3, 4}};
+  dnn::Matrix b{2, 2, {5, 6, 7, 8}};
+  const auto r = sim.run_gemm(a, b);
+  EXPECT_EQ(r.out, dnn::gemm_reference(a, b));
+}
+
+TEST(CycleSim, RejectsMismatchedInnerDims) {
+  SystolicArraySim sim({2, 2, 1});
+  dnn::Matrix a{1, 3, {1, 2, 3}};
+  dnn::Matrix b{1, 2, {1, 2}};
+  EXPECT_THROW(sim.run_gemm(a, b), Error);
+}
+
+TEST(CycleSim, PipelineLatencyMatchesSkewFormula) {
+  // One tile, perfectly fitting: last output of column (cols-1) for row
+  // M-1 emerges after M + rows + cols - 2 cycles (±1 for edge conventions).
+  const int rows = 4, cols = 4;
+  SystolicArraySim sim({rows, cols, 2});
+  Rng rng(3);
+  const auto a = random_matrix(rng, 10, rows * 2, 8);
+  const auto b = random_matrix(rng, cols, rows * 2, 8);
+  const auto r = sim.run_gemm(a, b);
+  EXPECT_EQ(r.out, dnn::gemm_reference(a, b));
+  EXPECT_NEAR(static_cast<double>(r.cycles),
+              static_cast<double>(10 + rows + cols), 2.0);
+}
+
+TEST(CycleSim, ActiveCyclesMatchWork) {
+  // Every PE visit with a valid input counts one active cycle; with a
+  // perfectly fitting tile that is rows·cols·M.
+  const int rows = 3, cols = 5;
+  SystolicArraySim sim({rows, cols, 4});
+  Rng rng(7);
+  const auto a = random_matrix(rng, 8, rows * 4, 8);
+  const auto b = random_matrix(rng, cols, rows * 4, 8);
+  const auto r = sim.run_gemm(a, b);
+  EXPECT_EQ(r.pe_active_cycles, static_cast<std::int64_t>(rows) * cols * 8);
+  EXPECT_EQ(r.macs, 8LL * cols * rows * 4);
+}
+
+struct CycleCase {
+  int rows, cols;
+  std::int64_t kpp;
+  std::int64_t m, n, k;
+};
+
+class CycleSimProperty : public ::testing::TestWithParam<CycleCase> {};
+
+TEST_P(CycleSimProperty, ExactAcrossTilings) {
+  const auto p = GetParam();
+  SystolicArraySim sim({p.rows, p.cols, p.kpp});
+  Rng rng(static_cast<std::uint64_t>(p.rows * 131 + p.cols * 17 + p.k));
+  const auto a = random_matrix(rng, p.m, p.k, 8);
+  const auto b = random_matrix(rng, p.n, p.k, 8);
+  const auto r = sim.run_gemm(a, b);
+  EXPECT_EQ(r.out, dnn::gemm_reference(a, b))
+      << "rows=" << p.rows << " cols=" << p.cols << " kpp=" << p.kpp
+      << " MNK=" << p.m << "," << p.n << "," << p.k;
+  EXPECT_EQ(r.macs, p.m * p.n * p.k);
+}
+
+TEST_P(CycleSimProperty, AgreesWithAnalyticalModelWithinFivePercent) {
+  const auto p = GetParam();
+  SystolicArraySim sim({p.rows, p.cols, p.kpp});
+  Rng rng(99);
+  const auto a = random_matrix(rng, p.m, p.k, 8);
+  const auto b = random_matrix(rng, p.n, p.k, 8);
+  const auto measured = sim.run_gemm(a, b);
+
+  AcceleratorConfig cfg = bpvec_accelerator();
+  cfg.rows = p.rows;
+  cfg.cols = p.cols;
+  cfg.cvu.lanes = static_cast<int>(p.kpp);  // 8-bit mode: k_per_pe = lanes
+  dnn::GemmShape g;
+  g.m = p.m;
+  g.n = p.n;
+  g.k = p.k;
+  const auto analytical = estimate_compute(cfg, g, 8, 8);
+
+  // Agreement within 5% or one pipeline skew (whichever is larger — tiny
+  // arrays differ by edge conventions of the fill/drain constant).
+  const double diff =
+      std::abs(static_cast<double>(measured.cycles) -
+               static_cast<double>(analytical.cycles));
+  const double bound = std::max(0.05 * static_cast<double>(analytical.cycles),
+                                static_cast<double>(p.rows + p.cols));
+  EXPECT_LE(diff, bound) << "measured " << measured.cycles
+                         << " vs analytical " << analytical.cycles;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CycleSimProperty,
+    ::testing::Values(CycleCase{2, 2, 1, 5, 3, 7},     // ragged everything
+                      CycleCase{4, 4, 2, 16, 8, 16},   // exact fit
+                      CycleCase{4, 4, 2, 16, 9, 17},   // ragged K and N
+                      CycleCase{8, 8, 16, 32, 16, 256},  // BPVeC-like
+                      CycleCase{3, 5, 4, 20, 11, 30},  // odd geometry
+                      CycleCase{1, 8, 2, 12, 20, 9},   // single row
+                      CycleCase{8, 1, 2, 12, 1, 64})); // single column
+
+}  // namespace
+}  // namespace bpvec::sim

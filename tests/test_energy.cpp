@@ -1,0 +1,107 @@
+#include "src/sim/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace bpvec::sim {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+ protected:
+  AcceleratorConfig config_ = bpvec_accelerator();
+  arch::DramModel ddr4_ = arch::ddr4();
+  arch::CvuCostModel cost_;
+};
+
+TEST_F(EnergyTest, AllComponentsNonNegative) {
+  EnergyModel m(config_, ddr4_, cost_);
+  const auto e = m.layer_energy(1000, 0.5, 2000, 1 << 20, 1 << 20);
+  EXPECT_GE(e.compute_pj, 0.0);
+  EXPECT_GE(e.sram_pj, 0.0);
+  EXPECT_GE(e.dram_pj, 0.0);
+  EXPECT_GT(e.static_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_pj(),
+                   e.compute_pj + e.sram_pj + e.dram_pj + e.static_pj);
+}
+
+TEST_F(EnergyTest, ZeroWorkCostsOnlyStatic) {
+  EnergyModel m(config_, ddr4_, cost_);
+  const auto e = m.layer_energy(0, 0.0, 100, 0, 0);
+  EXPECT_DOUBLE_EQ(e.compute_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.sram_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.dram_pj, 0.0);
+  EXPECT_GT(e.static_pj, 0.0);
+}
+
+TEST_F(EnergyTest, ComputeScalesWithUtilization) {
+  EnergyModel m(config_, ddr4_, cost_);
+  const auto lo = m.layer_energy(1000, 0.1, 1000, 0, 0);
+  const auto hi = m.layer_energy(1000, 1.0, 1000, 0, 0);
+  EXPECT_GT(hi.compute_pj, lo.compute_pj);
+  // Idle clocking keeps a floor: low utilization is not free.
+  EXPECT_GT(lo.compute_pj, 0.1 * hi.compute_pj);
+}
+
+TEST_F(EnergyTest, DramEnergyMatchesModel) {
+  EnergyModel m(config_, ddr4_, cost_);
+  const std::int64_t bytes = 1'000'000;
+  const auto e = m.layer_energy(0, 0.0, 1, 0, bytes);
+  EXPECT_DOUBLE_EQ(e.dram_pj, ddr4_.transfer_energy_pj(bytes));
+}
+
+TEST_F(EnergyTest, StaticIncludesDramBackground) {
+  arch::DramModel no_bg = ddr4_;
+  no_bg.background_power_w = 0.0;
+  EnergyModel with_bg(config_, ddr4_, cost_);
+  EnergyModel without_bg(config_, no_bg, cost_);
+  const std::int64_t cycles = 500'000'000;  // 1 s at 500 MHz
+  const double delta = with_bg.layer_energy(0, 0, cycles, 0, 0).static_pj -
+                       without_bg.layer_energy(0, 0, cycles, 0, 0).static_pj;
+  // 0.75 W for 1 s = 0.75 J = 0.75e12 pJ.
+  EXPECT_NEAR(delta, 0.75e12, 1e9);
+}
+
+TEST_F(EnergyTest, MonotoneInEveryInput) {
+  EnergyModel m(config_, ddr4_, cost_);
+  const auto base = m.layer_energy(1000, 0.5, 2000, 1000, 1000);
+  EXPECT_GT(m.layer_energy(2000, 0.5, 2000, 1000, 1000).total_pj(),
+            base.total_pj());
+  EXPECT_GT(m.layer_energy(1000, 0.5, 4000, 1000, 1000).total_pj(),
+            base.total_pj());
+  EXPECT_GT(m.layer_energy(1000, 0.5, 2000, 9000, 1000).total_pj(),
+            base.total_pj());
+  EXPECT_GT(m.layer_energy(1000, 0.5, 2000, 1000, 9000).total_pj(),
+            base.total_pj());
+}
+
+TEST_F(EnergyTest, RejectsNegativeInputs) {
+  EnergyModel m(config_, ddr4_, cost_);
+  EXPECT_THROW(m.layer_energy(-1, 0.5, 0, 0, 0), Error);
+  EXPECT_THROW(m.layer_energy(0, 1.5, 0, 0, 0), Error);
+}
+
+TEST_F(EnergyTest, BreakdownAccumulates) {
+  EnergyBreakdown a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.compute_pj, 11);
+  EXPECT_DOUBLE_EQ(a.sram_pj, 22);
+  EXPECT_DOUBLE_EQ(a.dram_pj, 33);
+  EXPECT_DOUBLE_EQ(a.static_pj, 44);
+}
+
+TEST_F(EnergyTest, BpvecComputeBeatsBaselinePerMac) {
+  // At equal MAC throughput the CVU array burns less compute energy than
+  // the conventional array — the Fig. 4 result carried into the simulator.
+  const auto baseline = tpu_like_baseline();
+  EnergyModel mb(baseline, ddr4_, cost_);
+  EnergyModel mv(config_, ddr4_, cost_);
+  // Same MAC count: baseline 512 MACs/cycle for N cycles == BPVeC 1024
+  // MACs/cycle for N/2 cycles.
+  const auto eb = mb.layer_energy(1000, 1.0, 1000, 0, 0);
+  const auto ev = mv.layer_energy(500, 1.0, 500, 0, 0);
+  EXPECT_LT(ev.compute_pj, eb.compute_pj);
+}
+
+}  // namespace
+}  // namespace bpvec::sim

@@ -1,0 +1,96 @@
+#include "src/baselines/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/model_zoo.h"
+
+namespace bpvec::baselines {
+namespace {
+
+TEST(GpuSpec, PeakRates) {
+  const GpuSpec s;
+  // 544 cores × 64 MACs × 1.545 GHz ≈ 53.8 T MACs/s INT8.
+  EXPECT_NEAR(s.peak_macs_per_s(8), 544 * 64 * 1.545e9, 1e6);
+  // INT4 doubles the rate (Turing).
+  EXPECT_DOUBLE_EQ(s.peak_macs_per_s(4), 2.0 * s.peak_macs_per_s(8));
+  EXPECT_DOUBLE_EQ(s.peak_macs_per_s(2), s.peak_macs_per_s(4));
+}
+
+TEST(GpuModel, ConvLayersComputeScaled) {
+  GpuModel gpu;
+  const auto conv = dnn::make_conv("c", {64, 56, 56, 64, 3, 3, 1, 1});
+  const auto t = gpu.layer_time(conv);
+  EXPECT_GT(t.seconds, gpu.spec().kernel_overhead_us * 1e-6);
+  EXPECT_FALSE(t.bandwidth_bound);
+}
+
+TEST(GpuModel, FcLayersBandwidthBound) {
+  GpuModel gpu;
+  const auto fc = dnn::make_fc("fc", {9216, 4096});
+  const auto t = gpu.layer_time(fc);
+  EXPECT_TRUE(t.bandwidth_bound);
+  // Time at least the weight-streaming bound.
+  const double bw = gpu.spec().memory_bandwidth_gbps * 1e9 *
+                    gpu.spec().gemv_bandwidth_fraction;
+  EXPECT_GE(t.seconds, 9216.0 * 4096 / bw);
+}
+
+TEST(GpuModel, RecurrentPaysPerStepOverhead) {
+  GpuModel gpu;
+  auto rnn = dnn::make_recurrent(
+      "r", {dnn::RecurrentCellKind::kVanillaRnn, 256, 256, 100});
+  const double t100 = gpu.layer_time(rnn).seconds;
+  rnn = dnn::make_recurrent(
+      "r", {dnn::RecurrentCellKind::kVanillaRnn, 256, 256, 200});
+  const double t200 = gpu.layer_time(rnn).seconds;
+  EXPECT_NEAR(t200 / t100, 2.0, 1e-6);
+  EXPECT_GE(t100, 100 * gpu.spec().kernel_overhead_us * 1e-6);
+}
+
+TEST(GpuModel, PoolIsFused) {
+  GpuModel gpu;
+  const auto pool = dnn::make_pool("p", {64, 56, 56, 2, 2});
+  EXPECT_DOUBLE_EQ(gpu.layer_time(pool).seconds, 0.0);
+}
+
+TEST(GpuModel, Int4ModeSpeedsUpConvNets) {
+  GpuModel gpu;
+  const auto homog =
+      gpu.run(dnn::make_resnet50(dnn::BitwidthMode::kHomogeneous8b));
+  const auto heter =
+      gpu.run(dnn::make_resnet50(dnn::BitwidthMode::kHeterogeneous));
+  EXPECT_LT(heter.runtime_s, homog.runtime_s);
+}
+
+TEST(GpuModel, RealisticBatchOneLatencies) {
+  GpuModel gpu;
+  // Sanity band: batch-1 TensorRT-class latencies are hundreds of µs to a
+  // few ms for these CNNs, tens of ms for the 512-step recurrent models.
+  const auto rn18 =
+      gpu.run(dnn::make_resnet18(dnn::BitwidthMode::kHomogeneous8b));
+  EXPECT_GT(rn18.runtime_s, 100e-6);
+  EXPECT_LT(rn18.runtime_s, 10e-3);
+  const auto rnn = gpu.run(dnn::make_rnn(dnn::BitwidthMode::kHomogeneous8b));
+  EXPECT_GT(rnn.runtime_s, 10e-3);
+  EXPECT_LT(rnn.runtime_s, 300e-3);
+}
+
+TEST(GpuModel, RnnEfficiencyFarBelowCnns) {
+  // The Fig. 9 driver: GEMV-shaped recurrent nets waste the GPU.
+  GpuModel gpu;
+  const auto rn50 =
+      gpu.run(dnn::make_resnet50(dnn::BitwidthMode::kHomogeneous8b));
+  const auto lstm =
+      gpu.run(dnn::make_lstm(dnn::BitwidthMode::kHomogeneous8b));
+  EXPECT_GT(rn50.gops_per_w / lstm.gops_per_w, 3.0);
+}
+
+TEST(GpuModel, MetricsConsistent) {
+  GpuModel gpu;
+  const auto r = gpu.run(dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b));
+  EXPECT_NEAR(r.gops_per_w, r.gops_per_s / gpu.spec().board_power_w, 1e-9);
+  EXPECT_GT(r.gops_per_s, 0.0);
+}
+
+}  // namespace
+}  // namespace bpvec::baselines

@@ -1,0 +1,130 @@
+// Randomized invariant checks ("fuzz") across the whole stack: random
+// geometries, random GEMM shapes, random bitwidths — assert the structural
+// properties that must hold for *every* input, not just the crafted cases.
+#include <gtest/gtest.h>
+
+#include "src/arch/cvu_cost.h"
+#include "src/bitslice/cvu.h"
+#include "src/common/rng.h"
+#include "src/sim/cycle_sim.h"
+#include "src/sim/memory_system.h"
+#include "src/sim/simulator.h"
+#include "src/sim/systolic.h"
+
+namespace bpvec {
+namespace {
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, CvuExactOnRandomModesAndLengths) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const int alpha = std::vector<int>{1, 2, 4}[static_cast<std::size_t>(
+        rng.uniform(0, 2))];
+    const int lanes = static_cast<int>(rng.uniform(1, 24));
+    const int xb = static_cast<int>(rng.uniform(1, 8));
+    const int wb = static_cast<int>(rng.uniform(1, 8));
+    const std::size_t n = static_cast<std::size_t>(rng.uniform(0, 300));
+
+    bitslice::Cvu cvu({alpha, 8, lanes});
+    const auto x = rng.signed_vector(n, xb);
+    const auto w = rng.signed_vector(n, wb);
+    std::int64_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expected += static_cast<std::int64_t>(x[i]) * w[i];
+    }
+    const auto r = cvu.dot_product(x, w, xb, wb);
+    ASSERT_EQ(r.value, expected)
+        << "alpha=" << alpha << " L=" << lanes << " xb=" << xb
+        << " wb=" << wb << " n=" << n;
+  }
+}
+
+TEST_P(FuzzSeeds, CostModelPositiveAndLaneMonotone) {
+  Rng rng(GetParam() ^ 0x5555);
+  const arch::CvuCostModel model;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int alpha = std::vector<int>{1, 2, 4}[static_cast<std::size_t>(
+        rng.uniform(0, 2))];
+    const int lanes = static_cast<int>(rng.uniform(1, 64));
+    const bitslice::CvuGeometry g{alpha, 8, lanes};
+    const auto p = model.normalized_per_mac(g);
+    ASSERT_GT(p.power_total(), 0.0);
+    ASSERT_GT(p.area_total(), 0.0);
+    // Doubling the lanes never increases per-MAC cost.
+    const auto p2 = model.normalized_per_mac({alpha, 8, 2 * lanes});
+    ASSERT_LE(p2.power_total(), p.power_total() * (1 + 1e-9));
+    ASSERT_LE(p2.area_total(), p.area_total() * (1 + 1e-9));
+  }
+}
+
+TEST_P(FuzzSeeds, TrafficNeverBelowCompulsoryAndMapperSane) {
+  Rng rng(GetParam() ^ 0xAAAA);
+  const auto cfg = sim::tpu_like_baseline();
+  for (int trial = 0; trial < 40; ++trial) {
+    dnn::GemmShape g;
+    g.m = rng.uniform(1, 4000);
+    g.n = rng.uniform(1, 4000);
+    g.k = rng.uniform(1, 4000);
+    const int xb = static_cast<int>(rng.uniform(1, 8));
+    const int wb = static_cast<int>(rng.uniform(1, 8));
+    const auto t = sim::estimate_traffic(cfg, g, xb, wb, xb, 4);
+    // Compulsory traffic: every operand and output crosses DRAM once.
+    const std::int64_t compulsory = (g.n * g.k * wb + 7) / 8 +
+                                    (g.m * g.k * xb + 7) / 8 +
+                                    (g.m * g.n * xb + 7) / 8;
+    ASSERT_GE(t.dram_bytes(), compulsory);
+    ASSERT_GE(t.sram_bytes, t.dram_bytes());
+    ASSERT_GE(t.k_groups, 1);
+  }
+}
+
+TEST_P(FuzzSeeds, ComputeEstimateInvariants) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto cfg = sim::bpvec_accelerator();
+    cfg.rows = static_cast<int>(rng.uniform(1, 32));
+    cfg.cols = static_cast<int>(rng.uniform(1, 32));
+    dnn::GemmShape g;
+    g.m = rng.uniform(1, 2000);
+    g.n = rng.uniform(1, 2000);
+    g.k = rng.uniform(1, 2000);
+    const int xb = static_cast<int>(rng.uniform(1, 8));
+    const int wb = static_cast<int>(rng.uniform(1, 8));
+    const auto e = sim::estimate_compute(cfg, g, xb, wb);
+    ASSERT_GT(e.cycles, 0);
+    ASSERT_GT(e.utilization, 0.0);
+    ASSERT_LE(e.utilization, 1.0);
+    ASSERT_EQ(e.macs, g.m * g.n * g.k);
+    // Cycles never beat the ideal bound.
+    const double peak = static_cast<double>(cfg.num_pes()) *
+                        static_cast<double>(cfg.k_per_pe(xb, wb));
+    ASSERT_GE(static_cast<double>(e.cycles) * peak,
+              static_cast<double>(e.macs) * (1 - 1e-9));
+  }
+}
+
+TEST_P(FuzzSeeds, CycleSimMatchesReferenceOnRandomShapes) {
+  Rng rng(GetParam() ^ 0x9999);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int rows = static_cast<int>(rng.uniform(1, 6));
+    const int cols = static_cast<int>(rng.uniform(1, 6));
+    const std::int64_t kpp = rng.uniform(1, 8);
+    dnn::Matrix a{rng.uniform(1, 12), rng.uniform(1, 40), {}};
+    dnn::Matrix b{rng.uniform(1, 12), a.cols, {}};
+    a.data = rng.signed_vector(static_cast<std::size_t>(a.rows * a.cols), 8);
+    b.data = rng.signed_vector(static_cast<std::size_t>(b.rows * b.cols), 8);
+    sim::SystolicArraySim sim({rows, cols, kpp});
+    const auto r = sim.run_gemm(a, b);
+    ASSERT_EQ(r.out, dnn::gemm_reference(a, b))
+        << rows << "x" << cols << " kpp=" << kpp << " MNK=" << a.rows << ","
+        << b.rows << "," << a.cols;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(0xA1, 0xB2, 0xC3, 0xD4, 0xE5,
+                                           0xF6));
+
+}  // namespace
+}  // namespace bpvec

@@ -1,0 +1,127 @@
+#include "src/dnn/layer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace bpvec::dnn {
+namespace {
+
+TEST(ConvParams, OutputShape) {
+  // AlexNet conv1: 227 input, k=11, s=4, p=0 → 55.
+  const ConvParams p{3, 227, 227, 96, 11, 11, 4, 0};
+  EXPECT_EQ(p.out_h(), 55);
+  EXPECT_EQ(p.out_w(), 55);
+  // Same-padded 3×3.
+  const ConvParams q{64, 56, 56, 64, 3, 3, 1, 1};
+  EXPECT_EQ(q.out_h(), 56);
+  // Strided 7×7, pad 3 on 224 → 112.
+  const ConvParams r{3, 224, 224, 64, 7, 7, 2, 3};
+  EXPECT_EQ(r.out_h(), 112);
+}
+
+TEST(ConvLayer, MacAndWeightCounts) {
+  const Layer l = make_conv("c", {3, 227, 227, 96, 11, 11, 4, 0});
+  EXPECT_EQ(l.macs(), 55LL * 55 * 96 * 3 * 11 * 11);
+  EXPECT_EQ(l.weights(), 96LL * 3 * 11 * 11);
+  EXPECT_EQ(l.input_elems(), 3LL * 227 * 227);
+  EXPECT_EQ(l.output_elems(), 96LL * 55 * 55);
+  EXPECT_TRUE(l.is_compute());
+}
+
+TEST(ConvLayer, GemmView) {
+  const Layer l = make_conv("c", {64, 56, 56, 128, 3, 3, 1, 1});
+  const GemmShape g = l.gemm();
+  EXPECT_EQ(g.m, 56LL * 56);
+  EXPECT_EQ(g.n, 128);
+  EXPECT_EQ(g.k, 64LL * 9);
+  EXPECT_EQ(g.repeats, 1);
+  EXPECT_FALSE(g.weights_streamed_per_repeat);
+  EXPECT_EQ(g.macs(), l.macs());
+}
+
+TEST(FcLayer, CountsAndGemm) {
+  const Layer l = make_fc("fc", {9216, 4096});
+  EXPECT_EQ(l.macs(), 9216LL * 4096);
+  EXPECT_EQ(l.weights(), l.macs());
+  const GemmShape g = l.gemm();
+  EXPECT_EQ(g.m, 1);
+  EXPECT_EQ(g.n, 4096);
+  EXPECT_EQ(g.k, 9216);
+}
+
+TEST(PoolLayer, NoComputeNoWeights) {
+  const Layer l = make_pool("p", {96, 55, 55, 3, 2});
+  EXPECT_EQ(l.macs(), 0);
+  EXPECT_EQ(l.weights(), 0);
+  EXPECT_FALSE(l.is_compute());
+  EXPECT_EQ(l.pool().out_h(), 27);
+  EXPECT_EQ(l.gemm().m, 0);
+}
+
+TEST(RecurrentLayer, VanillaCounts) {
+  const Layer l = make_recurrent(
+      "rnn", {RecurrentCellKind::kVanillaRnn, 2880, 2880, 512});
+  EXPECT_EQ(l.weights(), 2880LL * (2880 + 2880));
+  EXPECT_EQ(l.macs(), l.weights() * 512);
+  EXPECT_EQ(l.recurrent().gates(), 1);
+}
+
+TEST(RecurrentLayer, LstmHasFourGates) {
+  const Layer l =
+      make_recurrent("lstm", {RecurrentCellKind::kLstm, 2048, 1024, 512});
+  EXPECT_EQ(l.recurrent().gates(), 4);
+  EXPECT_EQ(l.weights(), 4LL * 1024 * (2048 + 1024));
+}
+
+TEST(RecurrentLayer, GemmTimeChunking) {
+  const Layer l = make_recurrent(
+      "rnn", {RecurrentCellKind::kVanillaRnn, 256, 256, 100});
+  const GemmShape g = l.gemm(/*time_chunk=*/16);
+  EXPECT_EQ(g.m, 16);
+  EXPECT_EQ(g.n, 256);
+  EXPECT_EQ(g.k, 512);
+  EXPECT_EQ(g.repeats, 7);  // ceil(100/16)
+  EXPECT_TRUE(g.weights_streamed_per_repeat);
+
+  // Chunk larger than the sequence degrades gracefully.
+  const GemmShape g2 = l.gemm(/*time_chunk=*/500);
+  EXPECT_EQ(g2.m, 100);
+  EXPECT_EQ(g2.repeats, 1);
+}
+
+TEST(Layer, VariantAccessorsAreChecked) {
+  const Layer conv = make_conv("c", {1, 8, 8, 1, 3, 3, 1, 1});
+  EXPECT_THROW(conv.fc(), Error);
+  EXPECT_THROW(conv.pool(), Error);
+  EXPECT_THROW(conv.recurrent(), Error);
+  EXPECT_NO_THROW(conv.conv());
+}
+
+TEST(Layer, CollapsedShapesRejected) {
+  EXPECT_THROW(make_conv("bad", {3, 4, 4, 8, 7, 7, 1, 0}), Error);
+}
+
+TEST(Layer, KindNames) {
+  EXPECT_STREQ(to_string(LayerKind::kConv), "conv");
+  EXPECT_STREQ(to_string(LayerKind::kRecurrent), "recurrent");
+}
+
+class GemmMacsConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmMacsConsistency, RecurrentGemmMacsMatchLayerMacs) {
+  const int chunk = GetParam();
+  const Layer l = make_recurrent(
+      "rnn", {RecurrentCellKind::kVanillaRnn, 128, 96, 64});
+  const GemmShape g = l.gemm(chunk);
+  // Chunking may pad the last chunk; total GEMM MACs are within one chunk
+  // of the exact count and never below it.
+  EXPECT_GE(g.macs(), l.macs());
+  EXPECT_LE(g.macs(), l.macs() + g.m * g.n * g.k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, GemmMacsConsistency,
+                         ::testing::Values(1, 3, 16, 64, 100));
+
+}  // namespace
+}  // namespace bpvec::dnn

@@ -1,0 +1,114 @@
+#include "src/sim/memory_system.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+
+namespace bpvec::sim {
+namespace {
+
+dnn::GemmShape gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  dnn::GemmShape g;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  return g;
+}
+
+TEST(Traffic, EverythingStreamsOnceWhenInputsFit) {
+  const auto c = tpu_like_baseline();  // 112 KB scratchpad
+  // Inputs 10 KB, weights 10 MB: inputs resident, weights stream once.
+  const auto t = estimate_traffic(c, gemm(1, 1024, 10240), 8, 8, 8, 32);
+  EXPECT_EQ(t.weight_bytes, 1024LL * 10240);
+  EXPECT_EQ(t.input_bytes, 10240);
+  EXPECT_EQ(t.output_bytes, 1024);
+  EXPECT_EQ(t.psum_bytes, 0);
+  EXPECT_EQ(t.k_groups, 1);
+}
+
+TEST(Traffic, BitwidthScalesBytes) {
+  const auto c = tpu_like_baseline();
+  const auto t8 = estimate_traffic(c, gemm(4, 256, 1024), 8, 8, 8, 8);
+  const auto t4 = estimate_traffic(c, gemm(4, 256, 1024), 4, 4, 4, 8);
+  EXPECT_EQ(t8.weight_bytes, 2 * t4.weight_bytes);
+  EXPECT_EQ(t8.input_bytes, 2 * t4.input_bytes);
+  EXPECT_EQ(t8.output_bytes, 2 * t4.output_bytes);
+}
+
+TEST(Traffic, SubByteBitwidthRoundsUp) {
+  const auto c = tpu_like_baseline();
+  const auto t = estimate_traffic(c, gemm(1, 1, 3), 4, 4, 4, 1);
+  EXPECT_EQ(t.weight_bytes, 2);  // ceil(3·4/8)
+  EXPECT_EQ(t.input_bytes, 2);
+  EXPECT_EQ(t.output_bytes, 1);
+}
+
+TEST(Traffic, KSplitChosenForRecurrentShapes) {
+  const auto c = tpu_like_baseline();
+  // RNN-like: M=16, K=5760, N=2880 at 8-bit — inputs 92 KB (> 56 KB half),
+  // weights 16.6 MB (> half). K-split with psum spills must win over
+  // re-streaming 16.6 MB weights or 92 KB × hundreds of groups.
+  const auto t = estimate_traffic(c, gemm(16, 2880, 5760), 8, 8, 8, 90);
+  EXPECT_GT(t.k_groups, 1);
+  EXPECT_EQ(t.weight_bytes, 2880LL * 5760);
+  EXPECT_EQ(t.input_bytes, 16LL * 5760);
+  EXPECT_EQ(t.psum_bytes,
+            2 * (t.k_groups - 1) * 16 * 2880 * 4);
+  // Total stays within ~10% of the compulsory weight traffic.
+  EXPECT_LT(static_cast<double>(t.dram_bytes()),
+            1.10 * static_cast<double>(t.weight_bytes));
+}
+
+TEST(Traffic, InputRefetchChosenForConvShapes) {
+  const auto c = tpu_like_baseline();
+  // Conv-like: big M, moderate K — inputs 200 KB, weights 110 KB. K-split
+  // psums (M·N sized) would be catastrophic; input re-streaming wins.
+  const auto t = estimate_traffic(c, gemm(3136, 192, 576), 8, 8, 8, 6);
+  EXPECT_EQ(t.k_groups, 1);
+  EXPECT_EQ(t.psum_bytes, 0);
+  const std::int64_t i_total = 3136LL * 576;
+  EXPECT_EQ(t.input_bytes, i_total * ceil_div(192LL * 576, 56 * 1024));
+}
+
+TEST(Traffic, MapperPicksTheCheapestOption) {
+  const auto c = tpu_like_baseline();
+  for (auto g : {gemm(16, 2880, 5760), gemm(3136, 192, 576),
+                 gemm(200, 4096, 4096), gemm(1, 1000, 2048)}) {
+    const auto t = estimate_traffic(c, g, 8, 8, 8, 1);
+    const std::int64_t w = g.n * g.k, i = g.m * g.k;
+    const std::int64_t buf = c.scratchpad_bytes / 2;
+    // Whatever was chosen must not exceed either naive alternative.
+    const std::int64_t naive_a = w + i * ceil_div(w, buf);
+    const std::int64_t naive_b = i + w * ceil_div(i, buf);
+    EXPECT_LE(t.dram_bytes() - t.output_bytes,
+              std::max(naive_a, naive_b));
+    EXPECT_LE(t.weight_bytes + t.input_bytes + t.psum_bytes,
+              std::min(naive_a, naive_b) +
+                  2 * ceil_div(i, buf) * g.m * g.n * 4);
+  }
+}
+
+TEST(Traffic, SramIncludesReuseReads) {
+  const auto c = tpu_like_baseline();
+  const auto t1 = estimate_traffic(c, gemm(100, 64, 100), 8, 8, 8, 1);
+  const auto t4 = estimate_traffic(c, gemm(100, 64, 100), 8, 8, 8, 4);
+  EXPECT_GT(t4.sram_bytes, t1.sram_bytes);  // more N passes → more reads
+}
+
+TEST(Traffic, MemoryCyclesScaleWithBandwidth) {
+  const auto c = tpu_like_baseline();
+  const auto t = estimate_traffic(c, gemm(100, 256, 512), 8, 8, 8, 8);
+  const double d = t.memory_cycles(arch::ddr4(), 500e6);
+  const double h = t.memory_cycles(arch::hbm2(), 500e6);
+  EXPECT_NEAR(d / h, 16.0, 1e-9);
+}
+
+TEST(Traffic, RejectsBadArguments) {
+  const auto c = tpu_like_baseline();
+  EXPECT_THROW(estimate_traffic(c, gemm(1, 1, 1), 0, 8, 8, 1), Error);
+  EXPECT_THROW(estimate_traffic(c, gemm(1, 1, 1), 8, 8, 8, 0), Error);
+}
+
+}  // namespace
+}  // namespace bpvec::sim

@@ -1,0 +1,89 @@
+#include "src/bitslice/nbve.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "src/common/error.h"
+
+namespace bpvec::bitslice {
+namespace {
+
+TEST(Nbve, DotOfKnownVectors) {
+  Nbve e(4, 2);
+  const std::array<std::int32_t, 4> x{1, 2, 3, 0};
+  const std::array<std::int32_t, 4> w{3, -2, 1, 2};
+  EXPECT_EQ(e.dot_cycle(x, w), 3 - 4 + 3 + 0);
+}
+
+TEST(Nbve, PartialVectorGatesLanes) {
+  Nbve e(8, 2);
+  const std::array<std::int32_t, 2> x{2, 2};
+  const std::array<std::int32_t, 2> w{3, 3};
+  EXPECT_EQ(e.dot_cycle(x, w), 12);
+  EXPECT_EQ(e.mult_ops(), 2);  // only active lanes counted
+  EXPECT_EQ(e.cycles(), 1);
+}
+
+TEST(Nbve, AccumulatesStatsAcrossCycles) {
+  Nbve e(4, 2);
+  const std::array<std::int32_t, 4> x{1, 1, 1, 1};
+  for (int i = 0; i < 5; ++i) e.dot_cycle(x, x);
+  EXPECT_EQ(e.cycles(), 5);
+  EXPECT_EQ(e.mult_ops(), 20);
+  e.reset_stats();
+  EXPECT_EQ(e.cycles(), 0);
+  EXPECT_EQ(e.mult_ops(), 0);
+}
+
+TEST(Nbve, EmptyInputIsZero) {
+  Nbve e(4, 2);
+  EXPECT_EQ(e.dot_cycle({}, {}), 0);
+}
+
+TEST(Nbve, RejectsMismatchedOperands) {
+  Nbve e(4, 2);
+  const std::array<std::int32_t, 2> x{1, 1};
+  const std::array<std::int32_t, 3> w{1, 1, 1};
+  EXPECT_THROW(e.dot_cycle(x, w), Error);
+}
+
+TEST(Nbve, RejectsOverlongVector) {
+  Nbve e(2, 2);
+  const std::array<std::int32_t, 3> x{1, 1, 1};
+  EXPECT_THROW(e.dot_cycle(x, x), Error);
+}
+
+TEST(Nbve, EnforcesDatapathWidth) {
+  // A 2-bit engine accepts slice values in [-2, 3] (signed top slice or
+  // unsigned lower slice) and nothing wider.
+  Nbve e(1, 2);
+  const std::array<std::int32_t, 1> ok_hi{3}, ok_lo{-2}, bad_hi{4},
+      bad_lo{-3};
+  EXPECT_NO_THROW(e.dot_cycle(ok_hi, ok_lo));
+  EXPECT_THROW(e.dot_cycle(bad_hi, ok_lo), Error);
+  EXPECT_THROW(e.dot_cycle(ok_hi, bad_lo), Error);
+}
+
+TEST(Nbve, RejectsBadConstruction) {
+  EXPECT_THROW(Nbve(0, 2), Error);
+  EXPECT_THROW(Nbve(4, 0), Error);
+  EXPECT_THROW(Nbve(4, 9), Error);
+}
+
+class NbveWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NbveWidthSweep, MaxMagnitudeProductsAccumulate) {
+  const int alpha = GetParam();
+  const int lanes = 16;
+  Nbve e(lanes, alpha);
+  const std::int32_t top = (std::int32_t{1} << alpha) - 1;
+  std::vector<std::int32_t> x(lanes, top), w(lanes, top);
+  EXPECT_EQ(e.dot_cycle(x, w),
+            static_cast<std::int64_t>(lanes) * top * top);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alpha, NbveWidthSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace bpvec::bitslice

@@ -1,0 +1,86 @@
+#include "src/dnn/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace bpvec::dnn {
+namespace {
+
+TEST(Quantize, ValuesStayInRange) {
+  Rng rng(1);
+  std::vector<double> reals;
+  for (int i = 0; i < 1000; ++i) reals.push_back(rng.uniform01() * 2 - 1);
+  for (int bits : {2, 4, 8}) {
+    const auto q = quantize_symmetric(reals, bits);
+    const std::int32_t qmax = (1 << (bits - 1)) - 1;
+    for (auto v : q.values) {
+      EXPECT_GE(v, -qmax - 1);
+      EXPECT_LE(v, qmax);
+    }
+  }
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfScale) {
+  Rng rng(2);
+  std::vector<double> reals;
+  for (int i = 0; i < 500; ++i) reals.push_back(rng.uniform01() * 10 - 5);
+  const auto q = quantize_symmetric(reals, 8);
+  const auto back = dequantize(q);
+  for (std::size_t i = 0; i < reals.size(); ++i) {
+    EXPECT_LE(std::fabs(back[i] - reals[i]), q.scale * 0.5 + 1e-12);
+  }
+}
+
+TEST(Quantize, MaxMagnitudeMapsToQmax) {
+  const auto q = quantize_symmetric({-2.0, 1.0, 2.0}, 4);
+  EXPECT_EQ(q.values[2], 7);   // +max → qmax
+  EXPECT_EQ(q.values[0], -7);  // symmetric
+}
+
+TEST(Quantize, AllZerosUseUnitScale) {
+  const auto q = quantize_symmetric({0.0, 0.0}, 8);
+  EXPECT_DOUBLE_EQ(q.scale, 1.0);
+  EXPECT_EQ(q.values[0], 0);
+}
+
+TEST(Quantize, RejectsBadBitwidths) {
+  EXPECT_THROW(quantize_symmetric({1.0}, 1), Error);
+  EXPECT_THROW(quantize_symmetric({1.0}, 32), Error);
+}
+
+TEST(Requantize, ShiftRoundsToNearest) {
+  EXPECT_EQ(requantize(8, 2, 8), 2);    // 8/4
+  EXPECT_EQ(requantize(10, 2, 8), 3);   // 2.5 → 3
+  EXPECT_EQ(requantize(9, 2, 8), 2);    // 2.25 → 2
+  EXPECT_EQ(requantize(-10, 2, 8), -2); // -2.5 → -2 (round half up)
+}
+
+TEST(Requantize, SaturatesToBitwidth) {
+  EXPECT_EQ(requantize(1000, 0, 8), 127);
+  EXPECT_EQ(requantize(-1000, 0, 8), -128);
+  EXPECT_EQ(requantize(100, 0, 4), 7);
+}
+
+class RequantizeBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(RequantizeBits, OutputAlwaysRepresentable) {
+  const int bits = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bits));
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  for (int i = 0; i < 1000; ++i) {
+    const auto acc = rng.uniform(-1'000'000, 1'000'000);
+    const auto v = requantize(acc, static_cast<int>(rng.uniform(0, 12)), bits);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, RequantizeBits, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace bpvec::dnn

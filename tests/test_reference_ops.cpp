@@ -1,0 +1,166 @@
+#include "src/dnn/reference_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace bpvec::dnn {
+namespace {
+
+TEST(ConvReference, IdentityKernelCopiesInput) {
+  Tensor in(1, 3, 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) in.at(0, y, x) = y * 3 + x + 1;
+  }
+  const ConvParams p{1, 3, 3, 1, 1, 1, 1, 0};
+  const auto out = conv2d_reference(in, {1}, p);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST(ConvReference, HandComputed3x3) {
+  Tensor in(1, 3, 3);
+  int v = 1;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) in.at(0, y, x) = v++;
+  }
+  // All-ones 3×3 kernel, no padding → single output = sum 1..9 = 45.
+  const ConvParams p{1, 3, 3, 1, 3, 3, 1, 0};
+  const auto out = conv2d_reference(in, std::vector<std::int32_t>(9, 1), p);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 45);
+}
+
+TEST(ConvReference, PaddingContributesZeros) {
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 5;
+  const ConvParams p{1, 2, 2, 1, 3, 3, 1, 1};
+  const auto out = conv2d_reference(in, std::vector<std::int32_t>(9, 1), p);
+  ASSERT_EQ(out.size(), 4u);
+  // Every 3×3 window covers the single nonzero value.
+  for (auto o : out) EXPECT_EQ(o, 5);
+}
+
+TEST(ConvReference, StrideSkipsPositions) {
+  Tensor in(1, 4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) in.at(0, y, x) = 1;
+  }
+  const ConvParams p{1, 4, 4, 1, 2, 2, 2, 0};
+  const auto out = conv2d_reference(in, {1, 1, 1, 1}, p);
+  ASSERT_EQ(out.size(), 4u);
+  for (auto o : out) EXPECT_EQ(o, 4);
+}
+
+TEST(ConvReference, MultiChannelAccumulates) {
+  Tensor in(2, 1, 1);
+  in.at(0, 0, 0) = 3;
+  in.at(1, 0, 0) = -4;
+  const ConvParams p{2, 1, 1, 1, 1, 1, 1, 0};
+  const auto out = conv2d_reference(in, {2, 5}, p);
+  EXPECT_EQ(out[0], 6 - 20);
+}
+
+TEST(ConvReference, RejectsShapeMismatch) {
+  Tensor in(1, 3, 3);
+  const ConvParams p{2, 3, 3, 1, 1, 1, 1, 0};
+  EXPECT_THROW(conv2d_reference(in, {1, 1}, p), Error);
+}
+
+TEST(FcReference, MatrixVectorProduct) {
+  const FcParams p{3, 2};
+  // w = [[1,2,3],[−1,0,2]], x = [4,5,6].
+  const auto out = fc_reference({4, 5, 6}, {1, 2, 3, -1, 0, 2}, p);
+  EXPECT_EQ(out[0], 4 + 10 + 18);
+  EXPECT_EQ(out[1], -4 + 0 + 12);
+}
+
+TEST(MaxPoolReference, PicksWindowMax) {
+  Tensor in(1, 4, 4);
+  int v = 0;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) in.at(0, y, x) = v++;
+  }
+  const PoolParams p{1, 4, 4, 2, 2};
+  const Tensor out = maxpool_reference(in, p);
+  EXPECT_EQ(out.at(0, 0, 0), 5);
+  EXPECT_EQ(out.at(0, 0, 1), 7);
+  EXPECT_EQ(out.at(0, 1, 0), 13);
+  EXPECT_EQ(out.at(0, 1, 1), 15);
+}
+
+TEST(MaxPoolReference, NegativeValuesHandled) {
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = -5;
+  in.at(0, 0, 1) = -3;
+  in.at(0, 1, 0) = -9;
+  in.at(0, 1, 1) = -7;
+  const PoolParams p{1, 2, 2, 2, 2};
+  EXPECT_EQ(maxpool_reference(in, p).at(0, 0, 0), -3);
+}
+
+
+TEST(AvgPoolReference, IntegerMeanRoundsHalfAwayFromZero) {
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 2;
+  in.at(0, 1, 0) = 3;
+  in.at(0, 1, 1) = 4;
+  const PoolParams p{1, 2, 2, 2, 2, PoolKind::kAverage};
+  EXPECT_EQ(avgpool_reference(in, p).at(0, 0, 0), 3);  // 10/4 = 2.5 -> 3
+
+  Tensor neg(1, 2, 2);
+  neg.at(0, 0, 0) = -1;
+  neg.at(0, 0, 1) = -2;
+  neg.at(0, 1, 0) = -3;
+  neg.at(0, 1, 1) = -4;
+  EXPECT_EQ(avgpool_reference(neg, p).at(0, 0, 0), -3);  // -2.5 -> -3
+}
+
+TEST(AvgPoolReference, PartialWindowsAverageInBoundsOnly) {
+  // 3x3 input, window 2, stride 2: bottom/right windows are partial.
+  Tensor in(1, 3, 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) in.at(0, y, x) = 6;
+  }
+  const PoolParams p{1, 3, 3, 2, 2, PoolKind::kAverage};
+  const Tensor out = avgpool_reference(in, p);
+  for (auto v : out.data()) EXPECT_EQ(v, 6);  // mean of constants
+}
+
+TEST(PoolReference, DispatchesOnKind) {
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 8;  // others 0
+  const PoolParams max_p{1, 2, 2, 2, 2, PoolKind::kMax};
+  const PoolParams avg_p{1, 2, 2, 2, 2, PoolKind::kAverage};
+  EXPECT_EQ(pool_reference(in, max_p).at(0, 0, 0), 8);
+  EXPECT_EQ(pool_reference(in, avg_p).at(0, 0, 0), 2);
+}
+
+TEST(RnnStepReference, GateMathAndClamp) {
+  // hidden=2, input=1: weights rows [wx | wh].
+  const std::vector<std::int32_t> w{1, 2, 3,   // row 0
+                                    -1, 0, 1}; // row 1
+  const auto h = rnn_step_reference({2}, {1, -1}, w, 2, /*shift=*/0,
+                                    /*out_bits=*/8);
+  EXPECT_EQ(h[0], 2 + 2 - 3);
+  EXPECT_EQ(h[1], -2 + 0 - 1);
+}
+
+TEST(RnnStepReference, OutputsStayQuantized) {
+  Rng rng(9);
+  const int hidden = 16, input = 8;
+  const auto w = rng.signed_vector(
+      static_cast<std::size_t>(hidden * (hidden + input)), 4);
+  const auto x = rng.signed_vector(input, 4);
+  const auto h0 = rng.signed_vector(hidden, 4);
+  const auto h1 = rnn_step_reference(x, h0, w, hidden, /*shift=*/4,
+                                     /*out_bits=*/4);
+  for (auto v : h1) {
+    EXPECT_GE(v, -8);
+    EXPECT_LE(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace bpvec::dnn

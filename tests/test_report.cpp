@@ -1,0 +1,62 @@
+#include "src/sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/model_zoo.h"
+
+namespace bpvec::sim {
+namespace {
+
+RunResult sample_run() {
+  return Simulator(bpvec_accelerator(), arch::ddr4())
+      .run(dnn::make_resnet18(dnn::BitwidthMode::kHeterogeneous));
+}
+
+TEST(Report, LayerTableSkipsPoolsByDefault) {
+  const auto run = sample_run();
+  const std::string with = layer_table(run, true).to_string();
+  const std::string without = layer_table(run, false).to_string();
+  EXPECT_NE(with.find("pool1"), std::string::npos);
+  EXPECT_EQ(without.find("pool1"), std::string::npos);
+  EXPECT_NE(without.find("conv1"), std::string::npos);
+}
+
+TEST(Report, SummaryLineMentionsEverything) {
+  const auto s = summary_line(sample_run());
+  EXPECT_NE(s.find("ResNet-18"), std::string::npos);
+  EXPECT_NE(s.find("BPVeC"), std::string::npos);
+  EXPECT_NE(s.find("DDR4"), std::string::npos);
+  EXPECT_NE(s.find("GOps/W"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableOneRowPerRun) {
+  const auto net = dnn::make_lstm(dnn::BitwidthMode::kHeterogeneous);
+  std::vector<RunResult> runs{
+      Simulator(bitfusion_accelerator(), arch::ddr4()).run(net),
+      Simulator(bpvec_accelerator(), arch::ddr4()).run(net),
+      Simulator(bpvec_accelerator(), arch::hbm2()).run(net),
+  };
+  const std::string s = comparison_table(runs).to_string();
+  EXPECT_NE(s.find("BitFusion"), std::string::npos);
+  EXPECT_NE(s.find("HBM2"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndOneLinePerLayer) {
+  const auto run = sample_run();
+  const std::string csv = to_csv(run);
+  std::size_t lines = 0;
+  for (char ch : csv) lines += (ch == '\n');
+  EXPECT_EQ(lines, run.layers.size() + 1);
+  EXPECT_EQ(csv.rfind("layer,kind,", 0), 0u);  // header first
+}
+
+TEST(Report, CsvValuesRoundTripTotals) {
+  // The CSV's total_cycles column must sum to the run total.
+  const auto run = sample_run();
+  std::int64_t total = 0;
+  for (const auto& l : run.layers) total += l.total_cycles;
+  EXPECT_EQ(total, run.total_cycles);
+}
+
+}  // namespace
+}  // namespace bpvec::sim

@@ -1,0 +1,103 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace bpvec {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(3, 3), 3);
+  EXPECT_THROW(rng.uniform(4, 3), Error);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+class SignedValueBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignedValueBits, StaysInTwosComplementRange) {
+  const int bits = GetParam();
+  Rng rng(1234 + static_cast<std::uint64_t>(bits));
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  bool saw_negative = false;
+  for (int i = 0; i < 500; ++i) {
+    const std::int32_t v = rng.signed_value(bits);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    saw_negative |= (v < 0);
+  }
+  EXPECT_TRUE(saw_negative) << "range never produced a negative value";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, SignedValueBits,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16, 24, 32));
+
+class UnsignedValueBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnsignedValueBits, StaysInRange) {
+  const int bits = GetParam();
+  Rng rng(99 + static_cast<std::uint64_t>(bits));
+  const std::int64_t hi = (std::int64_t{1} << bits) - 1;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t v = rng.unsigned_value(bits);
+    EXPECT_LE(static_cast<std::int64_t>(v), hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, UnsignedValueBits,
+                         ::testing::Values(1, 2, 4, 8, 16, 31, 32));
+
+TEST(Rng, SignedVectorShapeAndRange) {
+  Rng rng(5);
+  const auto v = rng.signed_vector(257, 4);
+  EXPECT_EQ(v.size(), 257u);
+  for (auto x : v) {
+    EXPECT_GE(x, -8);
+    EXPECT_LE(x, 7);
+  }
+}
+
+TEST(Rng, RejectsBadBitCounts) {
+  Rng rng(5);
+  EXPECT_THROW(rng.signed_value(0), Error);
+  EXPECT_THROW(rng.signed_value(33), Error);
+  EXPECT_THROW(rng.unsigned_value(0), Error);
+}
+
+}  // namespace
+}  // namespace bpvec

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "src/arch/dram.h"
+#include "src/arch/scratchpad.h"
+#include "src/common/error.h"
+
+namespace bpvec::arch {
+namespace {
+
+TEST(Scratchpad, PaperCapacityEnergyInCactiRange) {
+  const ScratchpadModel spad(112 * 1024);
+  // CACTI-P-class 45 nm SRAMs of this size: ~0.5–3 pJ/byte.
+  EXPECT_GT(spad.energy_per_byte_pj(), 0.5);
+  EXPECT_LT(spad.energy_per_byte_pj(), 3.0);
+}
+
+TEST(Scratchpad, EnergyGrowsSublinearlyWithCapacity) {
+  const double e1 = ScratchpadModel(16 * 1024).energy_per_byte_pj();
+  const double e2 = ScratchpadModel(64 * 1024).energy_per_byte_pj();
+  const double e3 = ScratchpadModel(256 * 1024).energy_per_byte_pj();
+  EXPECT_LT(e1, e2);
+  EXPECT_LT(e2, e3);
+  EXPECT_LT(e3 / e1, 4.0);  // sqrt-like, not linear
+}
+
+TEST(Scratchpad, LeakageAndAreaScaleWithCapacity) {
+  const ScratchpadModel small(64 * 1024), big(256 * 1024);
+  EXPECT_NEAR(big.leakage_mw() / small.leakage_mw(), 4.0, 1e-9);
+  EXPECT_NEAR(big.area_mm2() / small.area_mm2(), 4.0, 1e-9);
+}
+
+TEST(Scratchpad, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(ScratchpadModel(0), Error);
+}
+
+TEST(Dram, PaperParameters) {
+  const DramModel d = ddr4();
+  EXPECT_DOUBLE_EQ(d.bandwidth_gbps, 16.0);
+  EXPECT_DOUBLE_EQ(d.energy_pj_per_bit, 15.0);
+  const DramModel h = hbm2();
+  EXPECT_DOUBLE_EQ(h.bandwidth_gbps, 256.0);
+  EXPECT_DOUBLE_EQ(h.energy_pj_per_bit, 1.2);
+  EXPECT_DOUBLE_EQ(h.bandwidth_gbps / d.bandwidth_gbps, 16.0);
+}
+
+TEST(Dram, BytesPerCycleAt500Mhz) {
+  // 16 GB/s at 500 MHz = 32 B per cycle.
+  EXPECT_DOUBLE_EQ(ddr4().bytes_per_cycle(500e6), 32.0);
+  EXPECT_DOUBLE_EQ(hbm2().bytes_per_cycle(500e6), 512.0);
+}
+
+TEST(Dram, TransferMath) {
+  const DramModel d = ddr4();
+  EXPECT_DOUBLE_EQ(d.transfer_cycles(3200, 500e6), 100.0);
+  EXPECT_DOUBLE_EQ(d.transfer_energy_pj(1), 8.0 * 15.0);
+  EXPECT_DOUBLE_EQ(d.transfer_energy_pj(0), 0.0);
+  EXPECT_THROW(d.transfer_cycles(-1, 500e6), Error);
+}
+
+TEST(Dram, Hbm2AccessEnergyFarBelowDdr4) {
+  // The 12.5× access-energy gap drives the paper's Fig. 6/8 energy story.
+  EXPECT_NEAR(ddr4().transfer_energy_pj(1000) / hbm2().transfer_energy_pj(1000),
+              12.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace bpvec::arch

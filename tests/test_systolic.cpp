@@ -1,0 +1,100 @@
+#include "src/sim/systolic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace bpvec::sim {
+namespace {
+
+dnn::GemmShape gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  dnn::GemmShape g;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  return g;
+}
+
+TEST(Systolic, BaselineCycleFormula) {
+  const auto c = tpu_like_baseline();  // 16×32
+  const auto e = estimate_compute(c, gemm(100, 64, 160), 8, 8);
+  EXPECT_EQ(e.k_passes, 10);
+  EXPECT_EQ(e.n_passes, 2);
+  EXPECT_EQ(e.cycles, 10 * 2 * 100 + 16 + 32);
+  EXPECT_EQ(e.macs, 100LL * 64 * 160);
+}
+
+TEST(Systolic, PerfectFitApproachesFullUtilization) {
+  const auto c = tpu_like_baseline();
+  const auto e = estimate_compute(c, gemm(10000, 32, 16), 8, 8);
+  EXPECT_GT(e.utilization, 0.99);
+  EXPECT_LE(e.utilization, 1.0);
+}
+
+TEST(Systolic, RaggedTilesLoseUtilization) {
+  const auto c = tpu_like_baseline();
+  // K = 17 needs 2 passes of 16 → ~53% utilization.
+  const auto e = estimate_compute(c, gemm(10000, 32, 17), 8, 8);
+  EXPECT_LT(e.utilization, 0.6);
+  EXPECT_GT(e.utilization, 0.4);
+}
+
+TEST(Systolic, BpvecConsumes128ElementsPerRowPass) {
+  const auto c = bpvec_accelerator();  // 8×8 CVUs, L=16
+  const auto e = estimate_compute(c, gemm(49, 256, 1024), 8, 8);
+  EXPECT_EQ(e.k_passes, 8);   // 1024 / (8·16)
+  EXPECT_EQ(e.n_passes, 32);  // 256 / 8
+}
+
+TEST(Systolic, CompositionBoostShrinksKPasses) {
+  const auto c = bpvec_accelerator();
+  const auto e8 = estimate_compute(c, gemm(49, 256, 4096), 8, 8);
+  const auto e4 = estimate_compute(c, gemm(49, 256, 4096), 4, 4);
+  const auto e2 = estimate_compute(c, gemm(49, 256, 4096), 2, 2);
+  EXPECT_EQ(e8.k_passes, 4 * e4.k_passes);
+  EXPECT_EQ(e4.k_passes, 4 * e2.k_passes);
+}
+
+TEST(Systolic, ConventionalIgnoresBitwidth) {
+  const auto c = tpu_like_baseline();
+  const auto e8 = estimate_compute(c, gemm(100, 100, 100), 8, 8);
+  const auto e2 = estimate_compute(c, gemm(100, 100, 100), 2, 2);
+  EXPECT_EQ(e8.cycles, e2.cycles);
+}
+
+TEST(Systolic, CyclesMonotoneInEveryDimension) {
+  const auto c = bpvec_accelerator();
+  const auto base = estimate_compute(c, gemm(50, 64, 512), 8, 8);
+  EXPECT_GE(estimate_compute(c, gemm(51, 64, 512), 8, 8).cycles,
+            base.cycles);
+  EXPECT_GE(estimate_compute(c, gemm(50, 65, 512), 8, 8).cycles,
+            base.cycles);
+  EXPECT_GE(estimate_compute(c, gemm(50, 64, 513), 8, 8).cycles,
+            base.cycles);
+}
+
+TEST(Systolic, RejectsDegenerateGemm) {
+  const auto c = tpu_like_baseline();
+  EXPECT_THROW(estimate_compute(c, gemm(0, 1, 1), 8, 8), Error);
+}
+
+class UtilizationBounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(UtilizationBounds, AlwaysInUnitInterval) {
+  const int k = GetParam();
+  for (const auto& c : {tpu_like_baseline(), bitfusion_accelerator(),
+                        bpvec_accelerator()}) {
+    for (int bits : {2, 4, 8}) {
+      const auto e = estimate_compute(c, gemm(7, 33, k), bits, bits);
+      EXPECT_GT(e.utilization, 0.0) << c.name;
+      EXPECT_LE(e.utilization, 1.0) << c.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, UtilizationBounds,
+                         ::testing::Values(1, 3, 16, 100, 127, 128, 129, 1000,
+                                           4096));
+
+}  // namespace
+}  // namespace bpvec::sim

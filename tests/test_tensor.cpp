@@ -1,0 +1,52 @@
+#include "src/dnn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace bpvec::dnn {
+namespace {
+
+TEST(Tensor, ConstructsZeroInitialized) {
+  Tensor t(3, 4, 5);
+  EXPECT_EQ(t.channels(), 3);
+  EXPECT_EQ(t.height(), 4);
+  EXPECT_EQ(t.width(), 5);
+  EXPECT_EQ(t.size(), 60);
+  for (auto v : t.data()) EXPECT_EQ(v, 0);
+}
+
+TEST(Tensor, AtReadsAndWrites) {
+  Tensor t(2, 3, 3);
+  t.at(1, 2, 0) = 42;
+  EXPECT_EQ(t.at(1, 2, 0), 42);
+  EXPECT_EQ(t.at(0, 2, 0), 0);
+}
+
+TEST(Tensor, AtRejectsOutOfBounds) {
+  Tensor t(1, 2, 2);
+  EXPECT_THROW(t.at(1, 0, 0), Error);
+  EXPECT_THROW(t.at(0, 2, 0), Error);
+  EXPECT_THROW(t.at(0, 0, -1), Error);
+}
+
+TEST(Tensor, PaddedAccessIsZeroOutside) {
+  Tensor t(1, 2, 2);
+  t.at(0, 0, 0) = 7;
+  EXPECT_EQ(t.at_padded(0, 0, 0), 7);
+  EXPECT_EQ(t.at_padded(0, -1, 0), 0);
+  EXPECT_EQ(t.at_padded(0, 0, 5), 0);
+  EXPECT_THROW(t.at_padded(2, 0, 0), Error);  // channel is never padded
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor(3, 224, 224).shape_string(), "3x224x224");
+}
+
+TEST(Tensor, RejectsDegenerateShapes) {
+  EXPECT_THROW(Tensor(0, 1, 1), Error);
+  EXPECT_THROW(Tensor(1, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace bpvec::dnn

@@ -1,0 +1,32 @@
+// Compile-time guarantee that the umbrella header exposes the whole public
+// surface, plus a smoke test touching one symbol from each area.
+#include "src/core/bpvec.h"
+
+#include <gtest/gtest.h>
+
+namespace bpvec {
+namespace {
+
+TEST(UmbrellaHeader, ExposesEveryPublicArea) {
+  // core
+  const auto acc = core::Accelerator::bpvec(core::Memory::kDdr4);
+  EXPECT_EQ(acc.config().equivalent_macs(), 1024);
+  // bitslice
+  EXPECT_EQ(bitslice::plan_composition({2, 8, 16}, 4, 4).clusters, 4);
+  // arch
+  EXPECT_GT(arch::CvuCostModel{}.conventional_mac_energy_pj(), 0.0);
+  EXPECT_EQ(arch::hbm2().bandwidth_gbps, 256.0);
+  // dnn
+  EXPECT_EQ(dnn::make_lstm(dnn::BitwidthMode::kHeterogeneous)
+                .stats()
+                .compute_layers,
+            1);
+  // sim
+  EXPECT_EQ(sim::bpvec_accelerator().num_pes(), 64);
+  // baselines
+  EXPECT_EQ(baselines::GpuSpec{}.tensor_cores, 544);
+  EXPECT_EQ(baselines::BitSerialConfig{}.lanes, 16);
+}
+
+}  // namespace
+}  // namespace bpvec

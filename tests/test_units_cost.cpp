@@ -1,0 +1,109 @@
+#include "src/arch/units.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/technology.h"
+#include "src/common/error.h"
+
+namespace bpvec::arch {
+namespace {
+
+const Technology& t() { return tech_45nm(); }
+
+TEST(MultiplierCost, OneByOneIsAnAndGate) {
+  const Cost c = multiplier_cost(t(), 1, 1);
+  EXPECT_DOUBLE_EQ(c.area_um2, t().and_area);
+  EXPECT_DOUBLE_EQ(c.energy_fj, t().and_energy);
+}
+
+TEST(MultiplierCost, GrowsQuadratically) {
+  const double a2 = multiplier_cost(t(), 2, 2).area_um2;
+  const double a4 = multiplier_cost(t(), 4, 4).area_um2;
+  const double a8 = multiplier_cost(t(), 8, 8).area_um2;
+  EXPECT_GT(a4, 2.0 * a2);  // superlinear
+  EXPECT_GT(a8, 2.0 * a4);
+  // 16 2×2 multipliers are cheaper than one 8×8 — the paper's BLP premise.
+  EXPECT_LT(16.0 * a2, a8);
+}
+
+TEST(AdderCost, LinearInWidth) {
+  EXPECT_DOUBLE_EQ(adder_cost(t(), 8).area_um2,
+                   2.0 * adder_cost(t(), 4).area_um2);
+  EXPECT_THROW(adder_cost(t(), 0), Error);
+}
+
+TEST(AdderTree, SingleInputIsFree) {
+  const Cost c = adder_tree_cost(t(), 1, 8);
+  EXPECT_DOUBLE_EQ(c.area_um2, 0.0);
+  EXPECT_DOUBLE_EQ(c.energy_fj, 0.0);
+}
+
+TEST(AdderTree, TwoInputsIsOneAdder) {
+  // One adder at width w+1.
+  const Cost c = adder_tree_cost(t(), 2, 4);
+  EXPECT_DOUBLE_EQ(c.area_um2, adder_cost(t(), 5).area_um2);
+}
+
+TEST(AdderTree, KnownSixteenInputStructure) {
+  // Levels: 8×(w+1), 4×(w+2), 2×(w+3), 1×(w+4) adders.
+  const int w = 4;
+  const double expected =
+      (8 * (w + 1) + 4 * (w + 2) + 2 * (w + 3) + 1 * (w + 4)) * t().fa_area;
+  EXPECT_DOUBLE_EQ(adder_tree_cost(t(), 16, w).area_um2, expected);
+}
+
+TEST(AdderTree, HandlesNonPowerOfTwo) {
+  // 3 inputs: level 1 has one adder (pair) + carry-over, level 2 one adder.
+  const Cost c3 = adder_tree_cost(t(), 3, 4);
+  EXPECT_GT(c3.area_um2, adder_tree_cost(t(), 2, 4).area_um2);
+  EXPECT_LT(c3.area_um2, adder_tree_cost(t(), 4, 4).area_um2);
+}
+
+TEST(AdderTree, OutputWidth) {
+  EXPECT_EQ(adder_tree_output_width(1, 4), 4);
+  EXPECT_EQ(adder_tree_output_width(2, 4), 5);
+  EXPECT_EQ(adder_tree_output_width(16, 4), 8);
+  EXPECT_EQ(adder_tree_output_width(64, 2), 8);
+}
+
+TEST(AdderTree, MonotoneInInputsAndWidth) {
+  double prev = 0.0;
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    const double a = adder_tree_cost(t(), n, 4).area_um2;
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+  EXPECT_GT(adder_tree_cost(t(), 16, 8).area_um2,
+            adder_tree_cost(t(), 16, 4).area_um2);
+}
+
+TEST(ShifterCost, FixedShiftIsFree) {
+  EXPECT_DOUBLE_EQ(shifter_cost(t(), 8, 1).area_um2, 0.0);
+}
+
+TEST(ShifterCost, LogStages) {
+  // 7 positions → 3 mux stages; 8 positions → 3; 9 → 4.
+  const double per_stage = 8 * t().mux_area;
+  EXPECT_DOUBLE_EQ(shifter_cost(t(), 8, 7).area_um2, 3 * per_stage);
+  EXPECT_DOUBLE_EQ(shifter_cost(t(), 8, 8).area_um2, 3 * per_stage);
+  EXPECT_DOUBLE_EQ(shifter_cost(t(), 8, 9).area_um2, 4 * per_stage);
+}
+
+TEST(RegisterCost, LinearInWidth) {
+  EXPECT_DOUBLE_EQ(register_cost(t(), 32).area_um2, 32 * t().ff_area);
+}
+
+TEST(ConventionalMac, StructureAndScale) {
+  const ConvMacCost c = conventional_mac_cost(t(), 8);
+  EXPECT_GT(c.multiply.area_um2, 0.0);
+  EXPECT_GT(c.accumulate.area_um2, 0.0);
+  EXPECT_GT(c.registers.area_um2, 0.0);
+  // The multiplier dominates an 8-bit MAC's area.
+  EXPECT_GT(c.multiply.area_um2, c.accumulate.area_um2);
+  // A 4-bit MAC is much smaller than an 8-bit one.
+  EXPECT_LT(conventional_mac_cost(t(), 4).total().area_um2,
+            0.5 * c.total().area_um2);
+}
+
+}  // namespace
+}  // namespace bpvec::arch
