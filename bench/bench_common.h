@@ -1,13 +1,23 @@
-// Shared helpers for the figure/table reproduction binaries.
+// Shared helpers for the figure/table reproduction binaries: table
+// formatting glue, batch-vs-sequential timing, and machine-readable
+// BENCH_<name>.json emission so the perf trajectory is tracked across PRs.
 #pragma once
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/arch/dram.h"
+#include "src/common/error.h"
 #include "src/common/mathutil.h"
 #include "src/common/table.h"
 #include "src/dnn/model_zoo.h"
+#include "src/engine/scenario.h"
+#include "src/engine/sim_engine.h"
 #include "src/sim/simulator.h"
 
 namespace bpvec::bench {
@@ -17,6 +27,168 @@ inline sim::RunResult run(const sim::AcceleratorConfig& config,
                           const arch::DramModel& mem,
                           const dnn::Network& net) {
   return sim::Simulator(config, mem).run(net);
+}
+
+/// Wall-clock seconds of fn().
+template <typename Fn>
+double time_s(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Accumulates one benchmark's machine-readable record and writes it to
+/// `BENCH_<name>.json` in the working directory. Schema:
+///   {"bench": ..., "threads": N,
+///    "batch_wall_s": ..., "sequential_wall_s": ..,
+///    "speedup_vs_sequential": ...,
+///    "scenarios": [{"id": ..., numeric fields...}, ...],
+///    "metrics": {...}}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// One simulated scenario row (cycles, energy, throughput).
+  void add_result(const std::string& id, const sim::RunResult& r) {
+    std::ostringstream o;
+    o << "{\"id\": " << quote(id)
+      << ", \"platform\": " << quote(r.platform)
+      << ", \"network\": " << quote(r.network)
+      << ", \"memory\": " << quote(r.memory)
+      << ", \"total_cycles\": " << r.total_cycles
+      << ", \"total_macs\": " << r.total_macs
+      << ", \"runtime_s\": " << num(r.runtime_s)
+      << ", \"energy_j\": " << num(r.energy_j)
+      << ", \"gops_per_s\": " << num(r.gops_per_s)
+      << ", \"gops_per_w\": " << num(r.gops_per_w) << "}";
+    scenarios_.push_back(o.str());
+  }
+
+  /// Generic row for non-simulation scenarios (e.g. Fig. 4 design points).
+  void add_entry(
+      const std::string& id,
+      const std::vector<std::pair<std::string, double>>& fields) {
+    std::ostringstream o;
+    o << "{\"id\": " << quote(id);
+    for (const auto& [key, value] : fields) {
+      o << ", " << quote(key) << ": " << num(value);
+    }
+    o << "}";
+    scenarios_.push_back(o.str());
+  }
+
+  /// Named summary metric (geomeans, crossover points, …).
+  void add_metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  void set_batch_timing(double batch_wall_s, double sequential_wall_s,
+                        int threads) {
+    batch_wall_s_ = batch_wall_s;
+    sequential_wall_s_ = sequential_wall_s;
+    threads_ = threads;
+  }
+
+  /// Writes BENCH_<name>.json (and says so on stdout).
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out << "{\"bench\": " << quote(name_);
+    if (threads_ > 0) {
+      out << ",\n \"threads\": " << threads_
+          << ",\n \"batch_wall_s\": " << num(batch_wall_s_)
+          << ",\n \"sequential_wall_s\": " << num(sequential_wall_s_)
+          << ",\n \"speedup_vs_sequential\": "
+          << num(batch_wall_s_ > 0 ? sequential_wall_s_ / batch_wall_s_ : 0);
+    }
+    out << ",\n \"scenarios\": [";
+    for (std::size_t i = 0; i < scenarios_.size(); ++i) {
+      out << (i ? ",\n  " : "\n  ") << scenarios_[i];
+    }
+    out << "\n ],\n \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i ? ", " : "") << quote(metrics_[i].first) << ": "
+          << num(metrics_[i].second);
+    }
+    out << "}}\n";
+    out.flush();  // surface disk errors before declaring success
+    if (out.good()) {
+      std::printf("[bench] wrote %s\n", path.c_str());
+    } else {
+      std::printf("[bench] WARNING: could not write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  static std::string num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    std::string s(buf);
+    // %.17g emits bare "inf"/"nan" which is not JSON; clamp to null.
+    if (s.find_first_not_of("0123456789+-.eE") != std::string::npos) {
+      return "null";
+    }
+    return s;
+  }
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::string> scenarios_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  double batch_wall_s_ = 0.0;
+  double sequential_wall_s_ = 0.0;
+  int threads_ = 0;
+};
+
+/// Prices `batch` through the engine (timed), reprices it sequentially
+/// (timed) to anchor the speedup-vs-sequential metric, records every
+/// scenario plus the timing in `json`, and returns the batch results —
+/// which are bit-identical to the sequential rerun by the engine's
+/// determinism contract.
+inline std::vector<sim::RunResult> run_batch_timed(
+    engine::SimEngine& eng, const std::vector<engine::Scenario>& batch,
+    BenchJson& json) {
+  std::vector<sim::RunResult> results;
+  const double batch_s =
+      time_s([&] { results = eng.run_batch(batch); });
+  const double sequential_s = time_s([&] {
+    for (const auto& s : batch) {
+      (void)sim::Simulator(s.platform, s.memory).run(s.network);
+    }
+  });
+  json.set_batch_timing(batch_s, sequential_s, eng.num_threads());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    json.add_result(batch[i].id, results[i]);
+  }
+  return results;
+}
+
+/// Guard for the index arithmetic that maps batch results back to table
+/// rows: asserts the result at `index` really is `net` on a platform whose
+/// name starts with `platform_prefix`. Catches build-loop/consume-loop
+/// drift loudly instead of publishing another scenario's numbers.
+inline const sim::RunResult& picked(const std::vector<sim::RunResult>& results,
+                                    std::size_t index, const dnn::Network& net,
+                                    const std::string& platform_prefix) {
+  BPVEC_CHECK_MSG(index < results.size(), "bench result index out of range");
+  const sim::RunResult& r = results[index];
+  BPVEC_CHECK_MSG(r.network == net.name() &&
+                      r.platform.rfind(platform_prefix, 0) == 0,
+                  "bench result/scenario index drift");
+  return r;
 }
 
 /// Speedup of b over a in cycles (a is the reference/denominator design).

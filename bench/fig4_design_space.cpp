@@ -2,18 +2,46 @@
 // vs 2-bit) and NBVE vector length L ∈ {1, 2, 4, 8, 16} — power and area
 // per 8-bit × 8-bit MAC, normalized to a conventional 8-bit digital MAC,
 // broken down over multiplication / addition / shifting / registering.
+//
+// The α×L sweep is priced in parallel through engine::SimEngine; the
+// sequential core::explore_design_space pass is kept (timed) to anchor the
+// speedup-vs-sequential number in BENCH_fig4.json — the two are
+// bit-identical by the engine's determinism contract.
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "src/core/design_space.h"
+#include "src/engine/sim_engine.h"
 
 int main() {
   using namespace bpvec;
+  using namespace bpvec::bench;
   std::puts(
       "Figure 4: power/area per 8bx8b MAC vs slice width and vector "
       "length,\nnormalized to a conventional 8-bit MAC (lower is better)");
 
-  const auto points = core::explore_design_space({1, 2}, {1, 2, 4, 8, 16});
+  engine::SimEngine eng;
+  BenchJson json("fig4");
+
+  // §III-B conclusion input: the deep-quantized bitwidth mix.
+  const std::vector<core::BitwidthMixEntry> mix{
+      {8, 8, 0.2}, {4, 4, 0.6}, {8, 2, 0.1}, {2, 2, 0.1}};
+
+  const std::vector<int> fig_alphas{1, 2}, fig_lanes{1, 2, 4, 8, 16};
+  const std::vector<int> full_alphas{1, 2, 4}, full_lanes{1, 2, 4, 8, 16};
+
+  std::vector<core::DesignPoint> points, full;
+  const double batch_s = time_s([&] {
+    points = eng.explore_design_space(fig_alphas, fig_lanes);
+    full = eng.explore_design_space(full_alphas, full_lanes, 8, mix);
+  });
+  const double sequential_s = time_s([&] {
+    (void)core::explore_design_space(fig_alphas, fig_lanes);
+    for (const auto& g : core::design_grid(full_alphas, full_lanes)) {
+      (void)core::price_design_point(g, mix);
+    }
+  });
+  json.set_batch_timing(batch_s, sequential_s, eng.num_threads());
 
   for (const char* metric : {"Power/op", "Area/op"}) {
     const bool power = metric[0] == 'P';
@@ -37,12 +65,18 @@ int main() {
   std::puts("Paper anchors: 1-bit L=1 ~3.6x; 2-bit L=16 ~0.5x power /"
             " ~0.59x area; 2-bit L=1 (BitFusion-like) ~1.4x area.");
 
-  // §III-B conclusion: the optimum over the deep-quantized mix.
-  const std::vector<core::BitwidthMixEntry> mix{
-      {8, 8, 0.2}, {4, 4, 0.6}, {8, 2, 0.1}, {2, 2, 0.1}};
-  const auto best = core::best_design(
-      core::explore_design_space({1, 2, 4}, {1, 2, 4, 8, 16}), mix, 0.99);
+  for (const auto& p : full) {
+    json.add_entry(p.geometry.to_string(),
+                   {{"power_total", p.cost.power_total()},
+                    {"area_total", p.cost.area_total()},
+                    {"mix_utilization", p.mix_utilization}});
+  }
+
+  const auto best = core::best_design(full, mix, 0.99);
   std::printf("\nBest design over the quantized bitwidth mix: %s\n",
               best.geometry.to_string().c_str());
+  json.add_metric("best_slice_bits", best.geometry.slice_bits);
+  json.add_metric("best_lanes", best.geometry.lanes);
+  json.write();
   return 0;
 }

@@ -1,5 +1,6 @@
 // Reproduces Fig. 5: BPVeC vs the TPU-like baseline with DDR4 memory and
 // homogeneous 8-bit execution — speedup and energy reduction per network.
+// The platform×network grid is priced as one engine::SimEngine batch.
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -11,13 +12,26 @@ int main() {
       "Figure 5: BPVeC vs TPU-like baseline (DDR4, homogeneous 8-bit)\n"
       "Normalized to the baseline (baseline = 1.00x by construction)");
 
+  const auto nets = dnn::all_models(dnn::BitwidthMode::kHomogeneous8b);
+  std::vector<engine::Scenario> batch;
+  for (const auto& net : nets) {
+    batch.push_back(engine::make_scenario(engine::Platform::kTpuLike,
+                                          core::Memory::kDdr4, net));
+    batch.push_back(engine::make_scenario(engine::Platform::kBpvec,
+                                          core::Memory::kDdr4, net));
+  }
+
+  engine::SimEngine eng;
+  BenchJson json("fig5");
+  const auto results = run_batch_timed(eng, batch, json);
+
   Table t;
   t.set_header({"Network", "BPVeC Speedup", "BPVeC Energy Reduction",
                 "BPVeC bound"});
   std::vector<double> speedups, energies;
-  for (const auto& net : dnn::all_models(dnn::BitwidthMode::kHomogeneous8b)) {
-    const auto base = run(sim::tpu_like_baseline(), arch::ddr4(), net);
-    const auto bp = run(sim::bpvec_accelerator(), arch::ddr4(), net);
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const auto& base = picked(results, 2 * i, nets[i], "TPU-like");
+    const auto& bp = picked(results, 2 * i + 1, nets[i], "BPVeC");
     speedups.push_back(speedup(base, bp));
     energies.push_back(energy_reduction(base, bp));
     int bound_layers = 0, compute_layers = 0;
@@ -26,7 +40,7 @@ int main() {
       ++compute_layers;
       if (l.memory_bound) ++bound_layers;
     }
-    t.add_row({net.name(), Table::ratio(speedups.back()),
+    t.add_row({nets[i].name(), Table::ratio(speedups.back()),
                Table::ratio(energies.back()),
                std::to_string(bound_layers) + "/" +
                    std::to_string(compute_layers) + " layers memory-bound"});
@@ -35,5 +49,9 @@ int main() {
   t.print();
   std::puts("\nPaper: geomean 1.39x speedup / 1.43x energy reduction;"
             " RNN and LSTM ~1.0x (DDR4 bandwidth starves the extra compute).");
+
+  json.add_metric("geomean_speedup", geomean(speedups));
+  json.add_metric("geomean_energy_reduction", geomean(energies));
+  json.write();
   return 0;
 }

@@ -1,5 +1,5 @@
 // Reproduces Fig. 7: BPVeC vs BitFusion with DDR4 memory and the Table-I
-// heterogeneous quantized bitwidths.
+// heterogeneous quantized bitwidths. One engine batch prices the grid.
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -11,15 +11,28 @@ int main() {
       "Figure 7: BPVeC vs BitFusion (DDR4, heterogeneous bitwidths)\n"
       "Normalized to BitFusion (BitFusion = 1.00x by construction)");
 
+  const auto nets = dnn::all_models(dnn::BitwidthMode::kHeterogeneous);
+  std::vector<engine::Scenario> batch;
+  for (const auto& net : nets) {
+    batch.push_back(engine::make_scenario(engine::Platform::kBitFusion,
+                                          core::Memory::kDdr4, net));
+    batch.push_back(engine::make_scenario(engine::Platform::kBpvec,
+                                          core::Memory::kDdr4, net));
+  }
+
+  engine::SimEngine eng;
+  BenchJson json("fig7");
+  const auto results = run_batch_timed(eng, batch, json);
+
   Table t;
   t.set_header({"Network", "BPVeC Speedup", "BPVeC Energy Reduction"});
   std::vector<double> speedups, energies;
-  for (const auto& net : dnn::all_models(dnn::BitwidthMode::kHeterogeneous)) {
-    const auto bf = run(sim::bitfusion_accelerator(), arch::ddr4(), net);
-    const auto bp = run(sim::bpvec_accelerator(), arch::ddr4(), net);
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const auto& bf = picked(results, 2 * i, nets[i], "BitFusion");
+    const auto& bp = picked(results, 2 * i + 1, nets[i], "BPVeC");
     speedups.push_back(speedup(bf, bp));
     energies.push_back(energy_reduction(bf, bp));
-    t.add_row({net.name(), Table::ratio(speedups.back()),
+    t.add_row({nets[i].name(), Table::ratio(speedups.back()),
                Table::ratio(energies.back())});
   }
   add_geomean_row(t, {speedups, energies});
@@ -28,5 +41,9 @@ int main() {
             " vector-level composability integrates ~2.3x the compute of"
             " BitFusion under the same core power, but DDR4 bandwidth caps"
             " the benefit on the traffic-heavy networks.");
+
+  json.add_metric("geomean_speedup", geomean(speedups));
+  json.add_metric("geomean_energy_reduction", geomean(energies));
+  json.write();
   return 0;
 }

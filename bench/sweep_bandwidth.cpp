@@ -6,6 +6,9 @@
 // crossover where each platform flips from memory- to compute-bound —
 // the quantitative version of the paper's "BPVeC better utilizes the
 // boosted bandwidth" claim.
+//
+// 6 networks × 8 bandwidths × 2 platforms = 96 scenarios, priced as one
+// engine::SimEngine batch.
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -18,6 +21,24 @@ int main() {
       "(homogeneous 8-bit; both platforms get the same memory)");
 
   const double bandwidths[] = {4, 8, 16, 32, 64, 128, 256, 512};
+  const auto nets = dnn::all_models(dnn::BitwidthMode::kHomogeneous8b);
+
+  std::vector<engine::Scenario> batch;
+  for (const auto& net : nets) {
+    for (double bw : bandwidths) {
+      arch::DramModel mem = arch::ddr4();
+      mem.name = Table::num(bw, 0) + "GBps";
+      mem.bandwidth_gbps = bw;
+      batch.push_back(
+          engine::make_scenario(sim::tpu_like_baseline(), mem, net));
+      batch.push_back(
+          engine::make_scenario(sim::bpvec_accelerator(), mem, net));
+    }
+  }
+
+  engine::SimEngine eng;
+  BenchJson json("sweep_bandwidth");
+  const auto results = run_batch_timed(eng, batch, json);
 
   Table t;
   std::vector<std::string> header{"Network"};
@@ -26,14 +47,12 @@ int main() {
   }
   t.set_header(header);
 
-  for (const auto& net : dnn::all_models(dnn::BitwidthMode::kHomogeneous8b)) {
+  std::size_t cursor = 0;
+  for (const auto& net : nets) {
     std::vector<std::string> row{net.name()};
-    for (double bw : bandwidths) {
-      arch::DramModel mem = arch::ddr4();
-      mem.name = "sweep";
-      mem.bandwidth_gbps = bw;
-      const auto base = run(sim::tpu_like_baseline(), mem, net);
-      const auto bp = run(sim::bpvec_accelerator(), mem, net);
+    for (std::size_t b = 0; b < std::size(bandwidths); ++b) {
+      const auto& base = picked(results, cursor++, net, "TPU-like");
+      const auto& bp = picked(results, cursor++, net, "BPVeC");
       row.push_back(Table::ratio(speedup(base, bp)));
     }
     t.add_row(row);
@@ -45,5 +64,6 @@ int main() {
             " bandwidth crosses each network's arithmetic-intensity knee —"
             " RNN/LSTM need ~10x more bandwidth than the CNNs to get"
             " there, which is exactly the DDR4 -> HBM2 story of Figs. 5-8.");
+  json.write();
   return 0;
 }

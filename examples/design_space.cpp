@@ -1,19 +1,29 @@
 // Architect's view: sweep the CVU design space (slice width × vector
-// length), print the power/area frontier, and let the library pick the
-// best geometry for *your* bitwidth mix — then size a full accelerator
-// from the winner under a power budget.
+// length) in parallel on the batch engine, print the power/area frontier,
+// and let the library pick the best geometry for *your* bitwidth mix —
+// then size a full accelerator from the winner under a power budget.
 #include <cstdio>
 
 #include "src/arch/cvu_cost.h"
 #include "src/common/table.h"
 #include "src/core/design_space.h"
+#include "src/engine/sim_engine.h"
 #include "src/sim/config.h"
 
 int main() {
   using namespace bpvec;
 
+  // Your workload's bitwidth mix: mostly 4-bit with 8-bit edges and some
+  // aggressive 2-bit weight layers (PACT/WRPN-style quantization).
+  const std::vector<core::BitwidthMixEntry> mix{
+      {8, 8, 0.10}, {4, 4, 0.65}, {8, 2, 0.15}, {2, 2, 0.10}};
+
+  // The engine prices every α×L point (cost model + mix utilization) on a
+  // work-stealing pool — bit-identical to core::explore_design_space, just
+  // parallel.
+  engine::SimEngine eng;
   const auto points =
-      core::explore_design_space({1, 2, 4}, {1, 2, 4, 8, 16, 32});
+      eng.explore_design_space({1, 2, 4}, {1, 2, 4, 8, 16, 32}, 8, mix);
 
   Table t("CVU design space (per 8bx8b MAC, normalized to conventional)");
   t.set_header({"Geometry", "Power/op", "Area/op"});
@@ -23,10 +33,6 @@ int main() {
   }
   t.print();
 
-  // Your workload's bitwidth mix: mostly 4-bit with 8-bit edges and some
-  // aggressive 2-bit weight layers (PACT/WRPN-style quantization).
-  const std::vector<core::BitwidthMixEntry> mix{
-      {8, 8, 0.10}, {4, 4, 0.65}, {8, 2, 0.15}, {2, 2, 0.10}};
   const auto best = core::best_design(points, mix, /*min_utilization=*/0.9);
   std::printf("\nBest geometry for the mix: %s (bit-efficiency %.2f)\n",
               best.geometry.to_string().c_str(), best.mix_utilization);

@@ -67,6 +67,19 @@ std::uint32_t Rng::unsigned_value(int bits) {
   return static_cast<std::uint32_t>(uniform(0, hi));
 }
 
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the parent's full 256-bit state with the stream index through
+  // splitmix64; child lanes are decorrelated from the parent and from
+  // sibling streams (same construction as seeding, applied per lane).
+  Rng child(0);
+  std::uint64_t sm = stream ^ 0xA0761D6478BD642Full;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t mixed = s_[i] ^ splitmix64(sm);
+    child.s_[i] = splitmix64(mixed);
+  }
+  return child;
+}
+
 std::vector<std::int32_t> Rng::signed_vector(std::size_t n, int bits) {
   std::vector<std::int32_t> v(n);
   for (auto& x : v) x = signed_value(bits);

@@ -1,6 +1,12 @@
 // Deterministic random number generation for tests, benchmarks, and
 // synthetic workload data. All randomness in the repository flows through
 // this class so experiments are reproducible bit-for-bit.
+//
+// There is deliberately no process-global generator: every consumer owns
+// (or is handed) an Rng instance, and parallel work derives one
+// independent stream per task via fork() — the stream depends only on
+// (parent seed state, stream index), never on thread identity or
+// scheduling, so batch results are bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +37,13 @@ class Rng {
 
   /// Vector of `n` signed `bits`-wide values.
   std::vector<std::int32_t> signed_vector(std::size_t n, int bits);
+
+  /// Derives an independent child stream. Deterministic in (current
+  /// state, stream): forking streams 0…n-1 off one parent gives the same
+  /// n generators no matter which threads consume them or in what order.
+  /// Does not advance this generator, so distinct `stream` values can be
+  /// forked off one parent concurrently with a const reference.
+  Rng fork(std::uint64_t stream) const;
 
  private:
   std::uint64_t s_[4];

@@ -34,6 +34,11 @@
 #include "src/sim/report.h"
 #include "src/sim/simulator.h"
 
+// Parallel batch simulation engine.
+#include "src/engine/scenario.h"
+#include "src/engine/sim_engine.h"
+#include "src/engine/thread_pool.h"
+
 // Comparison points.
 #include "src/baselines/bit_serial.h"
 #include "src/baselines/gpu_model.h"

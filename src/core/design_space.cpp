@@ -6,19 +6,42 @@
 
 namespace bpvec::core {
 
+std::vector<bitslice::CvuGeometry> design_grid(
+    const std::vector<int>& slice_widths, const std::vector<int>& lanes,
+    int max_bits) {
+  std::vector<bitslice::CvuGeometry> grid;
+  grid.reserve(slice_widths.size() * lanes.size());
+  for (int alpha : slice_widths) {
+    for (int l : lanes) {
+      bitslice::CvuGeometry g{alpha, max_bits, l};
+      g.validate();
+      grid.push_back(g);
+    }
+  }
+  return grid;
+}
+
+DesignPoint price_design_point(const bitslice::CvuGeometry& geometry) {
+  const arch::CvuCostModel cost;
+  DesignPoint p;
+  p.geometry = geometry;
+  p.cost = cost.normalized_per_mac(geometry);
+  return p;
+}
+
+DesignPoint price_design_point(const bitslice::CvuGeometry& geometry,
+                               const std::vector<BitwidthMixEntry>& mix) {
+  DesignPoint p = price_design_point(geometry);
+  p.mix_utilization = mix_utilization(geometry, mix);
+  return p;
+}
+
 std::vector<DesignPoint> explore_design_space(
     const std::vector<int>& slice_widths, const std::vector<int>& lanes,
     int max_bits) {
-  arch::CvuCostModel cost;
   std::vector<DesignPoint> points;
-  for (int alpha : slice_widths) {
-    for (int l : lanes) {
-      DesignPoint p;
-      p.geometry = bitslice::CvuGeometry{alpha, max_bits, l};
-      p.geometry.validate();
-      p.cost = cost.normalized_per_mac(p.geometry);
-      points.push_back(p);
-    }
+  for (const auto& g : design_grid(slice_widths, lanes, max_bits)) {
+    points.push_back(price_design_point(g));
   }
   return points;
 }

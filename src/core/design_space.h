@@ -24,7 +24,25 @@ struct BitwidthMixEntry {
   double weight = 1.0;  // fraction of MACs at this mode
 };
 
-/// Sweeps slice widths × lanes and prices every point.
+/// The α×L grid of candidate geometries (row-major: slice widths outer,
+/// lanes inner — the iteration order of Fig. 4). Empty axes give an empty
+/// grid. Every geometry is validated.
+std::vector<bitslice::CvuGeometry> design_grid(
+    const std::vector<int>& slice_widths, const std::vector<int>& lanes,
+    int max_bits = 8);
+
+/// Prices one geometry. Pure and re-entrant: builds its own cost model,
+/// touches no shared mutable state — safe to call from many threads at
+/// once (SimEngine::explore_design_space fans the grid out this way).
+DesignPoint price_design_point(const bitslice::CvuGeometry& geometry);
+
+/// Variant that also fills `mix_utilization` over a bitwidth mix.
+DesignPoint price_design_point(const bitslice::CvuGeometry& geometry,
+                               const std::vector<BitwidthMixEntry>& mix);
+
+/// Sweeps slice widths × lanes and prices every point (sequentially;
+/// engine::SimEngine::explore_design_space is the parallel equivalent and
+/// produces bit-identical points).
 std::vector<DesignPoint> explore_design_space(
     const std::vector<int>& slice_widths, const std::vector<int>& lanes,
     int max_bits = 8);

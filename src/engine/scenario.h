@@ -1,0 +1,49 @@
+// A Scenario is one cell of the paper's evaluation matrices: a platform
+// (Table II accelerator config), a memory system, and a network at a
+// bitwidth mode. SimEngine::run_batch prices many of them in parallel.
+//
+// Scenarios are plain data — fully resolved configs rather than enum
+// handles — so sweeps can perturb any knob (bandwidth, scratchpad size,
+// batch size…) and still ride the same batch path. `fingerprint()` hashes
+// every field that can influence simulation results; the engine's result
+// cache is keyed on it so repeated design points are priced once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/dram.h"
+#include "src/core/accelerator.h"
+#include "src/dnn/network.h"
+#include "src/sim/config.h"
+
+namespace bpvec::engine {
+
+/// Table II platform selector for the factory helpers.
+enum class Platform { kTpuLike, kBitFusion, kBpvec };
+
+const char* to_string(Platform platform);
+
+struct Scenario {
+  std::string id;  // label for reports/JSON; defaults to platform/net/mem
+  sim::AcceleratorConfig platform;
+  arch::DramModel memory;
+  dnn::Network network{"", dnn::NetworkType::kCnn};
+
+  /// 64-bit FNV-1a hash over every simulation-relevant field (platform
+  /// knobs, memory knobs, network layer shapes and bitwidths). Two
+  /// scenarios with equal fingerprints produce bit-identical RunResults.
+  std::uint64_t fingerprint() const;
+};
+
+/// One cell of the Figs. 5–9 grids: a Table II platform × paper memory
+/// system × network. `bitwidth_mode` is carried by `net` (model zoo).
+Scenario make_scenario(Platform platform, core::Memory memory,
+                       dnn::Network net, std::string id = "");
+
+/// Custom-config variant for sweeps.
+Scenario make_scenario(sim::AcceleratorConfig config, arch::DramModel memory,
+                       dnn::Network net, std::string id = "");
+
+}  // namespace bpvec::engine

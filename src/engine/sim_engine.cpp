@@ -1,0 +1,149 @@
+#include "src/engine/sim_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bpvec::engine {
+
+SimEngine::SimEngine(EngineOptions options)
+    : pool_(options.num_threads), cache_enabled_(options.cache_enabled) {}
+
+std::size_t SimEngine::batch_grain(std::size_t jobs) const {
+  // Aim for ~4 stealable tasks per worker so micro-scale jobs amortize
+  // queue overhead while load balancing still has slack.
+  const std::size_t lanes = static_cast<std::size_t>(pool_.num_threads()) * 4;
+  return std::max<std::size_t>(1, jobs / std::max<std::size_t>(1, lanes));
+}
+
+std::vector<sim::RunResult> SimEngine::run_batch(
+    const std::vector<Scenario>& batch) {
+  std::vector<sim::RunResult> results(batch.size());
+  if (batch.empty()) return results;
+
+  // Fingerprints are pure per-scenario work — hash them on the pool so
+  // the cache feature doesn't serialize in front of the parallel region.
+  std::vector<std::uint64_t> prints(batch.size());
+  if (cache_enabled_) {
+    pool_.parallel_for(
+        batch.size(),
+        [&](std::size_t i) { prints[i] = batch[i].fingerprint(); },
+        batch_grain(batch.size()));
+  }
+
+  // Plan: resolve each scenario against the cache, keeping only the first
+  // occurrence of each fingerprint as a real job; later occurrences alias
+  // the job's slot.
+  struct Slot {
+    bool cached = false;
+    std::size_t job = 0;  // index into `jobs` when !cached
+  };
+  std::vector<Slot> slots(batch.size());
+  std::vector<std::size_t> jobs;  // batch indices that actually simulate
+  std::vector<std::shared_ptr<const sim::RunResult>> hits(batch.size());
+
+  {
+    std::unordered_map<std::uint64_t, std::size_t> first_job;
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.scenarios_submitted += batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!cache_enabled_) {
+        slots[i].job = jobs.size();
+        jobs.push_back(i);
+        continue;
+      }
+      if (auto it = cache_.find(prints[i]); it != cache_.end()) {
+        slots[i].cached = true;
+        hits[i] = it->second;
+        ++stats_.cache_hits;
+        continue;
+      }
+      if (auto it = first_job.find(prints[i]); it != first_job.end()) {
+        slots[i].job = it->second;  // duplicate within this batch
+        ++stats_.cache_hits;
+        continue;
+      }
+      first_job.emplace(prints[i], jobs.size());
+      slots[i].job = jobs.size();
+      jobs.push_back(i);
+    }
+    stats_.simulations_run += jobs.size();
+  }
+
+  // Simulate the unique scenarios in parallel, writing each job's result
+  // straight into its primary output slot; the cache's private copy is
+  // made inside the same task so no extra serial pass touches the bulky
+  // RunResults. Each job constructs its own Simulator — no state is
+  // shared across tasks, so scheduling order cannot affect the numbers.
+  std::vector<std::shared_ptr<const sim::RunResult>> fresh(
+      cache_enabled_ ? jobs.size() : 0);
+  pool_.parallel_for(
+      jobs.size(),
+      [&](std::size_t j) {
+        const std::size_t i = jobs[j];
+        const Scenario& s = batch[i];
+        results[i] = sim::Simulator(s.platform, s.memory).run(s.network);
+        if (cache_enabled_) {
+          fresh[j] = std::make_shared<const sim::RunResult>(results[i]);
+        }
+      },
+      batch_grain(jobs.size()));
+
+  // Fan cached/duplicate slots out from the shared copies (usually few).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (slots[i].cached) {
+      results[i] = *hits[i];
+    } else if (jobs[slots[i].job] != i) {
+      results[i] = *fresh[slots[i].job];  // in-batch duplicate
+    }
+  }
+
+  if (cache_enabled_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      cache_.emplace(prints[jobs[j]], std::move(fresh[j]));
+    }
+  }
+  return results;
+}
+
+sim::RunResult SimEngine::run(const Scenario& scenario) {
+  return run_batch({scenario}).front();
+}
+
+std::vector<core::DesignPoint> SimEngine::explore_design_space(
+    const std::vector<int>& slice_widths, const std::vector<int>& lanes,
+    int max_bits) {
+  const auto grid = core::design_grid(slice_widths, lanes, max_bits);
+  std::vector<core::DesignPoint> points(grid.size());
+  pool_.parallel_for(
+      grid.size(),
+      [&](std::size_t i) { points[i] = core::price_design_point(grid[i]); },
+      batch_grain(grid.size()));
+  return points;
+}
+
+std::vector<core::DesignPoint> SimEngine::explore_design_space(
+    const std::vector<int>& slice_widths, const std::vector<int>& lanes,
+    int max_bits, const std::vector<core::BitwidthMixEntry>& mix) {
+  const auto grid = core::design_grid(slice_widths, lanes, max_bits);
+  std::vector<core::DesignPoint> points(grid.size());
+  pool_.parallel_for(
+      grid.size(),
+      [&](std::size_t i) {
+        points[i] = core::price_design_point(grid[i], mix);
+      },
+      batch_grain(grid.size()));
+  return points;
+}
+
+EngineStats SimEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SimEngine::clear_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+}  // namespace bpvec::engine

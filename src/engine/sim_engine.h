@@ -1,0 +1,86 @@
+// SimEngine — the parallel batch simulation engine.
+//
+// The paper's evaluation is a pile of embarrassingly parallel scenario
+// matrices (Fig. 4's α×L sweep, Figs. 5–9's platform×network×memory
+// grids). SimEngine prices whole batches at once on a work-stealing
+// thread pool and memoizes results in a config-hash cache so repeated
+// design points are simulated exactly once.
+//
+// Guarantees:
+//   * run_batch results are bit-identical to a sequential
+//     `sim::Simulator(...).run(...)` loop over the same scenarios, for
+//     any thread count (each job is a pure function of its Scenario).
+//   * Results come back in input order, one per input scenario, even
+//     when the cache deduplicates the actual simulation work.
+//   * explore_design_space is bit-identical to
+//     core::explore_design_space (it parallelizes the identical
+//     per-point pricing function over the identical grid).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/design_space.h"
+#include "src/engine/scenario.h"
+#include "src/engine/thread_pool.h"
+#include "src/sim/simulator.h"
+
+namespace bpvec::engine {
+
+struct EngineStats {
+  std::size_t scenarios_submitted = 0;
+  std::size_t simulations_run = 0;  // actual Simulator::run invocations
+  std::size_t cache_hits = 0;       // served from the result cache
+};
+
+struct EngineOptions {
+  int num_threads = 0;        // <= 0: hardware concurrency
+  bool cache_enabled = true;  // config-hash result memoization
+};
+
+class SimEngine {
+ public:
+  explicit SimEngine(EngineOptions options = {});
+
+  /// Simulates every scenario, in parallel, and returns results in input
+  /// order. Duplicate fingerprints within the batch (and across batches,
+  /// while the cache lives) are simulated once and fanned back out.
+  std::vector<sim::RunResult> run_batch(const std::vector<Scenario>& batch);
+
+  /// Single-scenario convenience (still consults/feeds the cache).
+  sim::RunResult run(const Scenario& scenario);
+
+  /// Parallel Fig. 4 sweep: prices the α×L grid on the pool. Bit-identical
+  /// to core::explore_design_space over the same axes.
+  std::vector<core::DesignPoint> explore_design_space(
+      const std::vector<int>& slice_widths, const std::vector<int>& lanes,
+      int max_bits = 8);
+
+  /// Variant that also evaluates `mix_utilization` per point (the
+  /// expensive half of a best_design query) in parallel.
+  std::vector<core::DesignPoint> explore_design_space(
+      const std::vector<int>& slice_widths, const std::vector<int>& lanes,
+      int max_bits, const std::vector<core::BitwidthMixEntry>& mix);
+
+  EngineStats stats() const;
+  void clear_cache();
+
+  int num_threads() const { return pool_.num_threads(); }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  /// Indices per pool task for a batch of `jobs` parallel units.
+  std::size_t batch_grain(std::size_t jobs) const;
+
+  ThreadPool pool_;
+  bool cache_enabled_;
+
+  mutable std::mutex mu_;  // guards cache_ and stats_
+  std::unordered_map<std::uint64_t, std::shared_ptr<const sim::RunResult>>
+      cache_;
+  EngineStats stats_;
+};
+
+}  // namespace bpvec::engine

@@ -87,5 +87,66 @@ TEST(BestDesign, RejectsEmptyPointSet) {
   EXPECT_THROW(best_design({}, {{8, 8, 1.0}}), Error);
 }
 
+TEST(BestDesign, RejectsEmptyMix) {
+  const auto points = explore_design_space({2}, {16});
+  EXPECT_THROW(best_design(points, {}), Error);
+}
+
+TEST(BestDesign, NoPointMeetsTheUtilizationFloor) {
+  // 6-bit operands on 2-bit slices use 9/16 engines; demanding a 0.99
+  // floor over a single-point sweep leaves nothing.
+  const auto points = explore_design_space({2}, {16});
+  EXPECT_THROW(best_design(points, {{6, 6, 1.0}}, 0.99), Error);
+}
+
+TEST(DesignSpace, SinglePointSweep) {
+  const auto points = explore_design_space({2}, {16});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].geometry.slice_bits, 2);
+  EXPECT_EQ(points[0].geometry.lanes, 16);
+  // best_design over one admissible point returns it.
+  const auto best = best_design(points, {{8, 8, 1.0}});
+  EXPECT_EQ(best.geometry.lanes, 16);
+  EXPECT_DOUBLE_EQ(best.mix_utilization, 1.0);
+}
+
+TEST(DesignSpace, EmptyAxesGiveEmptyGrid) {
+  EXPECT_TRUE(explore_design_space({}, {1, 2, 4}).empty());
+  EXPECT_TRUE(explore_design_space({1, 2}, {}).empty());
+  EXPECT_TRUE(design_grid({}, {}).empty());
+}
+
+TEST(DesignSpace, GridMatchesExploreOrder) {
+  const std::vector<int> alphas{1, 2};
+  const std::vector<int> lanes{1, 4, 16};
+  const auto grid = design_grid(alphas, lanes);
+  const auto points = explore_design_space(alphas, lanes);
+  ASSERT_EQ(grid.size(), points.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].slice_bits, points[i].geometry.slice_bits);
+    EXPECT_EQ(grid[i].lanes, points[i].geometry.lanes);
+  }
+}
+
+TEST(DesignSpace, PricePointMatchesExplore) {
+  const auto points = explore_design_space({1, 2}, {1, 2, 4, 8, 16});
+  for (const auto& p : points) {
+    const auto repriced = price_design_point(p.geometry);
+    EXPECT_EQ(repriced.cost.power_total(), p.cost.power_total());
+    EXPECT_EQ(repriced.cost.area_total(), p.cost.area_total());
+  }
+}
+
+TEST(DesignSpace, PricePointWithMixFillsUtilization) {
+  const std::vector<BitwidthMixEntry> mix{{6, 6, 1.0}};
+  const auto p = price_design_point(bitslice::CvuGeometry{2, 8, 16}, mix);
+  EXPECT_NEAR(p.mix_utilization, 9.0 / 16.0, 1e-12);
+}
+
+TEST(DesignSpace, InvalidGeometryInGridThrows) {
+  // 3 does not divide 8 — geometry validation must reject the axis.
+  EXPECT_THROW(design_grid({3}, {16}), Error);
+}
+
 }  // namespace
 }  // namespace bpvec::core

@@ -99,5 +99,70 @@ TEST(Rng, RejectsBadBitCounts) {
   EXPECT_THROW(rng.unsigned_value(0), Error);
 }
 
+TEST(RngFork, DeterministicInParentAndStream) {
+  Rng parent_a(42), parent_b(42);
+  Rng child_a = parent_a.fork(3);
+  Rng child_b = parent_b.fork(3);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+  }
+}
+
+TEST(RngFork, StreamsDiverge) {
+  Rng parent(42);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngFork, ChildDivergesFromParentStream) {
+  Rng parent(7);
+  Rng child = parent.fork(0);
+  Rng parent_copy(7);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent_copy.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngFork, DoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngFork, OrderOfConsumptionIrrelevant) {
+  // Fork n streams up front, consume them in any order: values per stream
+  // depend only on (parent state, stream index) — the property parallel
+  // batch execution relies on.
+  Rng parent(1234);
+  std::vector<std::uint64_t> forward, backward;
+  {
+    Rng p = parent;
+    std::vector<Rng> streams;
+    for (std::uint64_t s = 0; s < 8; ++s) streams.push_back(p.fork(s));
+    for (auto& r : streams) forward.push_back(r.next_u64());
+  }
+  {
+    Rng p = parent;
+    std::vector<Rng> streams;
+    for (std::uint64_t s = 0; s < 8; ++s) streams.push_back(p.fork(s));
+    for (std::size_t i = streams.size(); i-- > 0;) {
+      backward.push_back(streams[i].next_u64());
+    }
+  }
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(forward[i], backward[7 - i]);
+  }
+}
+
 }  // namespace
 }  // namespace bpvec

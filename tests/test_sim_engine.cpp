@@ -1,0 +1,220 @@
+#include "src/engine/sim_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/dnn/model_zoo.h"
+#include "src/engine/scenario.h"
+#include "src/sim/simulator.h"
+
+namespace bpvec::engine {
+namespace {
+
+// The Figs. 5–8 style grid: three platforms × two memories over a couple
+// of networks — small enough for a unit test, rich enough to exercise
+// every platform code path.
+std::vector<Scenario> sample_grid() {
+  std::vector<Scenario> grid;
+  for (Platform p :
+       {Platform::kTpuLike, Platform::kBitFusion, Platform::kBpvec}) {
+    for (core::Memory m : {core::Memory::kDdr4, core::Memory::kHbm2}) {
+      grid.push_back(make_scenario(
+          p, m, dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b)));
+      grid.push_back(make_scenario(
+          p, m, dnn::make_rnn(dnn::BitwidthMode::kHeterogeneous)));
+    }
+  }
+  return grid;
+}
+
+void expect_bit_identical(const sim::RunResult& a, const sim::RunResult& b) {
+  EXPECT_EQ(a.platform, b.platform);
+  EXPECT_EQ(a.network, b.network);
+  EXPECT_EQ(a.memory, b.memory);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.total_macs, b.total_macs);
+  // Doubles compared exactly: the parallel path must run the identical
+  // arithmetic, not merely land close.
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_EQ(a.average_power_w, b.average_power_w);
+  EXPECT_EQ(a.gops_per_s, b.gops_per_s);
+  EXPECT_EQ(a.gops_per_w, b.gops_per_w);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].name, b.layers[i].name);
+    EXPECT_EQ(a.layers[i].total_cycles, b.layers[i].total_cycles);
+    EXPECT_EQ(a.layers[i].dram_bytes, b.layers[i].dram_bytes);
+    EXPECT_EQ(a.layers[i].energy.total_pj(), b.layers[i].energy.total_pj());
+  }
+}
+
+TEST(SimEngine, RunBatchMatchesSequentialSimulateBitForBit) {
+  const auto grid = sample_grid();
+  SimEngine eng({/*num_threads=*/4, /*cache_enabled=*/true});
+  const auto batch = eng.run_batch(grid);
+
+  ASSERT_EQ(batch.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto sequential =
+        sim::Simulator(grid[i].platform, grid[i].memory).run(grid[i].network);
+    expect_bit_identical(batch[i], sequential);
+  }
+}
+
+TEST(SimEngine, ThreadCountDoesNotChangeResults) {
+  const auto grid = sample_grid();
+  SimEngine one({/*num_threads=*/1, /*cache_enabled=*/false});
+  SimEngine many({/*num_threads=*/8, /*cache_enabled=*/true});
+  const auto a = one.run_batch(grid);
+  const auto b = many.run_batch(grid);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_bit_identical(a[i], b[i]);
+  }
+}
+
+TEST(SimEngine, ResultsComeBackInInputOrder) {
+  auto grid = sample_grid();
+  SimEngine eng({2, true});
+  const auto batch = eng.run_batch(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(batch[i].platform, grid[i].platform.name);
+    EXPECT_EQ(batch[i].network, grid[i].network.name());
+    EXPECT_EQ(batch[i].memory, grid[i].memory.name);
+  }
+}
+
+TEST(SimEngine, CacheServesRepeatedDesignPoints) {
+  const auto grid = sample_grid();
+  SimEngine eng({2, true});
+  (void)eng.run_batch(grid);
+  const auto after_first = eng.stats();
+  EXPECT_EQ(after_first.scenarios_submitted, grid.size());
+  EXPECT_EQ(after_first.simulations_run, grid.size());
+  EXPECT_EQ(after_first.cache_hits, 0u);
+
+  const auto again = eng.run_batch(grid);
+  const auto after_second = eng.stats();
+  EXPECT_EQ(after_second.simulations_run, grid.size());  // nothing new ran
+  EXPECT_EQ(after_second.cache_hits, grid.size());
+
+  const auto fresh = eng.run_batch(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    expect_bit_identical(again[i], fresh[i]);
+  }
+}
+
+TEST(SimEngine, DuplicatesWithinOneBatchSimulateOnce) {
+  const auto one = make_scenario(
+      Platform::kBpvec, core::Memory::kDdr4,
+      dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b));
+  std::vector<Scenario> batch(5, one);
+  SimEngine eng({2, true});
+  const auto results = eng.run_batch(batch);
+  EXPECT_EQ(eng.stats().simulations_run, 1u);
+  EXPECT_EQ(eng.stats().cache_hits, 4u);
+  for (const auto& r : results) {
+    expect_bit_identical(r, results.front());
+  }
+}
+
+TEST(SimEngine, ClearCacheForcesResimulation) {
+  const auto one = make_scenario(
+      Platform::kTpuLike, core::Memory::kHbm2,
+      dnn::make_rnn(dnn::BitwidthMode::kHomogeneous8b));
+  SimEngine eng({2, true});
+  (void)eng.run(one);
+  eng.clear_cache();
+  (void)eng.run(one);
+  EXPECT_EQ(eng.stats().simulations_run, 2u);
+}
+
+TEST(SimEngine, DisabledCacheAlwaysSimulates) {
+  const auto one = make_scenario(
+      Platform::kBpvec, core::Memory::kDdr4,
+      dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b));
+  SimEngine eng({2, /*cache_enabled=*/false});
+  (void)eng.run(one);
+  (void)eng.run(one);
+  EXPECT_EQ(eng.stats().simulations_run, 2u);
+  EXPECT_EQ(eng.stats().cache_hits, 0u);
+}
+
+TEST(SimEngine, EmptyBatchIsFine) {
+  SimEngine eng({2, true});
+  EXPECT_TRUE(eng.run_batch({}).empty());
+}
+
+TEST(SimEngine, ExploreDesignSpaceMatchesCoreSequential) {
+  SimEngine eng({4, true});
+  const std::vector<int> alphas{1, 2, 4};
+  const std::vector<int> lanes{1, 2, 4, 8, 16};
+  const auto parallel = eng.explore_design_space(alphas, lanes);
+  const auto sequential = core::explore_design_space(alphas, lanes);
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].geometry.slice_bits,
+              sequential[i].geometry.slice_bits);
+    EXPECT_EQ(parallel[i].geometry.lanes, sequential[i].geometry.lanes);
+    EXPECT_EQ(parallel[i].cost.power_total(), sequential[i].cost.power_total());
+    EXPECT_EQ(parallel[i].cost.area_total(), sequential[i].cost.area_total());
+  }
+}
+
+TEST(SimEngine, ExploreWithMixFillsUtilizationIdentically) {
+  SimEngine eng({4, true});
+  const std::vector<core::BitwidthMixEntry> mix{
+      {8, 8, 0.2}, {4, 4, 0.6}, {8, 2, 0.1}, {2, 2, 0.1}};
+  const auto points =
+      eng.explore_design_space({1, 2, 4}, {1, 2, 4, 8, 16}, 8, mix);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.mix_utilization, core::mix_utilization(p.geometry, mix));
+  }
+  // best_design over the parallel points reproduces the paper's optimum.
+  const auto best = core::best_design(points, mix, 0.99);
+  EXPECT_EQ(best.geometry.slice_bits, 2);
+  EXPECT_EQ(best.geometry.lanes, 16);
+}
+
+TEST(Scenario, FingerprintIsStableAndSensitive) {
+  const auto base = make_scenario(
+      Platform::kBpvec, core::Memory::kDdr4,
+      dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b));
+  const auto same = make_scenario(
+      Platform::kBpvec, core::Memory::kDdr4,
+      dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b));
+  EXPECT_EQ(base.fingerprint(), same.fingerprint());
+
+  auto bw = base;
+  bw.memory.bandwidth_gbps *= 2;
+  EXPECT_NE(base.fingerprint(), bw.fingerprint());
+
+  auto spad = base;
+  spad.platform.scratchpad_bytes += 1024;
+  EXPECT_NE(base.fingerprint(), spad.fingerprint());
+
+  auto net = base;
+  net.network = dnn::make_alexnet(dnn::BitwidthMode::kHeterogeneous);
+  EXPECT_NE(base.fingerprint(), net.fingerprint());
+
+  auto platform = base;
+  platform.platform = sim::tpu_like_baseline();
+  EXPECT_NE(base.fingerprint(), platform.fingerprint());
+}
+
+TEST(Scenario, DefaultIdNamesPlatformNetworkMemory) {
+  const auto s = make_scenario(
+      Platform::kBpvec, core::Memory::kHbm2,
+      dnn::make_rnn(dnn::BitwidthMode::kHomogeneous8b));
+  EXPECT_EQ(s.id,
+            s.platform.name + "/" + s.network.name() + "/" + s.memory.name);
+  const auto labeled = make_scenario(
+      Platform::kBpvec, core::Memory::kHbm2,
+      dnn::make_rnn(dnn::BitwidthMode::kHomogeneous8b), "custom-label");
+  EXPECT_EQ(labeled.id, "custom-label");
+}
+
+}  // namespace
+}  // namespace bpvec::engine

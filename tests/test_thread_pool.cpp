@@ -1,0 +1,137 @@
+#include "src/engine/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace bpvec::engine {
+namespace {
+
+TEST(ThreadPool, ReportsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  ThreadPool auto_pool(0);
+  EXPECT_GE(auto_pool.num_threads(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SingleThreadPoolCompletes) {
+  // The caller lends a hand, so even a 1-thread pool drains a large batch.
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i == 7 || i == 40) {
+        throw std::runtime_error("boom " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");
+  }
+}
+
+TEST(ThreadPool, AllTasksRunEvenWhenSomeThrow) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(50,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i % 2 == 0) throw Error("even");
+                                 }),
+               Error);
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, SubmitExecutesDetachedWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 16 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  // Queued detached tasks run to completion before the pool dies — the
+  // destructor drains, it does not drop.
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, WorkIsStolenAcrossQueues) {
+  // Submit round-robins over worker deques, so with 4 workers a batch of
+  // serial-dependency-free tasks lands everywhere; completing all of them
+  // from a parallel_for requires cross-queue stealing when one worker's
+  // queue drains first. This is a liveness test: it must simply finish.
+  ThreadPool pool(4);
+  std::atomic<int> slow{0}, fast{0};
+  pool.parallel_for(128, [&](std::size_t i) {
+    if (i == 0) {
+      // One long task pins a worker; the rest must be stolen/shared.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      slow.fetch_add(1);
+    } else {
+      fast.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(slow.load(), 1);
+  EXPECT_EQ(fast.load(), 127);
+}
+
+TEST(ThreadPool, NestedSequentialParallelForsReuseThePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(37, [&](std::size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 37);
+  }
+}
+
+}  // namespace
+}  // namespace bpvec::engine
