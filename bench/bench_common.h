@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/arch/dram.h"
+#include "src/backend/backend_registry.h"
 #include "src/common/error.h"
 #include "src/common/mathutil.h"
 #include "src/common/table.h"
@@ -43,7 +44,8 @@ double time_s(Fn&& fn) {
 ///   {"bench": ..., "threads": N,
 ///    "batch_wall_s": ..., "sequential_wall_s": ..,
 ///    "speedup_vs_sequential": ...,
-///    "scenarios": [{"id": ..., numeric fields...}, ...],
+///    "engine_stats": {simulations_run, cache_hits, layer counters...},
+///    "scenarios": [{"id": ..., "backend": ..., numeric fields...}, ...],
 ///    "metrics": {...}}
 class BenchJson {
  public:
@@ -56,6 +58,7 @@ class BenchJson {
       << ", \"platform\": " << quote(r.platform)
       << ", \"network\": " << quote(r.network)
       << ", \"memory\": " << quote(r.memory)
+      << ", \"backend\": " << quote(r.backend)
       << ", \"total_cycles\": " << r.total_cycles
       << ", \"total_macs\": " << r.total_macs
       << ", \"runtime_s\": " << num(r.runtime_s)
@@ -90,6 +93,13 @@ class BenchJson {
     threads_ = threads;
   }
 
+  /// Engine counters after the batch — lets the perf trajectory attribute
+  /// speedups to scenario-level vs layer-level caching.
+  void set_engine_stats(const engine::EngineStats& stats) {
+    engine_stats_ = stats;
+    has_engine_stats_ = true;
+  }
+
   /// Writes BENCH_<name>.json (and says so on stdout).
   void write() const {
     const std::string path = "BENCH_" + name_ + ".json";
@@ -101,6 +111,15 @@ class BenchJson {
           << ",\n \"sequential_wall_s\": " << num(sequential_wall_s_)
           << ",\n \"speedup_vs_sequential\": "
           << num(batch_wall_s_ > 0 ? sequential_wall_s_ / batch_wall_s_ : 0);
+    }
+    if (has_engine_stats_) {
+      out << ",\n \"engine_stats\": {\"scenarios_submitted\": "
+          << engine_stats_.scenarios_submitted
+          << ", \"simulations_run\": " << engine_stats_.simulations_run
+          << ", \"cache_hits\": " << engine_stats_.cache_hits
+          << ", \"layers_priced\": " << engine_stats_.layers_priced
+          << ", \"layer_cache_hits\": " << engine_stats_.layer_cache_hits
+          << "}";
     }
     out << ",\n \"scenarios\": [";
     for (std::size_t i = 0; i < scenarios_.size(); ++i) {
@@ -151,13 +170,16 @@ class BenchJson {
   double batch_wall_s_ = 0.0;
   double sequential_wall_s_ = 0.0;
   int threads_ = 0;
+  engine::EngineStats engine_stats_;
+  bool has_engine_stats_ = false;
 };
 
 /// Prices `batch` through the engine (timed), reprices it sequentially
-/// (timed) to anchor the speedup-vs-sequential metric, records every
-/// scenario plus the timing in `json`, and returns the batch results —
-/// which are bit-identical to the sequential rerun by the engine's
-/// determinism contract.
+/// through each scenario's cost backend (timed) to anchor the
+/// speedup-vs-sequential metric, records every scenario plus the timing
+/// and engine stats in `json`, and returns the batch results — which are
+/// bit-identical to the sequential rerun by the engine's determinism
+/// contract.
 inline std::vector<sim::RunResult> run_batch_timed(
     engine::SimEngine& eng, const std::vector<engine::Scenario>& batch,
     BenchJson& json) {
@@ -166,10 +188,13 @@ inline std::vector<sim::RunResult> run_batch_timed(
       time_s([&] { results = eng.run_batch(batch); });
   const double sequential_s = time_s([&] {
     for (const auto& s : batch) {
-      (void)sim::Simulator(s.platform, s.memory).run(s.network);
+      (void)backend::BackendRegistry::instance()
+          .create(s.backend, s.platform, s.memory)
+          ->run(s.network);
     }
   });
   json.set_batch_timing(batch_s, sequential_s, eng.num_threads());
+  json.set_engine_stats(eng.stats());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     json.add_result(batch[i].id, results[i]);
   }

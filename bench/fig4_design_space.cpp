@@ -42,6 +42,8 @@ int main() {
     }
   });
   json.set_batch_timing(batch_s, sequential_s, eng.num_threads());
+  json.set_engine_stats(eng.stats());  // design sweeps bypass the caches:
+                                       // all-zero counters, by design
 
   for (const char* metric : {"Power/op", "Area/op"}) {
     const bool power = metric[0] == 'P';

@@ -2,19 +2,19 @@
 // relative to the Nvidia RTX 2080 Ti, with (a) homogeneous 8-bit and
 // (b) heterogeneous quantized bitwidths (INT4 execution on the GPU).
 //
-// Both panels' accelerator runs are priced as one engine batch (the GPU
-// side is an analytical roofline model, evaluated inline).
+// Both panels — accelerator runs AND the GPU roofline — are priced as
+// one mixed-backend engine batch: the "gpu" cost backend adapts the
+// analytical model into the common RunResult shape, so it rides the
+// same thread pool, caches, and BENCH json as the cycle simulator.
 #include <cstdio>
 
 #include "bench/bench_common.h"
-#include "src/baselines/gpu_model.h"
 
 int main() {
   using namespace bpvec;
   using namespace bpvec::bench;
   std::puts("Figure 9: Performance-per-Watt vs RTX 2080 Ti");
 
-  baselines::GpuModel gpu;
   const struct {
     const char* title;
     dnn::BitwidthMode mode;
@@ -24,10 +24,12 @@ int main() {
        dnn::BitwidthMode::kHeterogeneous},
   };
 
-  // One batch across both panels: per network, BPVeC on DDR4 then HBM2.
+  // One mixed {gpu, bpvec} batch across both panels: per network, the GPU
+  // baseline then BPVeC on DDR4 and HBM2.
   std::vector<engine::Scenario> batch;
   for (const auto& panel : panels) {
     for (const auto& net : dnn::all_models(panel.mode)) {
+      batch.push_back(engine::make_gpu_scenario(net));
       batch.push_back(engine::make_scenario(engine::Platform::kBpvec,
                                             core::Memory::kDdr4, net));
       batch.push_back(engine::make_scenario(engine::Platform::kBpvec,
@@ -46,7 +48,7 @@ int main() {
                   "BPVeC-HBM2 GOps/W", "DDR4 ratio", "HBM2 ratio"});
     std::vector<double> ddr4_ratio, hbm2_ratio;
     for (const auto& net : dnn::all_models(panel.mode)) {
-      const auto g = gpu.run(net);
+      const auto& g = picked(results, cursor++, net, "RTX");
       const auto& d = picked(results, cursor++, net, "BPVeC");
       const auto& h = picked(results, cursor++, net, "BPVeC");
       ddr4_ratio.push_back(d.gops_per_w / g.gops_per_w);

@@ -1,0 +1,78 @@
+// String-keyed registry of cost-backend factories (the pass/op-model
+// registry idiom): SimEngine resolves Scenario::backend through it, so
+// registering a new CostBackend makes it reachable from every bench,
+// table, and BENCH json without touching the engine.
+//
+// Builtins registered at construction:
+//   "bpvec"           cycle-level Simulator (Table II ASIC platforms)
+//   "bit_serial"      Stripes-like activation-serial baseline
+//   "bit_serial_loom" Loom-like fully-serial baseline
+//   "gpu"             RTX 2080 Ti roofline (ignores platform/memory)
+//
+// A factory receives the scenario's resolved platform + memory configs;
+// backends that don't consume them (the GPU roofline) simply ignore
+// them. Re-registering a key overwrites it — cache correctness is
+// preserved because the engine folds each backend instance's
+// fingerprint() into its cache keys.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/backend/cost_backend.h"
+
+namespace bpvec::backend {
+
+using BackendFactory = std::function<std::unique_ptr<CostBackend>(
+    const sim::AcceleratorConfig& platform, const arch::DramModel& memory)>;
+
+class BackendRegistry {
+ public:
+  /// Process-wide registry (thread-safe).
+  static BackendRegistry& instance();
+
+  /// Registers (or overwrites) a factory under `key`.
+  void register_backend(std::string key, BackendFactory factory);
+
+  /// Instantiates the backend registered under `key` for the given
+  /// pricing context. Fails loudly on unknown keys.
+  std::unique_ptr<CostBackend> create(const std::string& key,
+                                      const sim::AcceleratorConfig& platform,
+                                      const arch::DramModel& memory) const;
+
+  bool contains(const std::string& key) const;
+
+  /// A consistent (factory, registration-stamp) snapshot of one key.
+  /// `generation` is bumped every time the key is (re-)registered; the
+  /// engine folds it into scenario-cache keys so re-registering a key
+  /// with different knobs abandons stale entries — and constructs
+  /// backends from the snapshotted factory, so a batch can never cache
+  /// one registration's numbers under another's stamp, even if a
+  /// re-registration races the batch. Snapshotting also spares the
+  /// engine constructing a backend (and hashing its fingerprint) for
+  /// scenarios a cache will serve anyway.
+  struct Resolved {
+    BackendFactory factory;
+    std::uint64_t generation = 0;
+  };
+
+  /// Atomic lookup of `key`. Fails loudly on unknown keys.
+  Resolved resolve(const std::string& key) const;
+
+  /// Registered keys, sorted — benches iterate this to grow a backend
+  /// column automatically.
+  std::vector<std::string> keys() const;
+
+ private:
+  BackendRegistry();  // registers the builtins
+
+  mutable std::mutex mu_;
+  std::map<std::string, Resolved> factories_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace bpvec::backend

@@ -1,0 +1,117 @@
+#include "src/backend/bit_serial_backend.h"
+
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/common/mathutil.h"
+#include "src/sim/memory_system.h"
+
+namespace bpvec::backend {
+
+BitSerialBackend::BitSerialBackend(baselines::BitSerialConfig serial,
+                                   sim::AcceleratorConfig platform,
+                                   arch::DramModel memory)
+    : serial_(serial),
+      platform_(std::move(platform)),
+      dram_(std::move(memory)),
+      cost_(),
+      energy_(platform_, dram_, cost_) {
+  platform_.validate();
+  BPVEC_CHECK(serial_.lanes >= 1 && serial_.max_bits >= 1);
+  display_name_ = serial_.mode == baselines::SerialMode::kActivationSerial
+                      ? "BitSerial-Stripes"
+                      : "BitSerial-Loom";
+  // Anchor the serial lane's per-cycle energy to the conventional-MAC
+  // scale: bit_serial_cost integrates one MAC's energy over its full
+  // serial latency at max bitwidth, normalized to the conventional MAC.
+  const auto bsc = baselines::bit_serial_cost(cost_.technology(), serial_);
+  const double serial_cycles_at_max = static_cast<double>(
+      serial_.cycles_per_mac(serial_.max_bits, serial_.max_bits));
+  lane_cycle_energy_pj_ = bsc.power_per_mac *
+                          cost_.conventional_mac_energy_pj() /
+                          serial_cycles_at_max;
+}
+
+const std::string& BitSerialBackend::name() const {
+  static const std::string kStripes = "bit_serial";
+  static const std::string kLoom = "bit_serial_loom";
+  return serial_.mode == baselines::SerialMode::kActivationSerial ? kStripes
+                                                                  : kLoom;
+}
+
+std::uint64_t BitSerialBackend::fingerprint() const {
+  common::ConfigHash f;
+  f.str(name());
+  f.i32(static_cast<int>(serial_.mode));
+  f.i32(serial_.lanes);
+  f.i32(serial_.max_bits);
+  hash_platform(f, platform_);
+  hash_memory(f, dram_);
+  return f.h;
+}
+
+sim::LayerResult BitSerialBackend::price_layer(const dnn::Layer& layer) const {
+  const std::int64_t batch =
+      layer.kind == dnn::LayerKind::kRecurrent ? 1 : platform_.batch_size;
+  if (!layer.is_compute()) {
+    // Pooling runs on the on-chip post-processing unit, exactly as in the
+    // cycle simulator — the serial engines are not involved.
+    return sim::price_pool_layer(platform_, energy_, layer, batch);
+  }
+
+  sim::LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.x_bits = layer.x_bits;
+  r.w_bits = layer.w_bits;
+  r.macs = layer.macs() * batch;
+
+  dnn::GemmShape gemm = layer.gemm(platform_.time_chunk);
+  if (layer.kind != dnn::LayerKind::kRecurrent) {
+    gemm.m *= platform_.batch_size;
+  }
+
+  // Serial compute: K spreads across the rows (each engine consuming
+  // `lanes` dot-product elements per cycles_per_mac serial pass), N
+  // across the cols; M streams through. A bw-bit MAC monopolizes its
+  // lane for cycles_per_mac(x, w) cycles — the temporal composability
+  // trade: linear bitwidth proportionality at serial latency.
+  const std::int64_t cpm = serial_.cycles_per_mac(r.x_bits, r.w_bits);
+  const std::int64_t k_tile =
+      static_cast<std::int64_t>(platform_.rows) * serial_.lanes;
+  const std::int64_t k_passes = ceil_div(gemm.k, k_tile);
+  const std::int64_t n_passes = ceil_div(gemm.n, platform_.cols);
+  const std::int64_t fill_drain = platform_.rows + platform_.cols;
+  const std::int64_t compute_cycles =
+      k_passes * n_passes * gemm.m * cpm + fill_drain;
+  const std::int64_t macs_per_repeat = gemm.m * gemm.n * gemm.k;
+  const double peak_macs_per_cycle =
+      static_cast<double>(platform_.num_pes()) *
+      static_cast<double>(serial_.lanes) / static_cast<double>(cpm);
+  r.utilization = static_cast<double>(macs_per_repeat) /
+                  (static_cast<double>(compute_cycles) * peak_macs_per_cycle);
+  BPVEC_CHECK(r.utilization <= 1.0 + 1e-9);
+
+  // Memory side: identical traffic model and double-buffered overlap as
+  // the cycle simulator — the serial engines change compute, not DRAM.
+  const sim::TrafficEstimate traffic = sim::estimate_traffic(
+      platform_, gemm, r.x_bits, r.w_bits, r.x_bits, n_passes);
+  sim::fold_repeat_overlap(r, gemm, compute_cycles, traffic, platform_,
+                           dram_);
+
+  // SRAM/DRAM/static energy from the shared model; compute energy charges
+  // each useful MAC its serial-lane energy over cpm cycles.
+  r.energy = energy_.layer_energy(/*active_cycles=*/0, 0.0, r.total_cycles,
+                                  r.sram_bytes, r.dram_bytes);
+  r.energy.compute_pj = static_cast<double>(r.macs) * lane_cycle_energy_pj_ *
+                        static_cast<double>(cpm);
+  return r;
+}
+
+sim::RunResult BitSerialBackend::assemble(
+    const dnn::Network& network, std::vector<sim::LayerResult> layers) const {
+  return sim::assemble_run(display_name_, network.name(), dram_.name, name(),
+                           std::move(layers), platform_.frequency_hz);
+}
+
+}  // namespace bpvec::backend

@@ -1,0 +1,89 @@
+#include "src/backend/cost_backend.h"
+
+#include <type_traits>
+#include <variant>
+
+namespace bpvec::backend {
+
+void hash_platform(common::ConfigHash& f, const sim::AcceleratorConfig& c) {
+  f.str(c.name);
+  f.i32(static_cast<int>(c.pe_kind));
+  f.i32(c.rows);
+  f.i32(c.cols);
+  f.i32(c.cvu.slice_bits);
+  f.i32(c.cvu.max_bits);
+  f.i32(c.cvu.lanes);
+  f.i64(c.scratchpad_bytes);
+  f.f64(c.frequency_hz);
+  f.i32(c.time_chunk);
+  f.i32(c.batch_size);
+  f.f64(c.static_core_mw);
+}
+
+void hash_memory(common::ConfigHash& f, const arch::DramModel& m) {
+  f.str(m.name);
+  f.f64(m.bandwidth_gbps);
+  f.f64(m.energy_pj_per_bit);
+  f.f64(m.startup_latency_ns);
+  f.f64(m.background_power_w);
+}
+
+std::uint64_t layer_fingerprint(const dnn::Layer& layer, int time_chunk) {
+  // Deliberately excludes layer.name: two layers with identical shapes
+  // and bitwidths price identically (ResNet's repeated blocks share one
+  // cache entry; the consumer patches LayerResult::name back in).
+  //
+  // Hashes the raw shape parameters rather than derived quantities
+  // (macs/gemm/...): cheaper — this sits on the batch hot path, where
+  // hashing competes with the analytic pricing itself — and immune to
+  // two distinct shapes colliding on equal derived counts.
+  common::ConfigHash f;
+  f.i32(static_cast<int>(layer.kind));
+  f.i32(layer.x_bits);
+  f.i32(layer.w_bits);
+  f.i32(time_chunk);  // shapes the recurrent GEMM view
+  f.u64(layer.params.index());
+  std::visit(
+      [&f](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, dnn::ConvParams>) {
+          f.i32(p.in_c);
+          f.i32(p.in_h);
+          f.i32(p.in_w);
+          f.i32(p.out_c);
+          f.i32(p.kh);
+          f.i32(p.kw);
+          f.i32(p.stride);
+          f.i32(p.pad);
+        } else if constexpr (std::is_same_v<T, dnn::FcParams>) {
+          f.i32(p.in_features);
+          f.i32(p.out_features);
+        } else if constexpr (std::is_same_v<T, dnn::PoolParams>) {
+          f.i32(p.channels);
+          f.i32(p.in_h);
+          f.i32(p.in_w);
+          f.i32(p.k);
+          f.i32(p.stride);
+          f.i32(static_cast<int>(p.kind));
+        } else {
+          static_assert(std::is_same_v<T, dnn::RecurrentParams>);
+          f.i32(static_cast<int>(p.cell));
+          f.i32(p.input_size);
+          f.i32(p.hidden_size);
+          f.i32(p.time_steps);
+        }
+      },
+      layer.params);
+  return f.h;
+}
+
+sim::RunResult CostBackend::run(const dnn::Network& network) const {
+  std::vector<sim::LayerResult> layers;
+  layers.reserve(network.layers().size());
+  for (const dnn::Layer& layer : network.layers()) {
+    layers.push_back(price_layer(layer));
+  }
+  return assemble(network, std::move(layers));
+}
+
+}  // namespace bpvec::backend

@@ -1,0 +1,81 @@
+#include "src/backend/gpu_backend.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/error.h"
+
+namespace bpvec::backend {
+
+GpuBackend::GpuBackend(baselines::GpuSpec spec) : model_(spec) {}
+
+const std::string& GpuBackend::name() const {
+  static const std::string kName = "gpu";
+  return kName;
+}
+
+std::uint64_t GpuBackend::fingerprint() const {
+  const baselines::GpuSpec& s = model_.spec();
+  common::ConfigHash f;
+  f.str(name());
+  f.str(s.name);
+  f.i32(s.tensor_cores);
+  f.f64(s.frequency_ghz);
+  f.f64(s.int8_macs_per_core_per_clock);
+  f.f64(s.memory_bandwidth_gbps);
+  f.f64(s.board_power_w);
+  f.f64(s.conv_utilization);
+  f.f64(s.gemv_bandwidth_fraction);
+  f.f64(s.kernel_overhead_us);
+  return f.h;
+}
+
+sim::LayerResult GpuBackend::price_layer(const dnn::Layer& layer) const {
+  const baselines::GpuSpec& spec = model_.spec();
+  sim::LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.x_bits = layer.x_bits;
+  r.w_bits = layer.w_bits;
+  r.macs = layer.macs();
+
+  const baselines::GpuLayerTime t = model_.layer_time(layer);
+  r.runtime_s = t.seconds;
+  r.memory_bound = t.bandwidth_bound;
+  r.total_cycles = static_cast<std::int64_t>(
+      std::llround(t.seconds * spec.frequency_ghz * 1e9));
+  // Board power over the layer's wall clock; the breakdown has no
+  // compute/SRAM/DRAM split for the GPU, so it all lands in static_pj.
+  r.energy.static_pj = t.seconds * spec.board_power_w * 1e12;
+  return r;
+}
+
+sim::RunResult GpuBackend::assemble(
+    const dnn::Network& network, std::vector<sim::LayerResult> layers) const {
+  const baselines::GpuSpec& spec = model_.spec();
+  sim::RunResult result;
+  result.platform = spec.name;
+  result.network = network.name();
+  result.memory = "GDDR6";
+  result.backend = name();
+  result.layers = std::move(layers);
+
+  // The exact fold GpuModel::run performs (seconds and MACs accumulated
+  // in layer order), so the shared metrics are bit-identical to the
+  // direct model.
+  for (const sim::LayerResult& lr : result.layers) {
+    result.runtime_s += lr.runtime_s;
+    result.total_macs += lr.macs;
+    result.total_cycles += lr.total_cycles;
+    result.energy += lr.energy;
+  }
+  BPVEC_CHECK(result.runtime_s > 0);
+  result.energy_j = result.energy.total_pj() * 1e-12;
+  result.average_power_w = spec.board_power_w;
+  result.gops_per_s =
+      2.0 * static_cast<double>(result.total_macs) / result.runtime_s / 1e9;
+  result.gops_per_w = result.gops_per_s / spec.board_power_w;
+  return result;
+}
+
+}  // namespace bpvec::backend

@@ -1,0 +1,39 @@
+// GpuBackend — the RTX 2080 Ti roofline model (baselines::GpuModel)
+// adapted to the common sim::RunResult shape, so the Fig. 9 GPU column
+// rides the same SimEngine batch path and report tables as the ASIC
+// platforms.
+//
+// The adaptation is faithful to the seed model: per-layer seconds come
+// from GpuModel::layer_time, run totals from the identical fold
+// GpuModel::run performs, so runtime_s / gops_per_s / gops_per_w are
+// bit-identical to calling GpuModel directly. Cycles are reported at
+// the GPU clock; energy charges board power over the run (GPUs burn
+// close to TDP during inference bursts — the Fig. 9 perf/W basis).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/backend/cost_backend.h"
+#include "src/baselines/gpu_model.h"
+
+namespace bpvec::backend {
+
+class GpuBackend : public CostBackend {
+ public:
+  explicit GpuBackend(baselines::GpuSpec spec = baselines::GpuSpec{});
+
+  const std::string& name() const override;
+  std::uint64_t fingerprint() const override;
+  sim::LayerResult price_layer(const dnn::Layer& layer) const override;
+  sim::RunResult assemble(const dnn::Network& network,
+                          std::vector<sim::LayerResult> layers) const override;
+
+  const baselines::GpuModel& model() const { return model_; }
+
+ private:
+  baselines::GpuModel model_;
+};
+
+}  // namespace bpvec::backend

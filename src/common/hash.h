@@ -1,0 +1,57 @@
+// 64-bit configuration hashing shared by the scenario and backend
+// fingerprints (engine result cache, layer-granular memo cache).
+//
+// Word-at-a-time mixer (murmur-style finalizer per word folded into an
+// FNV-ish chain). Fingerprinting sits on the batch hot path —
+// byte-at-a-time FNV costs as much as the simulation itself on the
+// many-layer networks, word mixing is ~8x cheaper at equivalent quality.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace bpvec::common {
+
+struct ConfigHash {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+
+  void u64(std::uint64_t v) {
+    v *= 0xFF51AFD7ED558CCDull;
+    v ^= v >> 33;
+    h = (h ^ v) * 0x100000001B3ull;
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(int v) { i64(v); }
+  void f64(double v) {
+    // Hash the bit pattern: results are bit-identical iff inputs are.
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    std::size_t i = 0;
+    for (; i + 8 <= s.size(); i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, s.data() + i, 8);
+      u64(w);
+    }
+    std::uint64_t tail = 0;
+    if (i < s.size()) {
+      std::memcpy(&tail, s.data() + i, s.size() - i);
+      u64(tail);
+    }
+  }
+};
+
+/// Order-sensitive combination of two 64-bit hashes (cache keys built
+/// from independently computed fingerprints).
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  ConfigHash f;
+  f.u64(a);
+  f.u64(b);
+  return f.h;
+}
+
+}  // namespace bpvec::common

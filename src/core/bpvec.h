@@ -34,11 +34,18 @@
 #include "src/sim/report.h"
 #include "src/sim/simulator.h"
 
+// Unified cost backends (pluggable pricing models behind one interface).
+#include "src/backend/backend_registry.h"
+#include "src/backend/bit_serial_backend.h"
+#include "src/backend/bpvec_backend.h"
+#include "src/backend/cost_backend.h"
+#include "src/backend/gpu_backend.h"
+
 // Parallel batch simulation engine.
 #include "src/engine/scenario.h"
 #include "src/engine/sim_engine.h"
 #include "src/engine/thread_pool.h"
 
-// Comparison points.
+// Comparison points (raw models; the backends above adapt them).
 #include "src/baselines/bit_serial.h"
 #include "src/baselines/gpu_model.h"

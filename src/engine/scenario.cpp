@@ -1,67 +1,11 @@
 #include "src/engine/scenario.h"
 
-#include <cstring>
+#include <utility>
+
+#include "src/backend/cost_backend.h"
+#include "src/common/hash.h"
 
 namespace bpvec::engine {
-
-namespace {
-
-// Word-at-a-time 64-bit mixer (murmur-style finalizer per word folded
-// into an FNV-ish chain). Fingerprinting sits on the batch hot path —
-// byte-at-a-time FNV costs as much as the simulation itself on the
-// many-layer networks, word mixing is ~8x cheaper at equivalent quality.
-struct ConfigHash {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-
-  void u64(std::uint64_t v) {
-    v *= 0xFF51AFD7ED558CCDull;
-    v ^= v >> 33;
-    h = (h ^ v) * 0x100000001B3ull;
-  }
-  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-  void i32(int v) { i64(v); }
-  void f64(double v) {
-    // Hash the bit pattern: results are bit-identical iff inputs are.
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof bits);
-    u64(bits);
-  }
-  void str(const std::string& s) {
-    u64(s.size());
-    std::size_t i = 0;
-    for (; i + 8 <= s.size(); i += 8) {
-      std::uint64_t w;
-      std::memcpy(&w, s.data() + i, 8);
-      u64(w);
-    }
-    std::uint64_t tail = 0;
-    if (i < s.size()) {
-      std::memcpy(&tail, s.data() + i, s.size() - i);
-      u64(tail);
-    }
-  }
-};
-
-void hash_layer(ConfigHash& f, const dnn::Layer& layer, int time_chunk) {
-  f.str(layer.name);
-  f.i32(static_cast<int>(layer.kind));
-  f.i32(layer.x_bits);
-  f.i32(layer.w_bits);
-  f.i64(layer.macs());
-  f.i64(layer.weights());
-  f.i64(layer.input_elems());
-  f.i64(layer.output_elems());
-  if (layer.is_compute()) {
-    const dnn::GemmShape g = layer.gemm(time_chunk);
-    f.i64(g.m);
-    f.i64(g.n);
-    f.i64(g.k);
-    f.i64(g.repeats);
-    f.i32(g.weights_streamed_per_repeat ? 1 : 0);
-  }
-}
-
-}  // namespace
 
 const char* to_string(Platform platform) {
   switch (platform) {
@@ -73,31 +17,18 @@ const char* to_string(Platform platform) {
 }
 
 std::uint64_t Scenario::fingerprint() const {
-  ConfigHash f;
-  // Platform knobs — every field sim::Simulator reads.
-  f.str(platform.name);
-  f.i32(static_cast<int>(platform.pe_kind));
-  f.i32(platform.rows);
-  f.i32(platform.cols);
-  f.i32(platform.cvu.slice_bits);
-  f.i32(platform.cvu.max_bits);
-  f.i32(platform.cvu.lanes);
-  f.i64(platform.scratchpad_bytes);
-  f.f64(platform.frequency_hz);
-  f.i32(platform.time_chunk);
-  f.i32(platform.batch_size);
-  f.f64(platform.static_core_mw);
-  // Memory knobs.
-  f.str(memory.name);
-  f.f64(memory.bandwidth_gbps);
-  f.f64(memory.energy_pj_per_bit);
-  f.f64(memory.startup_latency_ns);
-  f.f64(memory.background_power_w);
-  // Network.
+  common::ConfigHash f;
+  // Backend id first: two different cost models of the same platform ×
+  // memory × network must never collide in the engine's result cache.
+  f.str(backend);
+  backend::hash_platform(f, platform);
+  backend::hash_memory(f, memory);
+  // Network: names identify the workload; shapes/bitwidths drive pricing.
   f.str(network.name());
   f.u64(network.layers().size());
   for (const dnn::Layer& layer : network.layers()) {
-    hash_layer(f, layer, platform.time_chunk);
+    f.str(layer.name);
+    f.u64(backend::layer_fingerprint(layer, platform.time_chunk));
   }
   return f.h;
 }
@@ -121,12 +52,30 @@ Scenario make_scenario(Platform platform, core::Memory memory,
 
 Scenario make_scenario(sim::AcceleratorConfig config, arch::DramModel memory,
                        dnn::Network net, std::string id) {
+  return make_scenario("bpvec", std::move(config), std::move(memory),
+                       std::move(net), std::move(id));
+}
+
+Scenario make_scenario(std::string backend, Platform platform,
+                       core::Memory memory, dnn::Network net,
+                       std::string id) {
+  return make_scenario(std::move(backend), platform_config(platform),
+                       core::make_memory(memory), std::move(net),
+                       std::move(id));
+}
+
+Scenario make_scenario(std::string backend, sim::AcceleratorConfig config,
+                       arch::DramModel memory, dnn::Network net,
+                       std::string id) {
   Scenario s;
+  s.backend = std::move(backend);
   s.platform = std::move(config);
   s.memory = std::move(memory);
   s.network = std::move(net);
   if (id.empty()) {
-    s.id = s.platform.name;
+    s.id = s.backend;
+    s.id += ':';
+    s.id += s.platform.name;
     s.id += '/';
     s.id += s.network.name();
     s.id += '/';
@@ -135,6 +84,15 @@ Scenario make_scenario(sim::AcceleratorConfig config, arch::DramModel memory,
     s.id = std::move(id);
   }
   return s;
+}
+
+Scenario make_gpu_scenario(dnn::Network net, std::string id) {
+  if (id.empty()) {
+    id = "gpu:RTX 2080 Ti/" + net.name() + "/GDDR6";
+  }
+  // Placeholder platform/memory: the gpu backend prices from its GpuSpec.
+  return make_scenario("gpu", Platform::kBpvec, core::Memory::kDdr4,
+                       std::move(net), std::move(id));
 }
 
 }  // namespace bpvec::engine

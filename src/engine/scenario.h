@@ -26,24 +26,48 @@ enum class Platform { kTpuLike, kBitFusion, kBpvec };
 const char* to_string(Platform platform);
 
 struct Scenario {
-  std::string id;  // label for reports/JSON; defaults to platform/net/mem
+  std::string id;  // label for reports/JSON; defaults to
+                   // <backend>:<platform>/<network>/<memory>
+  /// BackendRegistry key of the cost model that prices this scenario.
+  /// The engine resolves it per run; the fingerprint folds it in so two
+  /// different cost models of the same scenario never share a cache
+  /// entry.
+  std::string backend = "bpvec";
   sim::AcceleratorConfig platform;
   arch::DramModel memory;
   dnn::Network network{"", dnn::NetworkType::kCnn};
 
-  /// 64-bit FNV-1a hash over every simulation-relevant field (platform
-  /// knobs, memory knobs, network layer shapes and bitwidths). Two
-  /// scenarios with equal fingerprints produce bit-identical RunResults.
+  /// 64-bit hash over every simulation-relevant field (backend id,
+  /// platform knobs, memory knobs, network layer shapes and bitwidths).
+  /// Two scenarios with equal fingerprints produce bit-identical
+  /// RunResults under the same registry state (the engine additionally
+  /// folds the resolved backend's own fingerprint into cache keys).
   std::uint64_t fingerprint() const;
 };
 
 /// One cell of the Figs. 5–9 grids: a Table II platform × paper memory
-/// system × network. `bitwidth_mode` is carried by `net` (model zoo).
+/// system × network, priced by the default "bpvec" cycle simulator.
+/// `bitwidth_mode` is carried by `net` (model zoo).
 Scenario make_scenario(Platform platform, core::Memory memory,
                        dnn::Network net, std::string id = "");
 
 /// Custom-config variant for sweeps.
 Scenario make_scenario(sim::AcceleratorConfig config, arch::DramModel memory,
                        dnn::Network net, std::string id = "");
+
+/// Variant priced by an explicit BackendRegistry key (e.g. "bit_serial"
+/// for the Stripes-like baseline on the same platform envelope).
+Scenario make_scenario(std::string backend, Platform platform,
+                       core::Memory memory, dnn::Network net,
+                       std::string id = "");
+
+/// Custom-config variant with an explicit backend key.
+Scenario make_scenario(std::string backend, sim::AcceleratorConfig config,
+                       arch::DramModel memory, dnn::Network net,
+                       std::string id = "");
+
+/// Fig. 9 GPU-baseline cell: priced by the "gpu" roofline backend (the
+/// platform/memory fields are placeholders the backend ignores).
+Scenario make_gpu_scenario(dnn::Network net, std::string id = "");
 
 }  // namespace bpvec::engine

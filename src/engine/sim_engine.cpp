@@ -1,12 +1,24 @@
 #include "src/engine/sim_engine.h"
 
 #include <algorithm>
+#include <shared_mutex>
+#include <string>
 #include <utility>
+
+#include "src/backend/backend_registry.h"
+#include "src/common/error.h"
+#include "src/common/hash.h"
 
 namespace bpvec::engine {
 
+namespace {
+constexpr std::size_t kNotDupe = static_cast<std::size_t>(-1);
+}  // namespace
+
 SimEngine::SimEngine(EngineOptions options)
-    : pool_(options.num_threads), cache_enabled_(options.cache_enabled) {}
+    : pool_(options.num_threads),
+      cache_enabled_(options.cache_enabled),
+      layer_cache_enabled_(options.layer_cache_enabled) {}
 
 std::size_t SimEngine::batch_grain(std::size_t jobs) const {
   // Aim for ~4 stealable tasks per worker so micro-scale jobs amortize
@@ -15,18 +27,108 @@ std::size_t SimEngine::batch_grain(std::size_t jobs) const {
   return std::max<std::size_t>(1, jobs / std::max<std::size_t>(1, lanes));
 }
 
+sim::RunResult SimEngine::run_with_layer_cache(
+    const backend::CostBackend& be, const dnn::Network& network) {
+  const auto& net_layers = network.layers();
+  if (!layer_cache_enabled_) {
+    layers_priced_.fetch_add(net_layers.size(), std::memory_order_relaxed);
+    return be.run(network);
+  }
+
+  const std::uint64_t be_print = be.fingerprint();
+  std::vector<std::uint64_t> keys(net_layers.size());
+  for (std::size_t i = 0; i < net_layers.size(); ++i) {
+    keys[i] = be.layer_key(be_print, net_layers[i]);
+  }
+
+  // Probe every key under one reader lock (the warm path: many pool
+  // threads probe concurrently), then price the misses outside it.
+  // Misses sharing a key (ResNet's repeated blocks) price once: later
+  // occurrences alias the first. Two threads pricing the same layer
+  // concurrently both produce the identical result (price_layer is
+  // pure), so the benign double work cannot change any output — the
+  // last emplace is a no-op.
+  std::vector<sim::LayerResult> layers(net_layers.size());
+  std::vector<std::size_t> misses;      // first occurrence per missed key
+  std::vector<std::size_t> dupe_of(net_layers.size(), kNotDupe);
+  {
+    std::unordered_map<std::uint64_t, std::size_t> first_miss;
+    std::shared_lock<std::shared_mutex> lock(layer_mu_);
+    for (std::size_t i = 0; i < net_layers.size(); ++i) {
+      if (auto it = layer_cache_.find(keys[i]); it != layer_cache_.end()) {
+        layers[i] = it->second;
+        // The fingerprint deliberately ignores names so ResNet's repeated
+        // blocks share an entry; restore this layer's own name.
+        layers[i].name = net_layers[i].name;
+        continue;
+      }
+      if (auto it = first_miss.find(keys[i]); it != first_miss.end()) {
+        dupe_of[i] = it->second;  // duplicate within this network
+        continue;
+      }
+      first_miss.emplace(keys[i], i);
+      misses.push_back(i);
+    }
+  }
+  layers_priced_.fetch_add(misses.size(), std::memory_order_relaxed);
+  layer_cache_hits_.fetch_add(net_layers.size() - misses.size(),
+                              std::memory_order_relaxed);
+
+  for (std::size_t i : misses) {
+    layers[i] = be.price_layer(net_layers[i]);
+  }
+  for (std::size_t i = 0; i < net_layers.size(); ++i) {
+    if (dupe_of[i] != kNotDupe) {
+      layers[i] = layers[dupe_of[i]];
+      layers[i].name = net_layers[i].name;
+    }
+  }
+
+  if (!misses.empty()) {
+    std::unique_lock<std::shared_mutex> lock(layer_mu_);
+    for (std::size_t i : misses) {
+      layer_cache_.emplace(keys[i], layers[i]);
+    }
+  }
+  return be.assemble(network, std::move(layers));
+}
+
 std::vector<sim::RunResult> SimEngine::run_batch(
     const std::vector<Scenario>& batch) {
   std::vector<sim::RunResult> results(batch.size());
   if (batch.empty()) return results;
 
-  // Fingerprints are pure per-scenario work — hash them on the pool so
-  // the cache feature doesn't serialize in front of the parallel region.
+  // Snapshot each backend key's (factory, generation) once per batch.
+  // Cache keys fold the generation into the scenario hash (which
+  // already covers the backend id + platform + memory + network), and
+  // jobs construct from the snapshotted factory — so a re-registration,
+  // even one racing this batch, can neither serve stale results nor
+  // cache one registration's numbers under another's stamp. Scenarios
+  // the cache serves never construct a backend at all. Unknown backend
+  // keys fail loudly here, before any pricing.
+  auto& registry = backend::BackendRegistry::instance();
+  std::unordered_map<std::string, backend::BackendRegistry::Resolved>
+      resolved;
+  std::vector<std::uint64_t> generations(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto it = resolved.find(batch[i].backend);
+    if (it == resolved.end()) {
+      it = resolved.emplace(batch[i].backend,
+                            registry.resolve(batch[i].backend)).first;
+    }
+    generations[i] = it->second.generation;
+  }
+
+  // Scenario fingerprints are pure per-scenario work — hash them on the
+  // pool so the cache feature doesn't serialize the parallel region.
   std::vector<std::uint64_t> prints(batch.size());
   if (cache_enabled_) {
     pool_.parallel_for(
         batch.size(),
-        [&](std::size_t i) { prints[i] = batch[i].fingerprint(); },
+        [&](std::size_t i) {
+          prints[i] =
+              common::hash_combine(batch[i].fingerprint(), generations[i]);
+        },
         batch_grain(batch.size()));
   }
 
@@ -38,7 +140,7 @@ std::vector<sim::RunResult> SimEngine::run_batch(
     std::size_t job = 0;  // index into `jobs` when !cached
   };
   std::vector<Slot> slots(batch.size());
-  std::vector<std::size_t> jobs;  // batch indices that actually simulate
+  std::vector<std::size_t> jobs;  // batch indices that actually price
   std::vector<std::shared_ptr<const sim::RunResult>> hits(batch.size());
 
   {
@@ -69,11 +171,12 @@ std::vector<sim::RunResult> SimEngine::run_batch(
     stats_.simulations_run += jobs.size();
   }
 
-  // Simulate the unique scenarios in parallel, writing each job's result
+  // Price the unique scenarios in parallel, writing each job's result
   // straight into its primary output slot; the cache's private copy is
   // made inside the same task so no extra serial pass touches the bulky
-  // RunResults. Each job constructs its own Simulator — no state is
-  // shared across tasks, so scheduling order cannot affect the numbers.
+  // RunResults. Each job constructs and owns its backend instance — no
+  // state is shared across tasks, so scheduling order cannot affect the
+  // numbers.
   std::vector<std::shared_ptr<const sim::RunResult>> fresh(
       cache_enabled_ ? jobs.size() : 0);
   pool_.parallel_for(
@@ -81,7 +184,10 @@ std::vector<sim::RunResult> SimEngine::run_batch(
       [&](std::size_t j) {
         const std::size_t i = jobs[j];
         const Scenario& s = batch[i];
-        results[i] = sim::Simulator(s.platform, s.memory).run(s.network);
+        const auto be = resolved.at(s.backend).factory(s.platform, s.memory);
+        BPVEC_CHECK_MSG(be != nullptr,
+                        "backend factory returned null for: " + s.backend);
+        results[i] = run_with_layer_cache(*be, s.network);
         if (cache_enabled_) {
           fresh[j] = std::make_shared<const sim::RunResult>(results[i]);
         }
@@ -137,13 +243,23 @@ std::vector<core::DesignPoint> SimEngine::explore_design_space(
 }
 
 EngineStats SimEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  EngineStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
+  s.layers_priced = layers_priced_.load(std::memory_order_relaxed);
+  s.layer_cache_hits = layer_cache_hits_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void SimEngine::clear_cache() {
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
+  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  layer_cache_.clear();
 }
 
 }  // namespace bpvec::engine

@@ -2,26 +2,50 @@
 //
 // The paper's evaluation is a pile of embarrassingly parallel scenario
 // matrices (Fig. 4's α×L sweep, Figs. 5–9's platform×network×memory
-// grids). SimEngine prices whole batches at once on a work-stealing
-// thread pool and memoizes results in a config-hash cache so repeated
-// design points are simulated exactly once.
+// grids — now × cost backend: the Fig. 9 GPU roofline and the Fig. 1
+// bit-serial baselines ride the same batch as the cycle simulator).
+// SimEngine prices whole batches at once on a work-stealing thread pool
+// and memoizes at two granularities:
+//
+//   * scenario cache — keyed by Scenario::fingerprint × the backend
+//     key's registry generation (re-registering a backend abandons its
+//     stale entries); repeated design points price once.
+//   * layer cache — keyed by backend fingerprint × layer shape/bits
+//     fingerprint; ResNet's repeated blocks and networks shared across
+//     scenarios price each unique layer once (a wall-clock win on the
+//     Fig. 5–9 grids even single-threaded).
 //
 // Guarantees:
-//   * run_batch results are bit-identical to a sequential
-//     `sim::Simulator(...).run(...)` loop over the same scenarios, for
-//     any thread count (each job is a pure function of its Scenario).
+//   * run_batch results are bit-identical to resolving each scenario's
+//     CostBackend and calling run() directly (for "bpvec" scenarios,
+//     that is bit-identical to a sequential sim::Simulator loop), for
+//     any thread count and any cache configuration. Each job is a pure
+//     function of its Scenario; cached layer results are exact copies
+//     and assemble() is a pure fold, so reassembly cannot drift.
 //   * Results come back in input order, one per input scenario, even
-//     when the cache deduplicates the actual simulation work.
+//     when the caches deduplicate the actual pricing work.
 //   * explore_design_space is bit-identical to
 //     core::explore_design_space (it parallelizes the identical
 //     per-point pricing function over the identical grid).
+//
+// Thread safety: concurrent run_batch/stats/clear_cache calls on one
+// engine are safe (see tests/test_sim_engine.cpp racing test). The
+// scenario cache and its counters live under one mutex, so a stats()
+// snapshot of the scenario counters is internally consistent; the
+// layer cache uses a shared_mutex (the warm path — probe + copy — runs
+// under a reader lock so pool threads don't serialize) with relaxed
+// atomic counters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/backend/cost_backend.h"
 #include "src/core/design_space.h"
 #include "src/engine/scenario.h"
 #include "src/engine/thread_pool.h"
@@ -31,25 +55,29 @@ namespace bpvec::engine {
 
 struct EngineStats {
   std::size_t scenarios_submitted = 0;
-  std::size_t simulations_run = 0;  // actual Simulator::run invocations
-  std::size_t cache_hits = 0;       // served from the result cache
+  std::size_t simulations_run = 0;  // actual backend run invocations
+  std::size_t cache_hits = 0;       // served from the scenario cache
+  std::size_t layers_priced = 0;    // actual price_layer invocations
+  std::size_t layer_cache_hits = 0; // layers served from the layer cache
 };
 
 struct EngineOptions {
-  int num_threads = 0;        // <= 0: hardware concurrency
-  bool cache_enabled = true;  // config-hash result memoization
+  int num_threads = 0;              // <= 0: hardware concurrency
+  bool cache_enabled = true;        // scenario-level result memoization
+  bool layer_cache_enabled = true;  // layer-granular memoization
 };
 
 class SimEngine {
  public:
   explicit SimEngine(EngineOptions options = {});
 
-  /// Simulates every scenario, in parallel, and returns results in input
-  /// order. Duplicate fingerprints within the batch (and across batches,
-  /// while the cache lives) are simulated once and fanned back out.
+  /// Prices every scenario through its cost backend, in parallel, and
+  /// returns results in input order. Duplicate fingerprints within the
+  /// batch (and across batches, while the cache lives) price once and
+  /// fan back out.
   std::vector<sim::RunResult> run_batch(const std::vector<Scenario>& batch);
 
-  /// Single-scenario convenience (still consults/feeds the cache).
+  /// Single-scenario convenience (still consults/feeds the caches).
   sim::RunResult run(const Scenario& scenario);
 
   /// Parallel Fig. 4 sweep: prices the α×L grid on the pool. Bit-identical
@@ -64,7 +92,12 @@ class SimEngine {
       const std::vector<int>& slice_widths, const std::vector<int>& lanes,
       int max_bits, const std::vector<core::BitwidthMixEntry>& mix);
 
+  /// Consistent snapshot of the counters (single lock; safe to call
+  /// concurrently with run_batch).
   EngineStats stats() const;
+
+  /// Drops both the scenario cache and the layer cache. Counters are
+  /// preserved (they describe work done, not cache contents).
   void clear_cache();
 
   int num_threads() const { return pool_.num_threads(); }
@@ -74,13 +107,27 @@ class SimEngine {
   /// Indices per pool task for a batch of `jobs` parallel units.
   std::size_t batch_grain(std::size_t jobs) const;
 
+  /// Prices one scenario through `be`, consulting/feeding the layer
+  /// cache. Bit-identical to be.run(network) for any cache state.
+  sim::RunResult run_with_layer_cache(const backend::CostBackend& be,
+                                      const dnn::Network& network);
+
   ThreadPool pool_;
   bool cache_enabled_;
+  bool layer_cache_enabled_;
 
-  mutable std::mutex mu_;  // guards cache_ and stats_
+  mutable std::mutex mu_;  // guards cache_ and the scenario counters
   std::unordered_map<std::uint64_t, std::shared_ptr<const sim::RunResult>>
       cache_;
-  EngineStats stats_;
+  EngineStats stats_;  // scenario counters only; layer counters below
+
+  // Layer cache: reader-writer locked (hits only probe + copy), stored
+  // by value — LayerResults are small (a RunResult is bulky and stays
+  // behind a shared_ptr above), and the hot path is copy-on-hit.
+  mutable std::shared_mutex layer_mu_;
+  std::unordered_map<std::uint64_t, sim::LayerResult> layer_cache_;
+  std::atomic<std::size_t> layers_priced_{0};
+  std::atomic<std::size_t> layer_cache_hits_{0};
 };
 
 }  // namespace bpvec::engine

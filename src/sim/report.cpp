@@ -34,10 +34,11 @@ std::string summary_line(const RunResult& run) {
 
 Table comparison_table(const std::vector<RunResult>& runs) {
   Table t(runs.empty() ? "comparison" : runs.front().network);
-  t.set_header({"Platform", "Memory", "Latency (ms)", "Energy (mJ)",
-                "GOps/s", "GOps/W"});
+  t.set_header({"Platform", "Memory", "Backend", "Latency (ms)",
+                "Energy (mJ)", "GOps/s", "GOps/W"});
   for (const auto& r : runs) {
-    t.add_row({r.platform, r.memory, Table::num(r.runtime_s * 1e3, 3),
+    t.add_row({r.platform, r.memory, r.backend.empty() ? "-" : r.backend,
+               Table::num(r.runtime_s * 1e3, 3),
                Table::num(r.energy_j * 1e3, 3), Table::num(r.gops_per_s, 0),
                Table::num(r.gops_per_w, 0)});
   }
@@ -49,7 +50,8 @@ std::string to_csv(const RunResult& run) {
   t.set_header({"layer", "kind", "x_bits", "w_bits", "macs",
                 "compute_cycles", "memory_cycles", "total_cycles",
                 "utilization", "dram_bytes", "sram_bytes", "compute_pj",
-                "sram_pj", "dram_pj", "static_pj", "memory_bound"});
+                "sram_pj", "dram_pj", "static_pj", "memory_bound",
+                "backend"});
   for (const auto& l : run.layers) {
     t.add_row({l.name, dnn::to_string(l.kind), std::to_string(l.x_bits),
                std::to_string(l.w_bits), std::to_string(l.macs),
@@ -61,7 +63,8 @@ std::string to_csv(const RunResult& run) {
                Table::num(l.energy.sram_pj, 1),
                Table::num(l.energy.dram_pj, 1),
                Table::num(l.energy.static_pj, 1),
-               l.memory_bound ? "1" : "0"});
+               l.memory_bound ? "1" : "0",
+               run.backend.empty() ? "-" : run.backend});
   }
   return t.to_csv();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/error.h"
 #include "src/common/mathutil.h"
@@ -16,31 +17,79 @@ Simulator::Simulator(AcceleratorConfig config, arch::DramModel dram)
   config_.validate();
 }
 
-LayerResult Simulator::run_layer(const dnn::Layer& layer) const {
+LayerResult price_pool_layer(const AcceleratorConfig& config,
+                             const EnergyModel& energy,
+                             const dnn::Layer& layer, std::int64_t batch) {
+  // Pooling runs on the on-chip post-processing unit; it only touches
+  // activations already resident in the scratchpad and writes its
+  // (smaller) output. Cost: SRAM traffic + a few cycles per output.
   LayerResult r;
   r.name = layer.name;
   r.kind = layer.kind;
   r.x_bits = layer.x_bits;
   r.w_bits = layer.w_bits;
+  r.macs = layer.macs() * batch;
+  const std::int64_t out_bytes =
+      ceil_div(layer.output_elems() * batch * layer.x_bits, 8);
+  const std::int64_t in_bytes =
+      ceil_div(layer.input_elems() * batch * layer.x_bits, 8);
+  r.total_cycles = ceil_div(layer.output_elems() * batch, config.cols);
+  r.sram_bytes = in_bytes + out_bytes;
+  r.energy = energy.layer_energy(/*active_cycles=*/0, 0.0, r.total_cycles,
+                                 r.sram_bytes, /*dram_bytes=*/0);
+  r.runtime_s = static_cast<double>(r.total_cycles) / config.frequency_hz;
+  return r;
+}
+
+void fold_repeat_overlap(LayerResult& r, const dnn::GemmShape& gemm,
+                         std::int64_t compute_cycles_per_repeat,
+                         const TrafficEstimate& traffic,
+                         const AcceleratorConfig& config,
+                         const arch::DramModel& dram) {
+  const double mem_cycles_per_repeat =
+      traffic.memory_cycles(dram, config.frequency_hz);
+
+  // Double buffering overlaps each repeat's DRAM streaming with compute;
+  // whichever is slower paces the repeat.
+  std::int64_t weight_traffic_per_repeat = traffic.dram_bytes();
+  if (!gemm.weights_streamed_per_repeat && gemm.repeats > 1) {
+    // Weights resident across repeats (not the case for any Table-I layer,
+    // but keep the model honest).
+    weight_traffic_per_repeat = traffic.input_bytes + traffic.output_bytes;
+  }
+
+  const double per_repeat = std::max(
+      static_cast<double>(compute_cycles_per_repeat), mem_cycles_per_repeat);
+  const double startup =
+      dram.startup_latency_ns * 1e-9 * config.frequency_hz;
+
+  r.compute_cycles = compute_cycles_per_repeat * gemm.repeats;
+  r.memory_cycles = static_cast<std::int64_t>(
+      std::ceil(mem_cycles_per_repeat * static_cast<double>(gemm.repeats)));
+  r.total_cycles = static_cast<std::int64_t>(
+      std::ceil(per_repeat * static_cast<double>(gemm.repeats) + startup));
+  r.memory_bound =
+      mem_cycles_per_repeat > static_cast<double>(compute_cycles_per_repeat);
+
+  const std::int64_t dram_first = traffic.dram_bytes();
+  r.dram_bytes = dram_first + weight_traffic_per_repeat * (gemm.repeats - 1);
+  r.sram_bytes = traffic.sram_bytes * gemm.repeats;
+  r.runtime_s = static_cast<double>(r.total_cycles) / config.frequency_hz;
+}
+
+LayerResult Simulator::run_layer(const dnn::Layer& layer) const {
   const std::int64_t batch =
       layer.kind == dnn::LayerKind::kRecurrent ? 1 : config_.batch_size;
-  r.macs = layer.macs() * batch;
-
   if (!layer.is_compute()) {
-    // Pooling runs on the on-chip post-processing unit; it only touches
-    // activations already resident in the scratchpad and writes its
-    // (smaller) output. Cost: SRAM traffic + a few cycles per output.
-    const std::int64_t out_bytes =
-        ceil_div(layer.output_elems() * batch * layer.x_bits, 8);
-    const std::int64_t in_bytes =
-        ceil_div(layer.input_elems() * batch * layer.x_bits, 8);
-    r.total_cycles = ceil_div(layer.output_elems() * batch, config_.cols);
-    r.sram_bytes = in_bytes + out_bytes;
-    r.energy = energy_.layer_energy(/*active_cycles=*/0, 0.0,
-                                    r.total_cycles, r.sram_bytes,
-                                    /*dram_bytes=*/0);
-    return r;
+    return price_pool_layer(config_, energy_, layer, batch);
   }
+
+  LayerResult r;
+  r.name = layer.name;
+  r.kind = layer.kind;
+  r.x_bits = layer.x_bits;
+  r.w_bits = layer.w_bits;
+  r.macs = layer.macs() * batch;
 
   dnn::GemmShape gemm = layer.gemm(config_.time_chunk);
   if (layer.kind != dnn::LayerKind::kRecurrent) {
@@ -54,56 +103,30 @@ LayerResult Simulator::run_layer(const dnn::Layer& layer) const {
       config_, gemm, layer.x_bits, layer.w_bits, layer.x_bits,
       compute.n_passes);
 
-  const double mem_cycles_per_repeat =
-      traffic.memory_cycles(dram_, config_.frequency_hz);
-
-  // Double buffering overlaps each repeat's DRAM streaming with compute;
-  // whichever is slower paces the repeat.
-  std::int64_t weight_traffic_per_repeat = traffic.dram_bytes();
-  if (!gemm.weights_streamed_per_repeat && gemm.repeats > 1) {
-    // Weights resident across repeats (not the case for any Table-I layer,
-    // but keep the model honest).
-    weight_traffic_per_repeat = traffic.input_bytes + traffic.output_bytes;
-  }
-
-  const double per_repeat =
-      std::max(static_cast<double>(compute.cycles), mem_cycles_per_repeat);
-  const double startup =
-      dram_.startup_latency_ns * 1e-9 * config_.frequency_hz;
-
-  r.compute_cycles = compute.cycles * gemm.repeats;
-  r.memory_cycles = static_cast<std::int64_t>(
-      std::ceil(mem_cycles_per_repeat * static_cast<double>(gemm.repeats)));
-  r.total_cycles = static_cast<std::int64_t>(
-      std::ceil(per_repeat * static_cast<double>(gemm.repeats) + startup));
+  fold_repeat_overlap(r, gemm, compute.cycles, traffic, config_, dram_);
   r.utilization = compute.utilization;
-  r.memory_bound = mem_cycles_per_repeat > static_cast<double>(compute.cycles);
-
-  const std::int64_t dram_first = traffic.dram_bytes();
-  r.dram_bytes = dram_first + weight_traffic_per_repeat * (gemm.repeats - 1);
-  r.sram_bytes = traffic.sram_bytes * gemm.repeats;
-
   r.energy = energy_.layer_energy(r.compute_cycles, r.utilization,
                                   r.total_cycles, r.sram_bytes, r.dram_bytes);
   return r;
 }
 
-RunResult Simulator::run(const dnn::Network& network) const {
+RunResult assemble_run(std::string platform, std::string network,
+                       std::string memory, std::string backend,
+                       std::vector<LayerResult> layers, double frequency_hz) {
   RunResult result;
-  result.platform = config_.name;
-  result.network = network.name();
-  result.memory = dram_.name;
+  result.platform = std::move(platform);
+  result.network = std::move(network);
+  result.memory = std::move(memory);
+  result.backend = std::move(backend);
+  result.layers = std::move(layers);
 
-  for (const dnn::Layer& layer : network.layers()) {
-    LayerResult lr = run_layer(layer);
+  for (const LayerResult& lr : result.layers) {
     result.total_cycles += lr.total_cycles;
     result.total_macs += lr.macs;
     result.energy += lr.energy;
-    result.layers.push_back(std::move(lr));
   }
 
-  result.runtime_s =
-      static_cast<double>(result.total_cycles) / config_.frequency_hz;
+  result.runtime_s = static_cast<double>(result.total_cycles) / frequency_hz;
   result.energy_j = result.energy.total_pj() * 1e-12;
   BPVEC_CHECK(result.runtime_s > 0);
   result.average_power_w = result.energy_j / result.runtime_s;
@@ -111,6 +134,16 @@ RunResult Simulator::run(const dnn::Network& network) const {
       2.0 * static_cast<double>(result.total_macs) / result.runtime_s / 1e9;
   result.gops_per_w = result.gops_per_s / result.average_power_w;
   return result;
+}
+
+RunResult Simulator::run(const dnn::Network& network) const {
+  std::vector<LayerResult> layers;
+  layers.reserve(network.layers().size());
+  for (const dnn::Layer& layer : network.layers()) {
+    layers.push_back(run_layer(layer));
+  }
+  return assemble_run(config_.name, network.name(), dram_.name, "bpvec",
+                      std::move(layers), config_.frequency_hz);
 }
 
 }  // namespace bpvec::sim

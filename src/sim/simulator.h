@@ -34,12 +34,19 @@ struct LayerResult {
   std::int64_t sram_bytes = 0;
   EnergyBreakdown energy;
   bool memory_bound = false;
+  /// Wall-clock seconds of this layer. Cycle-based cost models derive it
+  /// from total_cycles; time-based models (the GPU roofline) set it
+  /// directly and round total_cycles for reporting.
+  double runtime_s = 0.0;
 };
 
 struct RunResult {
   std::string platform;
   std::string network;
   std::string memory;
+  /// Cost-backend id that priced the run ("bpvec", "bit_serial", "gpu",
+  /// …) — the backend column of reports and BENCH json rows.
+  std::string backend;
   std::vector<LayerResult> layers;
 
   std::int64_t total_cycles = 0;
@@ -56,6 +63,36 @@ struct RunResult {
   double gops_per_w = 0.0;
 };
 
+/// Assembles per-layer results into a RunResult for a cycle-based cost
+/// model: sums cycles/MACs/energy in layer order and derives the run
+/// metrics (runtime from total cycles at `frequency_hz`, power,
+/// GOps/s, GOps/W). Simulator::run and the cycle-based CostBackends
+/// share this so a run reassembled from cached per-layer results is
+/// bit-identical to a direct run.
+RunResult assemble_run(std::string platform, std::string network,
+                       std::string memory, std::string backend,
+                       std::vector<LayerResult> layers, double frequency_hz);
+
+/// Prices a pooling layer: it runs on the on-chip post-processing unit,
+/// touching only scratchpad-resident activations — no PE-array compute,
+/// no DRAM. Shared by Simulator and every cycle-based CostBackend that
+/// swaps the compute model but keeps the platform's memory system.
+LayerResult price_pool_layer(const AcceleratorConfig& config,
+                             const EnergyModel& energy,
+                             const dnn::Layer& layer, std::int64_t batch);
+
+/// Folds one repeat's compute cycles and traffic into the layer totals:
+/// double buffering overlaps each repeat's DRAM streaming with compute
+/// (the slower side paces the repeat), DRAM startup is paid once, and
+/// weight re-streaming across repeats follows gemm's residency flag.
+/// Fills compute/memory/total cycles, dram/sram bytes, memory_bound,
+/// and runtime_s; the caller supplies macs/utilization/energy.
+void fold_repeat_overlap(LayerResult& r, const dnn::GemmShape& gemm,
+                         std::int64_t compute_cycles_per_repeat,
+                         const TrafficEstimate& traffic,
+                         const AcceleratorConfig& config,
+                         const arch::DramModel& dram);
+
 class Simulator {
  public:
   Simulator(AcceleratorConfig config, arch::DramModel dram);
@@ -65,9 +102,12 @@ class Simulator {
 
   RunResult run(const dnn::Network& network) const;
 
- private:
+  /// Prices one layer in isolation — the unit the engine's layer cache
+  /// memoizes. `run` is exactly run_layer over every layer followed by
+  /// assemble_run.
   LayerResult run_layer(const dnn::Layer& layer) const;
 
+ private:
   AcceleratorConfig config_;
   arch::DramModel dram_;
   arch::CvuCostModel cost_;

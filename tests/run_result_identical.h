@@ -1,0 +1,54 @@
+// Shared test helper: exhaustive bit-identity comparison of two
+// sim::RunResults — every top-level metric, every per-layer field,
+// every energy component. Doubles are compared exactly: the paths under
+// test must run the identical arithmetic, not merely land close.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+
+namespace bpvec {
+
+inline void expect_bit_identical(const sim::RunResult& a,
+                                 const sim::RunResult& b) {
+  EXPECT_EQ(a.platform, b.platform);
+  EXPECT_EQ(a.network, b.network);
+  EXPECT_EQ(a.memory, b.memory);
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.total_macs, b.total_macs);
+  EXPECT_EQ(a.energy.compute_pj, b.energy.compute_pj);
+  EXPECT_EQ(a.energy.sram_pj, b.energy.sram_pj);
+  EXPECT_EQ(a.energy.dram_pj, b.energy.dram_pj);
+  EXPECT_EQ(a.energy.static_pj, b.energy.static_pj);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.runtime_s, b.runtime_s);
+  EXPECT_EQ(a.average_power_w, b.average_power_w);
+  EXPECT_EQ(a.gops_per_s, b.gops_per_s);
+  EXPECT_EQ(a.gops_per_w, b.gops_per_w);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    const sim::LayerResult& la = a.layers[i];
+    const sim::LayerResult& lb = b.layers[i];
+    EXPECT_EQ(la.name, lb.name);
+    EXPECT_EQ(la.kind, lb.kind);
+    EXPECT_EQ(la.x_bits, lb.x_bits);
+    EXPECT_EQ(la.w_bits, lb.w_bits);
+    EXPECT_EQ(la.macs, lb.macs);
+    EXPECT_EQ(la.compute_cycles, lb.compute_cycles);
+    EXPECT_EQ(la.memory_cycles, lb.memory_cycles);
+    EXPECT_EQ(la.total_cycles, lb.total_cycles);
+    EXPECT_EQ(la.utilization, lb.utilization);
+    EXPECT_EQ(la.dram_bytes, lb.dram_bytes);
+    EXPECT_EQ(la.sram_bytes, lb.sram_bytes);
+    EXPECT_EQ(la.energy.compute_pj, lb.energy.compute_pj);
+    EXPECT_EQ(la.energy.sram_pj, lb.energy.sram_pj);
+    EXPECT_EQ(la.energy.dram_pj, lb.energy.dram_pj);
+    EXPECT_EQ(la.energy.static_pj, lb.energy.static_pj);
+    EXPECT_EQ(la.memory_bound, lb.memory_bound);
+    EXPECT_EQ(la.runtime_s, lb.runtime_s);
+  }
+}
+
+}  // namespace bpvec
