@@ -6,7 +6,6 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
-#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +13,7 @@
 #include "src/arch/dram.h"
 #include "src/backend/backend_registry.h"
 #include "src/common/error.h"
+#include "src/common/json.h"
 #include "src/common/mathutil.h"
 #include "src/common/table.h"
 #include "src/dnn/model_zoo.h"
@@ -53,37 +53,34 @@ class BenchJson {
 
   /// One simulated scenario row (cycles, energy, throughput).
   void add_result(const std::string& id, const sim::RunResult& r) {
-    std::ostringstream o;
-    o << "{\"id\": " << quote(id)
-      << ", \"platform\": " << quote(r.platform)
-      << ", \"network\": " << quote(r.network)
-      << ", \"memory\": " << quote(r.memory)
-      << ", \"backend\": " << quote(r.backend)
-      << ", \"total_cycles\": " << r.total_cycles
-      << ", \"total_macs\": " << r.total_macs
-      << ", \"runtime_s\": " << num(r.runtime_s)
-      << ", \"energy_j\": " << num(r.energy_j)
-      << ", \"gops_per_s\": " << num(r.gops_per_s)
-      << ", \"gops_per_w\": " << num(r.gops_per_w) << "}";
-    scenarios_.push_back(o.str());
+    common::json::Value row = common::json::Value::object();
+    row.set("id", id);
+    row.set("platform", r.platform);
+    row.set("network", r.network);
+    row.set("memory", r.memory);
+    row.set("backend", r.backend);
+    row.set("total_cycles", r.total_cycles);
+    row.set("total_macs", r.total_macs);
+    row.set("runtime_s", r.runtime_s);
+    row.set("energy_j", r.energy_j);
+    row.set("gops_per_s", r.gops_per_s);
+    row.set("gops_per_w", r.gops_per_w);
+    scenarios_.push_back(std::move(row));
   }
 
   /// Generic row for non-simulation scenarios (e.g. Fig. 4 design points).
   void add_entry(
       const std::string& id,
       const std::vector<std::pair<std::string, double>>& fields) {
-    std::ostringstream o;
-    o << "{\"id\": " << quote(id);
-    for (const auto& [key, value] : fields) {
-      o << ", " << quote(key) << ": " << num(value);
-    }
-    o << "}";
-    scenarios_.push_back(o.str());
+    common::json::Value row = common::json::Value::object();
+    row.set("id", id);
+    for (const auto& [key, value] : fields) row.set(key, value);
+    scenarios_.push_back(std::move(row));
   }
 
   /// Named summary metric (geomeans, crossover points, …).
   void add_metric(const std::string& key, double value) {
-    metrics_.emplace_back(key, value);
+    metrics_.set(key, value);
   }
 
   void set_batch_timing(double batch_wall_s, double sequential_wall_s,
@@ -94,7 +91,7 @@ class BenchJson {
   }
 
   /// Engine counters after the batch — lets the perf trajectory attribute
-  /// speedups to scenario-level vs layer-level caching.
+  /// speedups to scenario-level vs layer-level vs disk caching.
   void set_engine_stats(const engine::EngineStats& stats) {
     engine_stats_ = stats;
     has_engine_stats_ = true;
@@ -102,35 +99,25 @@ class BenchJson {
 
   /// Writes BENCH_<name>.json (and says so on stdout).
   void write() const {
+    using common::json::Value;
+    Value doc = Value::object();
+    doc.set("bench", name_);
+    if (threads_ > 0) {
+      doc.set("threads", threads_);
+      doc.set("batch_wall_s", batch_wall_s_);
+      doc.set("sequential_wall_s", sequential_wall_s_);
+      doc.set("speedup_vs_sequential",
+              batch_wall_s_ > 0 ? sequential_wall_s_ / batch_wall_s_ : 0.0);
+    }
+    if (has_engine_stats_) doc.set("engine_stats", to_json(engine_stats_));
+    Value scenarios = Value::array();
+    for (const Value& row : scenarios_) scenarios.push_back(row);
+    doc.set("scenarios", std::move(scenarios));
+    doc.set("metrics", metrics_);
+
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);
-    out << "{\"bench\": " << quote(name_);
-    if (threads_ > 0) {
-      out << ",\n \"threads\": " << threads_
-          << ",\n \"batch_wall_s\": " << num(batch_wall_s_)
-          << ",\n \"sequential_wall_s\": " << num(sequential_wall_s_)
-          << ",\n \"speedup_vs_sequential\": "
-          << num(batch_wall_s_ > 0 ? sequential_wall_s_ / batch_wall_s_ : 0);
-    }
-    if (has_engine_stats_) {
-      out << ",\n \"engine_stats\": {\"scenarios_submitted\": "
-          << engine_stats_.scenarios_submitted
-          << ", \"simulations_run\": " << engine_stats_.simulations_run
-          << ", \"cache_hits\": " << engine_stats_.cache_hits
-          << ", \"layers_priced\": " << engine_stats_.layers_priced
-          << ", \"layer_cache_hits\": " << engine_stats_.layer_cache_hits
-          << "}";
-    }
-    out << ",\n \"scenarios\": [";
-    for (std::size_t i = 0; i < scenarios_.size(); ++i) {
-      out << (i ? ",\n  " : "\n  ") << scenarios_[i];
-    }
-    out << "\n ],\n \"metrics\": {";
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      out << (i ? ", " : "") << quote(metrics_[i].first) << ": "
-          << num(metrics_[i].second);
-    }
-    out << "}}\n";
+    out << doc.dump(1);
     out.flush();  // surface disk errors before declaring success
     if (out.good()) {
       std::printf("[bench] wrote %s\n", path.c_str());
@@ -140,33 +127,9 @@ class BenchJson {
   }
 
  private:
-  static std::string num(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    std::string s(buf);
-    // %.17g emits bare "inf"/"nan" which is not JSON; clamp to null.
-    if (s.find_first_not_of("0123456789+-.eE") != std::string::npos) {
-      return "null";
-    }
-    return s;
-  }
-  static std::string quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      if (static_cast<unsigned char>(c) < 0x20) {
-        out += ' ';
-        continue;
-      }
-      out += c;
-    }
-    out += '"';
-    return out;
-  }
-
   std::string name_;
-  std::vector<std::string> scenarios_;
-  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<common::json::Value> scenarios_;
+  common::json::Value metrics_ = common::json::Value::object();
   double batch_wall_s_ = 0.0;
   double sequential_wall_s_ = 0.0;
   int threads_ = 0;

@@ -1,0 +1,223 @@
+#include "src/cli/driver.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/common/table.h"
+
+namespace bpvec::cli {
+
+using common::json::Value;
+
+namespace {
+
+Value scenario_row(const engine::Scenario& scenario,
+                   const sim::RunResult& r) {
+  Value row = Value::object();
+  row.set("id", scenario.id);
+  row.set("backend", r.backend);
+  row.set("platform", r.platform);
+  row.set("network", r.network);
+  row.set("memory", r.memory);
+  row.set("total_cycles", r.total_cycles);
+  row.set("total_macs", r.total_macs);
+  row.set("runtime_s", r.runtime_s);
+  row.set("energy_j", r.energy_j);
+  row.set("average_power_w", r.average_power_w);
+  row.set("gops_per_s", r.gops_per_s);
+  row.set("gops_per_w", r.gops_per_w);
+  return row;
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.flush();
+  if (!out.good()) throw Error("cannot write file: " + path);
+}
+
+void print_table(std::ostream& out,
+                 const std::vector<engine::Scenario>& batch,
+                 const std::vector<sim::RunResult>& results) {
+  Table t;
+  t.set_header({"Scenario", "Cycles", "Latency (ms)", "Energy (mJ)",
+                "GOps/s", "GOps/W"});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const sim::RunResult& r = results[i];
+    t.add_row({batch[i].id, std::to_string(r.total_cycles),
+               Table::num(r.runtime_s * 1e3, 3),
+               Table::num(r.energy_j * 1e3, 3), Table::num(r.gops_per_s, 0),
+               Table::num(r.gops_per_w, 0)});
+  }
+  out << t.to_string();
+}
+
+void print_csv(std::ostream& out,
+               const std::vector<engine::Scenario>& batch,
+               const std::vector<sim::RunResult>& results) {
+  // Full-precision CSV (the table rounds for humans; this is for
+  // plotting scripts).
+  out << "id,backend,platform,network,memory,total_cycles,total_macs,"
+         "runtime_s,energy_j,average_power_w,gops_per_s,gops_per_w\n";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const sim::RunResult& r = results[i];
+    std::string id = batch[i].id;
+    for (char& c : id) {
+      if (c == ',') c = ';';  // ids are free text; keep the CSV parsable
+    }
+    out << id << ',' << r.backend << ',' << r.platform << ',' << r.network
+        << ',' << r.memory << ',' << r.total_cycles << ',' << r.total_macs
+        << ',' << common::json::format_double(r.runtime_s) << ','
+        << common::json::format_double(r.energy_j) << ','
+        << common::json::format_double(r.average_power_w) << ','
+        << common::json::format_double(r.gops_per_s) << ','
+        << common::json::format_double(r.gops_per_w) << '\n';
+  }
+}
+
+}  // namespace
+
+Value build_report(const std::string& manifest_name,
+                   const std::vector<engine::Scenario>& batch,
+                   const std::vector<sim::RunResult>& results,
+                   const engine::EngineStats& stats, bool include_stats) {
+  BPVEC_CHECK(batch.size() == results.size());
+  Value report = Value::object();
+  report.set("manifest", manifest_name);
+  report.set("scenario_count", batch.size());
+  Value scenarios = Value::array();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    scenarios.push_back(scenario_row(batch[i], results[i]));
+  }
+  report.set("scenarios", std::move(scenarios));
+  if (include_stats) report.set("stats", engine::to_json(stats));
+  return report;
+}
+
+DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
+  DriverResult result;
+  result.manifest = load_manifest(options.manifest_path);
+  result.scenarios = expand(result.manifest);
+
+  engine::EngineOptions engine_options;
+  engine_options.num_threads = options.threads;
+  engine_options.disk_cache_dir = options.cache_dir;
+  engine::SimEngine engine(engine_options);
+
+  result.results = engine.run_batch(result.scenarios);
+  result.stats = engine.stats();
+
+  if (options.print_table) {
+    out << "Manifest: " << result.manifest.name;
+    if (!result.manifest.description.empty()) {
+      out << " — " << result.manifest.description;
+    }
+    out << "\n" << result.scenarios.size() << " scenarios ("
+        << result.stats.simulations_run << " simulated, "
+        << result.stats.cache_hits << " memo hits, "
+        << result.stats.disk_hits << " disk hits)\n\n";
+    print_table(out, result.scenarios, result.results);
+  }
+  if (options.print_csv) {
+    print_csv(out, result.scenarios, result.results);
+  }
+
+  result.report =
+      build_report(result.manifest.name, result.scenarios, result.results,
+                   result.stats, !options.deterministic_report);
+  if (options.write_report) {
+    const std::string path =
+        options.report_path.empty()
+            ? "REPORT_" + result.manifest.name + ".json"
+            : options.report_path;
+    write_file(path, result.report.dump(1));
+    if (options.print_table) out << "\n[bpvec_run] wrote " << path << "\n";
+  }
+  if (!options.stats_path.empty()) {
+    write_file(options.stats_path, engine::to_json(result.stats).dump(1));
+    if (options.print_table) {
+      out << "[bpvec_run] wrote " << options.stats_path << "\n";
+    }
+  }
+  return result;
+}
+
+std::string usage() {
+  return
+      "usage: bpvec_run <manifest.json> [options]\n"
+      "\n"
+      "Prices every scenario in the manifest through the batch engine and\n"
+      "writes a machine-readable JSON report.\n"
+      "\n"
+      "options:\n"
+      "  --cache-dir DIR    persistent result cache: scenarios priced in any\n"
+      "                     earlier run (same build, same configs) are served\n"
+      "                     from disk, bit-identically\n"
+      "  --report FILE      report path (default REPORT_<name>.json)\n"
+      "  --no-report        skip the JSON report\n"
+      "  --stats-out FILE   write engine/disk-cache counters to FILE\n"
+      "  --deterministic-report\n"
+      "                     omit the run-dependent stats block from the\n"
+      "                     report so identical configs yield byte-identical\n"
+      "                     files (what the CI gate cmp's)\n"
+      "  --threads N        worker threads (default: hardware concurrency)\n"
+      "  --csv              print a full-precision scenario CSV to stdout\n"
+      "  --no-table         skip the human-readable table\n"
+      "  --help             this text\n";
+}
+
+int main_cli(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err) {
+  DriverOptions options;
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      throw Error(std::string(flag) + " requires a value");
+    }
+    return argv[++i];
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        out << usage();
+        return 0;
+      } else if (arg == "--cache-dir") {
+        options.cache_dir = need_value(i, "--cache-dir");
+      } else if (arg == "--report") {
+        options.report_path = need_value(i, "--report");
+      } else if (arg == "--no-report") {
+        options.write_report = false;
+      } else if (arg == "--stats-out") {
+        options.stats_path = need_value(i, "--stats-out");
+      } else if (arg == "--deterministic-report") {
+        options.deterministic_report = true;
+      } else if (arg == "--threads") {
+        options.threads = std::stoi(need_value(i, "--threads"));
+      } else if (arg == "--csv") {
+        options.print_csv = true;
+      } else if (arg == "--no-table") {
+        options.print_table = false;
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw Error("unknown flag: " + arg);
+      } else if (options.manifest_path.empty()) {
+        options.manifest_path = arg;
+      } else {
+        throw Error("more than one manifest given: " + arg);
+      }
+    }
+    if (options.manifest_path.empty()) {
+      err << usage();
+      return 2;
+    }
+    (void)run_manifest(options, out);
+    return 0;
+  } catch (const std::exception& e) {
+    err << "bpvec_run: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace bpvec::cli

@@ -1,0 +1,79 @@
+// The bpvec_run driver: manifest in, priced scenarios + reports out.
+//
+// Pipeline: load_manifest → expand → SimEngine::run_batch (optionally
+// with the persistent disk cache) → human-readable comparison table /
+// CSV on stdout + a machine-readable JSON report on disk.
+//
+// The JSON report is what CI diffs and gates on, so its contract
+// matters:
+//   * The "scenarios" array is a pure function of the manifest — same
+//     manifest, same build ⇒ byte-identical bytes, whatever the thread
+//     count or cache state (the engine's bit-identity guarantee plus
+//     the deterministic JSON writer).
+//   * The "stats" block (engine + disk-cache counters) is run-dependent
+//     by nature (cold vs warm). --deterministic-report omits it so two
+//     runs can be compared with cmp(1); --stats-out writes it to its
+//     own file so the CI gate can still assert warm-run disk hits.
+//
+// All functions throw bpvec::Error on bad input; main_cli catches and
+// prints it, so tools/bpvec_run.cpp stays a two-liner.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/cli/manifest.h"
+#include "src/common/json.h"
+#include "src/engine/sim_engine.h"
+#include "src/sim/simulator.h"
+
+namespace bpvec::cli {
+
+struct DriverOptions {
+  std::string manifest_path;
+  /// Persistent result-cache directory (engine disk cache); empty = off.
+  std::string cache_dir;
+  /// Report output path; empty = "REPORT_<manifest name>.json" in the
+  /// working directory.
+  std::string report_path;
+  /// When non-empty, the stats block is also written here as its own
+  /// JSON document (useful with --deterministic-report).
+  std::string stats_path;
+  int threads = 0;               // <= 0: hardware concurrency
+  bool print_table = true;       // scenario comparison table on stdout
+  bool print_csv = false;        // scenario CSV on stdout
+  bool write_report = true;
+  bool deterministic_report = false;  // omit run-dependent "stats" block
+};
+
+struct DriverResult {
+  Manifest manifest;
+  std::vector<engine::Scenario> scenarios;
+  std::vector<sim::RunResult> results;
+  engine::EngineStats stats;
+  common::json::Value report;  // what was (or would be) written
+};
+
+/// Builds the report document for a priced batch. Scenario rows carry
+/// id/backend/platform/network/memory plus the exact cycles, MACs,
+/// runtime, energy, and throughput numbers (doubles %.17g — values
+/// round-trip bit-exactly through any JSON parser).
+common::json::Value build_report(const std::string& manifest_name,
+                                 const std::vector<engine::Scenario>& batch,
+                                 const std::vector<sim::RunResult>& results,
+                                 const engine::EngineStats& stats,
+                                 bool include_stats);
+
+/// Runs a manifest end to end. `out` receives the table/CSV output.
+DriverResult run_manifest(const DriverOptions& options, std::ostream& out);
+
+/// Parses bpvec_run's argv (argv[0] is skipped) and runs. Usage errors
+/// and bpvec::Errors print to `err` and return a nonzero exit code.
+int main_cli(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err);
+
+/// The usage text (also printed on --help / bad flags).
+std::string usage();
+
+}  // namespace bpvec::cli

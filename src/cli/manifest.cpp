@@ -1,0 +1,544 @@
+#include "src/cli/manifest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <utility>
+
+#include "src/backend/backend_registry.h"
+#include "src/common/error.h"
+#include "src/dnn/model_zoo.h"
+
+namespace bpvec::cli {
+
+using common::json::Value;
+
+namespace {
+
+/// Token matching ignores case, '-' and '_' so manifests can say
+/// "ResNet-18" or "resnet18", "tpu_like" or "TPU-like".
+std::string normalize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '-' || c == '_') continue;
+    out += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+[[noreturn]] void fail(const std::string& context,
+                       const std::string& message) {
+  throw Error("manifest: " + (context.empty() ? message
+                                              : context + ": " + message));
+}
+
+std::string quoted_list(const std::vector<std::string>& options) {
+  std::string out;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    out += (i ? ", \"" : "\"");
+    out += options[i];
+    out += '"';
+  }
+  return out;
+}
+
+/// Resolves `value` against the canonical `options` (normalized match);
+/// the error names the offending value and every valid choice.
+std::size_t match_token(const std::string& context, const char* what,
+                        const std::string& value,
+                        const std::vector<std::string>& options) {
+  const std::string norm = normalize(value);
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    if (normalize(options[i]) == norm) return i;
+  }
+  fail(context, std::string("unknown ") + what + " \"" + value +
+                    "\"; expected one of " + quoted_list(options));
+}
+
+/// Errors on any member key outside `allowed` — unknown keys are silent
+/// typos otherwise ("platform_override" quietly doing nothing).
+void check_keys(const std::string& context, const Value& obj,
+                const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : obj.members()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      fail(context, "unknown key \"" + key + "\"; allowed keys: " +
+                        quoted_list(allowed));
+    }
+  }
+}
+
+const Value& require(const std::string& context, const Value& obj,
+                     const std::string& key) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) fail(context, "missing required key \"" + key + "\"");
+  return *v;
+}
+
+std::string parse_string(const std::string& context, const Value& v,
+                         const std::string& key) {
+  if (!v.is_string()) fail(context, "\"" + key + "\" must be a string");
+  return v.as_string();
+}
+
+std::vector<std::string> parse_string_list(const std::string& context,
+                                           const Value& v,
+                                           const std::string& key) {
+  if (!v.is_array() || v.as_array().empty()) {
+    fail(context, "\"" + key + "\" must be a non-empty array of strings");
+  }
+  std::vector<std::string> out;
+  for (const Value& e : v.as_array()) {
+    if (!e.is_string()) {
+      fail(context, "\"" + key + "\" must contain only strings");
+    }
+    out.push_back(e.as_string());
+  }
+  return out;
+}
+
+int parse_int(const std::string& context, const Value& v,
+              const std::string& key) {
+  if (!v.is_int()) fail(context, "\"" + key + "\" must be an integer");
+  const std::int64_t i = v.as_int();
+  if (i < std::numeric_limits<int>::min() ||
+      i > std::numeric_limits<int>::max()) {
+    fail(context, "\"" + key + "\" out of range");
+  }
+  return static_cast<int>(i);
+}
+
+double parse_double(const std::string& context, const Value& v,
+                    const std::string& key) {
+  if (!v.is_number()) fail(context, "\"" + key + "\" must be a number");
+  return v.as_double();
+}
+
+// ----- token tables --------------------------------------------------
+
+const std::vector<std::string>& platform_tokens() {
+  static const std::vector<std::string> tokens{"tpu_like", "bitfusion",
+                                               "bpvec"};
+  return tokens;
+}
+
+engine::Platform platform_from_index(std::size_t i) {
+  switch (i) {
+    case 0: return engine::Platform::kTpuLike;
+    case 1: return engine::Platform::kBitFusion;
+    default: return engine::Platform::kBpvec;
+  }
+}
+
+const std::vector<std::string>& memory_tokens() {
+  static const std::vector<std::string> tokens{"ddr4", "hbm2"};
+  return tokens;
+}
+
+const std::vector<std::string>& mode_tokens() {
+  static const std::vector<std::string> tokens{"homogeneous8b",
+                                               "heterogeneous"};
+  return tokens;
+}
+
+dnn::Network make_network(std::size_t token_index, dnn::BitwidthMode mode) {
+  switch (token_index) {
+    case 0: return dnn::make_alexnet(mode);
+    case 1: return dnn::make_inception_v1(mode);
+    case 2: return dnn::make_resnet18(mode);
+    case 3: return dnn::make_resnet50(mode);
+    case 4: return dnn::make_rnn(mode);
+    default: return dnn::make_lstm(mode);
+  }
+}
+
+/// Resolves a networks axis to canonical token indices ("all" → the
+/// whole zoo; it must then be the sole entry).
+std::vector<std::size_t> resolve_networks(
+    const std::string& context, const std::vector<std::string>& names) {
+  std::vector<std::size_t> out;
+  for (const std::string& name : names) {
+    if (normalize(name) == "all") {
+      if (names.size() != 1) {
+        fail(context, "\"all\" must be the only entry in \"networks\"");
+      }
+      for (std::size_t i = 0; i < network_tokens().size(); ++i) {
+        out.push_back(i);
+      }
+      return out;
+    }
+    out.push_back(
+        match_token(context, "network", name, network_tokens()));
+  }
+  return out;
+}
+
+// ----- overrides ------------------------------------------------------
+
+PlatformOverrides parse_platform_overrides(const std::string& context,
+                                           const Value& v) {
+  if (!v.is_object()) fail(context, "\"platform_overrides\" must be an object");
+  check_keys(context, v,
+             {"rows", "cols", "scratchpad_bytes", "frequency_hz",
+              "time_chunk", "batch_size", "static_core_mw",
+              "cvu_slice_bits", "cvu_max_bits", "cvu_lanes"});
+  PlatformOverrides o;
+  if (const Value* f = v.find("rows")) o.rows = parse_int(context, *f, "rows");
+  if (const Value* f = v.find("cols")) o.cols = parse_int(context, *f, "cols");
+  if (const Value* f = v.find("scratchpad_bytes")) {
+    if (!f->is_int()) fail(context, "\"scratchpad_bytes\" must be an integer");
+    o.scratchpad_bytes = f->as_int();
+  }
+  if (const Value* f = v.find("frequency_hz")) {
+    o.frequency_hz = parse_double(context, *f, "frequency_hz");
+  }
+  if (const Value* f = v.find("time_chunk")) {
+    o.time_chunk = parse_int(context, *f, "time_chunk");
+  }
+  if (const Value* f = v.find("batch_size")) {
+    o.batch_size = parse_int(context, *f, "batch_size");
+  }
+  if (const Value* f = v.find("static_core_mw")) {
+    o.static_core_mw = parse_double(context, *f, "static_core_mw");
+  }
+  if (const Value* f = v.find("cvu_slice_bits")) {
+    o.cvu_slice_bits = parse_int(context, *f, "cvu_slice_bits");
+  }
+  if (const Value* f = v.find("cvu_max_bits")) {
+    o.cvu_max_bits = parse_int(context, *f, "cvu_max_bits");
+  }
+  if (const Value* f = v.find("cvu_lanes")) {
+    o.cvu_lanes = parse_int(context, *f, "cvu_lanes");
+  }
+  return o;
+}
+
+MemoryOverrides parse_memory_overrides(const std::string& context,
+                                       const Value& v) {
+  if (!v.is_object()) fail(context, "\"memory_overrides\" must be an object");
+  check_keys(context, v,
+             {"bandwidth_gbps", "energy_pj_per_bit", "startup_latency_ns",
+              "background_power_w"});
+  MemoryOverrides o;
+  if (const Value* f = v.find("bandwidth_gbps")) {
+    o.bandwidth_gbps = parse_double(context, *f, "bandwidth_gbps");
+  }
+  if (const Value* f = v.find("energy_pj_per_bit")) {
+    o.energy_pj_per_bit = parse_double(context, *f, "energy_pj_per_bit");
+  }
+  if (const Value* f = v.find("startup_latency_ns")) {
+    o.startup_latency_ns = parse_double(context, *f, "startup_latency_ns");
+  }
+  if (const Value* f = v.find("background_power_w")) {
+    o.background_power_w = parse_double(context, *f, "background_power_w");
+  }
+  return o;
+}
+
+BitwidthOverride parse_bitwidth_override(const std::string& context,
+                                         const Value& v) {
+  if (!v.is_object()) fail(context, "\"bitwidth_override\" must be an object");
+  check_keys(context, v, {"x_bits", "w_bits"});
+  BitwidthOverride o;
+  o.x_bits = parse_int(context, require(context, v, "x_bits"), "x_bits");
+  o.w_bits = parse_int(context, require(context, v, "w_bits"), "w_bits");
+  if (o.x_bits < 1 || o.x_bits > 8 || o.w_bits < 1 || o.w_bits > 8) {
+    fail(context, "bitwidth_override bits must be in [1, 8]");
+  }
+  return o;
+}
+
+sim::AcceleratorConfig apply_overrides(const std::string& context,
+                                       sim::AcceleratorConfig config,
+                                       const PlatformOverrides& o) {
+  if (o.rows) config.rows = *o.rows;
+  if (o.cols) config.cols = *o.cols;
+  if (o.scratchpad_bytes) config.scratchpad_bytes = *o.scratchpad_bytes;
+  if (o.frequency_hz) config.frequency_hz = *o.frequency_hz;
+  if (o.time_chunk) config.time_chunk = *o.time_chunk;
+  if (o.batch_size) config.batch_size = *o.batch_size;
+  if (o.static_core_mw) config.static_core_mw = *o.static_core_mw;
+  if (o.cvu_slice_bits) config.cvu.slice_bits = *o.cvu_slice_bits;
+  if (o.cvu_max_bits) config.cvu.max_bits = *o.cvu_max_bits;
+  if (o.cvu_lanes) config.cvu.lanes = *o.cvu_lanes;
+  try {
+    config.validate();
+  } catch (const Error& e) {
+    fail(context,
+         std::string("platform_overrides produce an invalid platform: ") +
+             e.what());
+  }
+  return config;
+}
+
+arch::DramModel apply_overrides(const std::string& context,
+                                arch::DramModel memory,
+                                const MemoryOverrides& o) {
+  if (o.bandwidth_gbps) memory.bandwidth_gbps = *o.bandwidth_gbps;
+  if (o.energy_pj_per_bit) memory.energy_pj_per_bit = *o.energy_pj_per_bit;
+  if (o.startup_latency_ns) memory.startup_latency_ns = *o.startup_latency_ns;
+  if (o.background_power_w) {
+    memory.background_power_w = *o.background_power_w;
+  }
+  if (memory.bandwidth_gbps <= 0 || memory.energy_pj_per_bit < 0 ||
+      memory.startup_latency_ns < 0 || memory.background_power_w < 0) {
+    fail(context, "memory_overrides produce an invalid memory system");
+  }
+  return memory;
+}
+
+GridSpec parse_grid(const std::string& context, const Value& v) {
+  if (!v.is_object()) fail(context, "grid must be an object");
+  check_keys(context, v,
+             {"backends", "platforms", "memories", "networks",
+              "bitwidth_modes", "platform_overrides", "memory_overrides",
+              "bitwidth_override", "id_suffix"});
+  GridSpec g;
+  if (const Value* f = v.find("backends")) {
+    g.backends = parse_string_list(context, *f, "backends");
+  }
+  g.platforms =
+      parse_string_list(context, require(context, v, "platforms"),
+                        "platforms");
+  g.memories = parse_string_list(context, require(context, v, "memories"),
+                                 "memories");
+  g.networks = parse_string_list(context, require(context, v, "networks"),
+                                 "networks");
+  if (const Value* f = v.find("bitwidth_modes")) {
+    g.bitwidth_modes = parse_string_list(context, *f, "bitwidth_modes");
+  }
+  if (const Value* f = v.find("platform_overrides")) {
+    g.platform_overrides = parse_platform_overrides(context, *f);
+  }
+  if (const Value* f = v.find("memory_overrides")) {
+    g.memory_overrides = parse_memory_overrides(context, *f);
+  }
+  if (const Value* f = v.find("bitwidth_override")) {
+    g.bitwidth_override = parse_bitwidth_override(context, *f);
+  }
+  if (const Value* f = v.find("id_suffix")) {
+    g.id_suffix = parse_string(context, *f, "id_suffix");
+  }
+
+  // Validate every axis token now — expansion errors should name the
+  // manifest problem, not surface later as an engine failure. Backends
+  // are checked against the registry at expand() time instead (custom
+  // backends may be registered between parse and expand).
+  for (const std::string& p : g.platforms) {
+    (void)match_token(context, "platform", p, platform_tokens());
+  }
+  for (const std::string& m : g.memories) {
+    (void)match_token(context, "memory", m, memory_tokens());
+  }
+  (void)resolve_networks(context, g.networks);
+  for (const std::string& m : g.bitwidth_modes) {
+    (void)match_token(context, "bitwidth mode", m, mode_tokens());
+  }
+  for (const std::string& b : g.backends) {
+    if (b.empty()) fail(context, "backend keys must be non-empty");
+  }
+  return g;
+}
+
+std::string grid_context(std::size_t index) {
+  return "grids[" + std::to_string(index) + "]";
+}
+
+}  // namespace
+
+bool PlatformOverrides::any() const {
+  return rows || cols || scratchpad_bytes || frequency_hz || time_chunk ||
+         batch_size || static_core_mw || cvu_slice_bits || cvu_max_bits ||
+         cvu_lanes;
+}
+
+bool MemoryOverrides::any() const {
+  return bandwidth_gbps || energy_pj_per_bit || startup_latency_ns ||
+         background_power_w;
+}
+
+const std::vector<std::string>& network_tokens() {
+  static const std::vector<std::string> tokens{
+      "alexnet", "inception_v1", "resnet18", "resnet50", "rnn", "lstm"};
+  return tokens;
+}
+
+Manifest parse_manifest(const Value& root) {
+  if (!root.is_object()) fail("", "document must be an object");
+  check_keys("", root, {"name", "description", "grids"});
+  Manifest m;
+  m.name = parse_string("", require("", root, "name"), "name");
+  if (m.name.empty()) fail("", "\"name\" must be non-empty");
+  if (const Value* d = root.find("description")) {
+    m.description = parse_string("", *d, "description");
+  }
+  const Value& grids = require("", root, "grids");
+  if (!grids.is_array() || grids.as_array().empty()) {
+    fail("", "\"grids\" must be a non-empty array");
+  }
+  for (std::size_t i = 0; i < grids.as_array().size(); ++i) {
+    m.grids.push_back(parse_grid(grid_context(i), grids.as_array()[i]));
+  }
+  return m;
+}
+
+Manifest load_manifest(const std::string& path) {
+  try {
+    return parse_manifest(common::json::parse_file(path));
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    if (what.find(path) != std::string::npos) throw;  // parse error: has path
+    throw Error(path + ": " + what);
+  }
+}
+
+common::json::Value to_json(const Manifest& manifest) {
+  Value root = Value::object();
+  root.set("name", manifest.name);
+  if (!manifest.description.empty()) {
+    root.set("description", manifest.description);
+  }
+  Value grids = Value::array();
+  for (const GridSpec& g : manifest.grids) {
+    Value grid = Value::object();
+    auto string_list = [](const std::vector<std::string>& v) {
+      Value a = Value::array();
+      for (const std::string& s : v) a.push_back(s);
+      return a;
+    };
+    grid.set("backends", string_list(g.backends));
+    grid.set("platforms", string_list(g.platforms));
+    grid.set("memories", string_list(g.memories));
+    grid.set("networks", string_list(g.networks));
+    grid.set("bitwidth_modes", string_list(g.bitwidth_modes));
+    if (g.platform_overrides.any()) {
+      Value o = Value::object();
+      const PlatformOverrides& p = g.platform_overrides;
+      if (p.rows) o.set("rows", *p.rows);
+      if (p.cols) o.set("cols", *p.cols);
+      if (p.scratchpad_bytes) o.set("scratchpad_bytes", *p.scratchpad_bytes);
+      if (p.frequency_hz) o.set("frequency_hz", *p.frequency_hz);
+      if (p.time_chunk) o.set("time_chunk", *p.time_chunk);
+      if (p.batch_size) o.set("batch_size", *p.batch_size);
+      if (p.static_core_mw) o.set("static_core_mw", *p.static_core_mw);
+      if (p.cvu_slice_bits) o.set("cvu_slice_bits", *p.cvu_slice_bits);
+      if (p.cvu_max_bits) o.set("cvu_max_bits", *p.cvu_max_bits);
+      if (p.cvu_lanes) o.set("cvu_lanes", *p.cvu_lanes);
+      grid.set("platform_overrides", std::move(o));
+    }
+    if (g.memory_overrides.any()) {
+      Value o = Value::object();
+      const MemoryOverrides& m = g.memory_overrides;
+      if (m.bandwidth_gbps) o.set("bandwidth_gbps", *m.bandwidth_gbps);
+      if (m.energy_pj_per_bit) {
+        o.set("energy_pj_per_bit", *m.energy_pj_per_bit);
+      }
+      if (m.startup_latency_ns) {
+        o.set("startup_latency_ns", *m.startup_latency_ns);
+      }
+      if (m.background_power_w) {
+        o.set("background_power_w", *m.background_power_w);
+      }
+      grid.set("memory_overrides", std::move(o));
+    }
+    if (g.bitwidth_override) {
+      Value o = Value::object();
+      o.set("x_bits", g.bitwidth_override->x_bits);
+      o.set("w_bits", g.bitwidth_override->w_bits);
+      grid.set("bitwidth_override", std::move(o));
+    }
+    if (!g.id_suffix.empty()) grid.set("id_suffix", g.id_suffix);
+    grids.push_back(std::move(grid));
+  }
+  root.set("grids", std::move(grids));
+  return root;
+}
+
+std::vector<engine::Scenario> expand(const Manifest& manifest) {
+  auto& registry = backend::BackendRegistry::instance();
+  std::vector<engine::Scenario> scenarios;
+  for (std::size_t gi = 0; gi < manifest.grids.size(); ++gi) {
+    const GridSpec& g = manifest.grids[gi];
+    const std::string context = grid_context(gi);
+
+    for (const std::string& b : g.backends) {
+      if (!registry.contains(b)) {
+        fail(context, "unknown backend \"" + b + "\"; registered backends: " +
+                          quoted_list(registry.keys()));
+      }
+    }
+
+    // Resolve each axis once; the loops below only combine.
+    std::vector<sim::AcceleratorConfig> platforms;
+    for (const std::string& p : g.platforms) {
+      const std::size_t idx =
+          match_token(context, "platform", p, platform_tokens());
+      sim::AcceleratorConfig config;
+      switch (platform_from_index(idx)) {
+        case engine::Platform::kTpuLike:
+          config = sim::tpu_like_baseline();
+          break;
+        case engine::Platform::kBitFusion:
+          config = sim::bitfusion_accelerator();
+          break;
+        case engine::Platform::kBpvec:
+          config = sim::bpvec_accelerator();
+          break;
+      }
+      platforms.push_back(
+          apply_overrides(context, std::move(config), g.platform_overrides));
+    }
+    std::vector<arch::DramModel> memories;
+    for (const std::string& m : g.memories) {
+      const std::size_t idx =
+          match_token(context, "memory", m, memory_tokens());
+      memories.push_back(apply_overrides(
+          context, idx == 0 ? arch::ddr4() : arch::hbm2(),
+          g.memory_overrides));
+    }
+    const std::vector<std::size_t> net_indices =
+        resolve_networks(context, g.networks);
+
+    for (const std::string& mode_name : g.bitwidth_modes) {
+      const dnn::BitwidthMode mode =
+          match_token(context, "bitwidth mode", mode_name, mode_tokens()) == 0
+              ? dnn::BitwidthMode::kHomogeneous8b
+              : dnn::BitwidthMode::kHeterogeneous;
+      for (const std::size_t net_index : net_indices) {
+        dnn::Network net = make_network(net_index, mode);
+        if (g.bitwidth_override) {
+          for (dnn::Layer& layer : net.layers()) {
+            if (!layer.is_compute()) continue;
+            layer.x_bits = g.bitwidth_override->x_bits;
+            layer.w_bits = g.bitwidth_override->w_bits;
+          }
+        }
+        for (const sim::AcceleratorConfig& platform : platforms) {
+          for (const arch::DramModel& memory : memories) {
+            for (const std::string& backend : g.backends) {
+              engine::Scenario s = engine::make_scenario(
+                  backend, platform, memory, net, /*id=*/"");
+              s.id += g.id_suffix;
+              scenarios.push_back(std::move(s));
+            }
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+std::size_t scenario_count(const Manifest& manifest) {
+  std::size_t total = 0;
+  for (std::size_t gi = 0; gi < manifest.grids.size(); ++gi) {
+    const GridSpec& g = manifest.grids[gi];
+    const std::size_t nets =
+        resolve_networks(grid_context(gi), g.networks).size();
+    total += g.bitwidth_modes.size() * nets * g.platforms.size() *
+             g.memories.size() * g.backends.size();
+  }
+  return total;
+}
+
+}  // namespace bpvec::cli

@@ -1,0 +1,135 @@
+// Scenario manifests — the declarative grid format behind `bpvec_run`.
+//
+// The paper's evaluation is a pile of platform × network × memory ×
+// backend grids (Figs. 5–9); before this existed, every grid was
+// hand-written C++ in bench/. A manifest describes such a grid as data:
+//
+//   {
+//     "name": "fig5",
+//     "description": "BPVeC vs TPU-like, DDR4, homogeneous 8-bit",
+//     "grids": [
+//       {
+//         "backends": ["bpvec"],                  // optional, default
+//         "platforms": ["tpu_like", "bpvec"],
+//         "memories": ["ddr4"],
+//         "networks": ["all"],                    // or explicit names
+//         "bitwidth_modes": ["homogeneous8b"],    // optional, default
+//         "platform_overrides": {"batch_size": 4},      // optional
+//         "memory_overrides": {"bandwidth_gbps": 32.0}, // optional
+//         "bitwidth_override": {"x_bits": 4, "w_bits": 4},  // optional
+//         "id_suffix": " @bw32"                   // optional
+//       }
+//     ]
+//   }
+//
+// expand() turns each grid into its cross product of engine::Scenarios
+// (loop order: bitwidth modes → networks → platforms → memories →
+// backends — networks outermost matches the bench binaries' batch
+// layout, so a manifest reproducing a figure yields the identical batch)
+// and concatenates the grids in manifest order. Non-cross-product
+// figures (Fig. 6's three platform×memory columns) are several grids.
+//
+// Validation is strict and failure messages name the offending key or
+// value and what was expected — manifests are hand-written and the CLI
+// is the first thing a new user touches. Unknown object keys are errors
+// (they are silent typos otherwise). Backend keys are validated against
+// the live BackendRegistry at expansion time, so custom registered
+// backends work without touching this file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/engine/scenario.h"
+
+namespace bpvec::cli {
+
+/// Platform-knob overrides applied to every platform cell of one grid
+/// (after the named platform's Table II factory runs). Unset fields keep
+/// the platform's value. The overridden config is re-validated.
+struct PlatformOverrides {
+  std::optional<int> rows;
+  std::optional<int> cols;
+  std::optional<std::int64_t> scratchpad_bytes;
+  std::optional<double> frequency_hz;
+  std::optional<int> time_chunk;
+  std::optional<int> batch_size;
+  std::optional<double> static_core_mw;
+  std::optional<int> cvu_slice_bits;
+  std::optional<int> cvu_max_bits;
+  std::optional<int> cvu_lanes;
+
+  bool any() const;
+};
+
+/// Memory-knob overrides, same contract as PlatformOverrides.
+struct MemoryOverrides {
+  std::optional<double> bandwidth_gbps;
+  std::optional<double> energy_pj_per_bit;
+  std::optional<double> startup_latency_ns;
+  std::optional<double> background_power_w;
+
+  bool any() const;
+};
+
+/// Forces every compute layer of every network in the grid to these
+/// operand bitwidths (pool layers are untouched). Sits on top of the
+/// grid's bitwidth_modes — useful for "what if everything were 2-bit"
+/// sweeps the Table I assignments don't cover.
+struct BitwidthOverride {
+  int x_bits = 8;
+  int w_bits = 8;
+};
+
+struct GridSpec {
+  std::vector<std::string> backends{"bpvec"};
+  std::vector<std::string> platforms;       // tpu_like | bitfusion | bpvec
+  std::vector<std::string> memories;        // ddr4 | hbm2
+  std::vector<std::string> networks;        // model names, or "all"
+  std::vector<std::string> bitwidth_modes{"homogeneous8b"};
+  PlatformOverrides platform_overrides;
+  MemoryOverrides memory_overrides;
+  std::optional<BitwidthOverride> bitwidth_override;
+  /// Appended to every generated scenario id (default ids are
+  /// <backend>:<platform>/<network>/<memory>, which collide between two
+  /// grids that differ only in overrides).
+  std::string id_suffix;
+};
+
+struct Manifest {
+  std::string name;         // report label; required, non-empty
+  std::string description;  // optional free text
+  std::vector<GridSpec> grids;
+};
+
+/// Parses and validates a manifest document. Throws bpvec::Error with
+/// the grid index and offending key/value on any schema violation.
+Manifest parse_manifest(const common::json::Value& root);
+
+/// parse_manifest of a file (errors include the path).
+Manifest load_manifest(const std::string& path);
+
+/// Inverse of parse_manifest: a JSON document that parses back to an
+/// equivalent manifest (defaulted fields are emitted explicitly;
+/// omitted overrides are omitted). Lets tools generate manifests
+/// programmatically.
+common::json::Value to_json(const Manifest& manifest);
+
+/// Expands every grid into scenarios, in the documented deterministic
+/// order. Validates backend keys against the BackendRegistry and the
+/// overridden configs; throws bpvec::Error naming the grid on failure.
+std::vector<engine::Scenario> expand(const Manifest& manifest);
+
+/// Number of scenarios expand() would produce (cheap — no networks are
+/// instantiated).
+std::size_t scenario_count(const Manifest& manifest);
+
+/// The canonical network-name tokens ("alexnet", …, in Table I order)
+/// that "all" expands to. Network/platform/memory tokens are matched
+/// case-insensitively, ignoring '-' and '_' (so "ResNet-18" == "resnet18").
+const std::vector<std::string>& network_tokens();
+
+}  // namespace bpvec::cli

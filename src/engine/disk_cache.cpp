@@ -1,0 +1,251 @@
+#include "src/engine/disk_cache.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "src/common/error.h"
+
+namespace bpvec::engine {
+
+namespace fs = std::filesystem;
+using common::json::Value;
+
+namespace {
+
+Value energy_to_json(const sim::EnergyBreakdown& e) {
+  Value v = Value::object();
+  v.set("compute_pj", e.compute_pj);
+  v.set("sram_pj", e.sram_pj);
+  v.set("dram_pj", e.dram_pj);
+  v.set("static_pj", e.static_pj);
+  return v;
+}
+
+sim::EnergyBreakdown energy_from_json(const Value& v) {
+  sim::EnergyBreakdown e;
+  e.compute_pj = v.at("compute_pj").as_double();
+  e.sram_pj = v.at("sram_pj").as_double();
+  e.dram_pj = v.at("dram_pj").as_double();
+  e.static_pj = v.at("static_pj").as_double();
+  return e;
+}
+
+dnn::LayerKind layer_kind_from_string(const std::string& s) {
+  if (s == "conv") return dnn::LayerKind::kConv;
+  if (s == "fc") return dnn::LayerKind::kFullyConnected;
+  if (s == "pool") return dnn::LayerKind::kPool;
+  if (s == "recurrent") return dnn::LayerKind::kRecurrent;
+  throw Error("unknown layer kind: " + s);
+}
+
+Value layer_to_json(const sim::LayerResult& l) {
+  Value v = Value::object();
+  v.set("name", l.name);
+  v.set("kind", dnn::to_string(l.kind));
+  v.set("x_bits", l.x_bits);
+  v.set("w_bits", l.w_bits);
+  v.set("macs", l.macs);
+  v.set("compute_cycles", l.compute_cycles);
+  v.set("memory_cycles", l.memory_cycles);
+  v.set("total_cycles", l.total_cycles);
+  v.set("utilization", l.utilization);
+  v.set("dram_bytes", l.dram_bytes);
+  v.set("sram_bytes", l.sram_bytes);
+  v.set("energy", energy_to_json(l.energy));
+  v.set("memory_bound", l.memory_bound);
+  v.set("runtime_s", l.runtime_s);
+  return v;
+}
+
+sim::LayerResult layer_from_json(const Value& v) {
+  sim::LayerResult l;
+  l.name = v.at("name").as_string();
+  l.kind = layer_kind_from_string(v.at("kind").as_string());
+  l.x_bits = static_cast<int>(v.at("x_bits").as_int());
+  l.w_bits = static_cast<int>(v.at("w_bits").as_int());
+  l.macs = v.at("macs").as_int();
+  l.compute_cycles = v.at("compute_cycles").as_int();
+  l.memory_cycles = v.at("memory_cycles").as_int();
+  l.total_cycles = v.at("total_cycles").as_int();
+  l.utilization = v.at("utilization").as_double();
+  l.dram_bytes = v.at("dram_bytes").as_int();
+  l.sram_bytes = v.at("sram_bytes").as_int();
+  l.energy = energy_from_json(v.at("energy"));
+  l.memory_bound = v.at("memory_bound").as_bool();
+  l.runtime_s = v.at("runtime_s").as_double();
+  return l;
+}
+
+/// JSON has no inf/nan (they would serialize as null and poison the
+/// entry: stored fine, rejected on every load, re-priced and re-stored
+/// forever). Such results are refused up front instead.
+bool all_finite(const sim::RunResult& r) {
+  const auto energy_finite = [](const sim::EnergyBreakdown& e) {
+    return std::isfinite(e.compute_pj) && std::isfinite(e.sram_pj) &&
+           std::isfinite(e.dram_pj) && std::isfinite(e.static_pj);
+  };
+  if (!std::isfinite(r.runtime_s) || !std::isfinite(r.energy_j) ||
+      !std::isfinite(r.average_power_w) || !std::isfinite(r.gops_per_s) ||
+      !std::isfinite(r.gops_per_w) || !energy_finite(r.energy)) {
+    return false;
+  }
+  for (const sim::LayerResult& l : r.layers) {
+    if (!std::isfinite(l.utilization) || !std::isfinite(l.runtime_s) ||
+        !energy_finite(l.energy)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
+
+Value run_result_to_json(const sim::RunResult& r) {
+  Value v = Value::object();
+  v.set("platform", r.platform);
+  v.set("network", r.network);
+  v.set("memory", r.memory);
+  v.set("backend", r.backend);
+  v.set("total_cycles", r.total_cycles);
+  v.set("total_macs", r.total_macs);
+  v.set("energy", energy_to_json(r.energy));
+  v.set("runtime_s", r.runtime_s);
+  v.set("energy_j", r.energy_j);
+  v.set("average_power_w", r.average_power_w);
+  v.set("gops_per_s", r.gops_per_s);
+  v.set("gops_per_w", r.gops_per_w);
+  Value layers = Value::array();
+  for (const sim::LayerResult& l : r.layers) {
+    layers.push_back(layer_to_json(l));
+  }
+  v.set("layers", std::move(layers));
+  return v;
+}
+
+sim::RunResult run_result_from_json(const Value& v) {
+  sim::RunResult r;
+  r.platform = v.at("platform").as_string();
+  r.network = v.at("network").as_string();
+  r.memory = v.at("memory").as_string();
+  r.backend = v.at("backend").as_string();
+  r.total_cycles = v.at("total_cycles").as_int();
+  r.total_macs = v.at("total_macs").as_int();
+  r.energy = energy_from_json(v.at("energy"));
+  r.runtime_s = v.at("runtime_s").as_double();
+  r.energy_j = v.at("energy_j").as_double();
+  r.average_power_w = v.at("average_power_w").as_double();
+  r.gops_per_s = v.at("gops_per_s").as_double();
+  r.gops_per_w = v.at("gops_per_w").as_double();
+  for (const Value& l : v.at("layers").as_array()) {
+    r.layers.push_back(layer_from_json(l));
+  }
+  return r;
+}
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {
+  BPVEC_CHECK_MSG(!dir_.empty(), "disk cache directory must be non-empty");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw Error("disk cache: cannot create directory " + dir_ + ": " +
+                ec.message());
+  }
+}
+
+std::string DiskCache::entry_path(std::uint64_t key) const {
+  return (fs::path(dir_) / (key_hex(key) + ".json")).string();
+}
+
+std::shared_ptr<const sim::RunResult> DiskCache::load(
+    std::uint64_t key, std::uint64_t generation) const {
+  const std::string path = entry_path(key);
+  {
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+  }
+  try {
+    const Value entry = common::json::parse_file(path);
+    if (entry.at("format_version").as_int() != kFormatVersion ||
+        entry.at("key").as_string() != key_hex(key) ||
+        entry.at("generation").as_int() !=
+            static_cast<std::int64_t>(generation)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    auto result = std::make_shared<sim::RunResult>(
+        run_result_from_json(entry.at("result")));
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  } catch (const std::exception&) {
+    // Truncated/corrupt/mistyped entry: a miss, never a failure — the
+    // caller re-prices and overwrites it with a good one.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+}
+
+bool DiskCache::store(std::uint64_t key, std::uint64_t generation,
+                      const sim::RunResult& result) const {
+  if (!all_finite(result)) {
+    // Not representable in JSON bit-exactly; caching it would turn this
+    // key into a permanent reject-and-reprice loop. Skip it.
+    store_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Value entry = Value::object();
+  entry.set("format_version", kFormatVersion);
+  entry.set("key", key_hex(key));
+  entry.set("generation", static_cast<std::int64_t>(generation));
+  entry.set("result", run_result_to_json(result));
+
+  // Unique temp name per (process, store): concurrent writers — pool
+  // threads in this process or other processes sharing the dir — never
+  // collide on the temp file, and the final rename is atomic.
+  const std::string tmp =
+      entry_path(key) + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(tmp_seq_.fetch_add(1, std::memory_order_relaxed));
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out << entry.dump(1);
+      out.flush();
+      if (!out.good()) throw Error("write failed");
+    }
+    fs::rename(tmp, entry_path(key));
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  } catch (const std::exception&) {
+    std::error_code ec;
+    fs::remove(tmp, ec);  // best effort
+    store_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+DiskCacheStats DiskCache::stats() const {
+  DiskCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.store_failures = store_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace bpvec::engine

@@ -1,0 +1,112 @@
+// DiskCache — the persistent on-disk result cache below SimEngine's
+// in-memory memo caches.
+//
+// The in-memory caches die with the process; the paper-grid workloads
+// (Figs. 5–9, CI regression replays, sweep scripts) re-price the same
+// scenarios run after run. DiskCache serializes whole sim::RunResults as
+// JSON files keyed by the exact fingerprints the memo caches already
+// compute, so a warm `bpvec_run --cache-dir` serves every repeated
+// scenario without simulating at all.
+//
+// Entry key: hash_combine(Scenario::fingerprint(), backend->fingerprint())
+// — both stable across processes (pure functions of the configs), and the
+// backend instance fingerprint covers every pricing knob, so two
+// registrations of one backend key with different knobs can never share
+// an entry. Each entry additionally records:
+//   * a format version — bumping kFormatVersion orphans every old file
+//     (they are rejected on load, never misread), and
+//   * the backend key's registry generation — entries written under one
+//     registration are ignored after a re-registration, mirroring the
+//     in-memory scenario cache's staleness rule. Generations are a
+//     process-local counter: builtin backends register in a fixed order,
+//     so their stamps agree across processes and entries round-trip; a
+//     process whose *custom* registration history differs sees foreign
+//     stamps and conservatively re-prices (counted `rejected` — a
+//     performance caveat, never a correctness one; entries are rewritten
+//     with the local stamp).
+//
+// Guarantees:
+//   * Bit-identity: a loaded RunResult equals the stored one bit for bit
+//     (int64 fields verbatim, doubles via %.17g round trip) — run_batch
+//     output is byte-identical with the disk cache cold, warm, or off.
+//   * Crash/concurrency safety: entries are written to a unique temp
+//     file and atomically renamed into place, so concurrent runs sharing
+//     a cache dir (CI shards, parallel sweeps) can never observe a torn
+//     entry; last writer wins with an identical payload.
+//   * Corruption tolerance: unreadable, truncated, or stale entries are
+//     counted and treated as misses — the cache can only ever cost a
+//     re-simulation, never wrong numbers or a crash.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/json.h"
+#include "src/sim/simulator.h"
+
+namespace bpvec::engine {
+
+struct DiskCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;    // absent entries
+  std::size_t rejected = 0;  // corrupt, version-stale, or generation-stale
+  std::size_t stores = 0;
+  std::size_t store_failures = 0;  // I/O errors (cache stays best-effort)
+};
+
+class DiskCache {
+ public:
+  /// Bump when the entry schema changes; all older entries are rejected.
+  static constexpr std::int64_t kFormatVersion = 1;
+
+  /// Creates `dir` (and parents) if needed; throws bpvec::Error when the
+  /// directory cannot be created.
+  explicit DiskCache(std::string dir);
+
+  /// Returns the cached RunResult for `key`, or nullptr on miss.
+  /// `generation` must match the entry's recorded registry generation.
+  /// Never throws on bad cache contents — those count as `rejected`.
+  std::shared_ptr<const sim::RunResult> load(std::uint64_t key,
+                                             std::uint64_t generation) const;
+
+  /// Persists `result` under `key` (temp file + atomic rename). Returns
+  /// false and counts a store_failure on I/O errors — or when `result`
+  /// contains a non-finite double (not representable in JSON
+  /// bit-exactly; storing it would make the key a permanent
+  /// reject-and-reprice loop).
+  bool store(std::uint64_t key, std::uint64_t generation,
+             const sim::RunResult& result) const;
+
+  /// Consistent-enough snapshot of the counters (each counter is atomic;
+  /// safe to call while pool threads probe/store).
+  DiskCacheStats stats() const;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path of the entry file for `key` (exposed for tests that corrupt or
+  /// inspect entries).
+  std::string entry_path(std::uint64_t key) const;
+
+ private:
+  std::string dir_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  mutable std::atomic<std::size_t> rejected_{0};
+  mutable std::atomic<std::size_t> stores_{0};
+  mutable std::atomic<std::size_t> store_failures_{0};
+  mutable std::atomic<std::uint64_t> tmp_seq_{0};
+};
+
+/// Full-fidelity JSON serialization of a RunResult (every field,
+/// including per-layer results and energy breakdowns). Doubles are
+/// written so they round-trip bit-exactly; from_json of to_json is the
+/// identity.
+common::json::Value run_result_to_json(const sim::RunResult& result);
+
+/// Strict inverse of run_result_to_json: throws bpvec::Error on missing
+/// or mistyped fields (DiskCache::load converts that into `rejected`).
+sim::RunResult run_result_from_json(const common::json::Value& v);
+
+}  // namespace bpvec::engine

@@ -15,10 +15,27 @@ namespace {
 constexpr std::size_t kNotDupe = static_cast<std::size_t>(-1);
 }  // namespace
 
+common::json::Value to_json(const EngineStats& stats) {
+  common::json::Value v = common::json::Value::object();
+  v.set("scenarios_submitted", stats.scenarios_submitted);
+  v.set("simulations_run", stats.simulations_run);
+  v.set("cache_hits", stats.cache_hits);
+  v.set("layers_priced", stats.layers_priced);
+  v.set("layer_cache_hits", stats.layer_cache_hits);
+  v.set("disk_hits", stats.disk_hits);
+  v.set("disk_misses", stats.disk_misses);
+  v.set("disk_rejected", stats.disk_rejected);
+  v.set("disk_stores", stats.disk_stores);
+  return v;
+}
+
 SimEngine::SimEngine(EngineOptions options)
     : pool_(options.num_threads),
       cache_enabled_(options.cache_enabled),
-      layer_cache_enabled_(options.layer_cache_enabled) {}
+      layer_cache_enabled_(options.layer_cache_enabled),
+      disk_(options.disk_cache_dir.empty()
+                ? nullptr
+                : std::make_unique<DiskCache>(options.disk_cache_dir)) {}
 
 std::size_t SimEngine::batch_grain(std::size_t jobs) const {
   // Aim for ~4 stealable tasks per worker so micro-scale jobs amortize
@@ -120,14 +137,19 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   }
 
   // Scenario fingerprints are pure per-scenario work — hash them on the
-  // pool so the cache feature doesn't serialize the parallel region.
+  // pool so the cache feature doesn't serialize the parallel region. The
+  // disk cache keys off the raw fingerprint (registry generations are
+  // process-local; the disk key instead folds the backend instance's own
+  // fingerprint, see below), the memo cache folds the generation in.
+  const bool need_prints = cache_enabled_ || disk_ != nullptr;
+  std::vector<std::uint64_t> raw_prints(batch.size());
   std::vector<std::uint64_t> prints(batch.size());
-  if (cache_enabled_) {
+  if (need_prints) {
     pool_.parallel_for(
         batch.size(),
         [&](std::size_t i) {
-          prints[i] =
-              common::hash_combine(batch[i].fingerprint(), generations[i]);
+          raw_prints[i] = batch[i].fingerprint();
+          prints[i] = common::hash_combine(raw_prints[i], generations[i]);
         },
         batch_grain(batch.size()));
   }
@@ -168,7 +190,6 @@ std::vector<sim::RunResult> SimEngine::run_batch(
       slots[i].job = jobs.size();
       jobs.push_back(i);
     }
-    stats_.simulations_run += jobs.size();
   }
 
   // Price the unique scenarios in parallel, writing each job's result
@@ -176,9 +197,13 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   // made inside the same task so no extra serial pass touches the bulky
   // RunResults. Each job constructs and owns its backend instance — no
   // state is shared across tasks, so scheduling order cannot affect the
-  // numbers.
+  // numbers. The disk cache sits below the memo caches: only memo misses
+  // probe it, a hit skips pricing entirely (the loaded result is
+  // bit-identical by the DiskCache contract), and a miss prices then
+  // persists. Disk-served jobs still feed the in-memory scenario cache.
   std::vector<std::shared_ptr<const sim::RunResult>> fresh(
       cache_enabled_ ? jobs.size() : 0);
+  std::atomic<std::size_t> disk_served{0};
   pool_.parallel_for(
       jobs.size(),
       [&](std::size_t j) {
@@ -187,7 +212,26 @@ std::vector<sim::RunResult> SimEngine::run_batch(
         const auto be = resolved.at(s.backend).factory(s.platform, s.memory);
         BPVEC_CHECK_MSG(be != nullptr,
                         "backend factory returned null for: " + s.backend);
-        results[i] = run_with_layer_cache(*be, s.network);
+        if (disk_ != nullptr) {
+          // Key: scenario fingerprint × this backend instance's own
+          // fingerprint — both stable across processes, and the latter
+          // covers every pricing knob, so two registrations of one key
+          // with different models can never share an entry.
+          const std::uint64_t disk_key =
+              common::hash_combine(raw_prints[i], be->fingerprint());
+          if (auto cached = disk_->load(disk_key, generations[i])) {
+            results[i] = *cached;
+            disk_served.fetch_add(1, std::memory_order_relaxed);
+            // Reuse the loaded copy as the memo cache's shared entry —
+            // no second deep copy of the layer vector per warm scenario.
+            if (cache_enabled_) fresh[j] = std::move(cached);
+            return;
+          }
+          results[i] = run_with_layer_cache(*be, s.network);
+          disk_->store(disk_key, generations[i], results[i]);
+        } else {
+          results[i] = run_with_layer_cache(*be, s.network);
+        }
         if (cache_enabled_) {
           fresh[j] = std::make_shared<const sim::RunResult>(results[i]);
         }
@@ -203,10 +247,17 @@ std::vector<sim::RunResult> SimEngine::run_batch(
     }
   }
 
-  if (cache_enabled_) {
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-      cache_.emplace(prints[jobs[j]], std::move(fresh[j]));
+    // Accounted after the fact so disk-served jobs don't inflate
+    // simulations_run; the mid-batch invariant simulations_run +
+    // cache_hits <= scenarios_submitted still holds (counters lag work).
+    stats_.simulations_run +=
+        jobs.size() - disk_served.load(std::memory_order_relaxed);
+    if (cache_enabled_) {
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        cache_.emplace(prints[jobs[j]], std::move(fresh[j]));
+      }
     }
   }
   return results;
@@ -250,6 +301,13 @@ EngineStats SimEngine::stats() const {
   }
   s.layers_priced = layers_priced_.load(std::memory_order_relaxed);
   s.layer_cache_hits = layer_cache_hits_.load(std::memory_order_relaxed);
+  if (disk_ != nullptr) {
+    const DiskCacheStats d = disk_->stats();
+    s.disk_hits = d.hits;
+    s.disk_misses = d.misses;
+    s.disk_rejected = d.rejected;
+    s.disk_stores = d.stores;
+  }
   return s;
 }
 

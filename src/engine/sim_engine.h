@@ -5,7 +5,7 @@
 // grids — now × cost backend: the Fig. 9 GPU roofline and the Fig. 1
 // bit-serial baselines ride the same batch as the cycle simulator).
 // SimEngine prices whole batches at once on a work-stealing thread pool
-// and memoizes at two granularities:
+// and memoizes at three granularities:
 //
 //   * scenario cache — keyed by Scenario::fingerprint × the backend
 //     key's registry generation (re-registering a backend abandons its
@@ -14,6 +14,14 @@
 //     fingerprint; ResNet's repeated blocks and networks shared across
 //     scenarios price each unique layer once (a wall-clock win on the
 //     Fig. 5–9 grids even single-threaded).
+//   * disk cache (optional, EngineOptions::disk_cache_dir) — persistent
+//     scenario-level results keyed by Scenario::fingerprint × the
+//     resolved backend instance's fingerprint, below the memo caches:
+//     probed only for scenarios the in-memory caches miss, and fed back
+//     into the scenario cache on hit. Survives the process — warm
+//     `bpvec_run --cache-dir` replays serve whole grids without
+//     simulating (see src/engine/disk_cache.h for the staleness and
+//     atomicity story).
 //
 // Guarantees:
 //   * run_batch results are bit-identical to resolving each scenario's
@@ -46,7 +54,9 @@
 #include <vector>
 
 #include "src/backend/cost_backend.h"
+#include "src/common/json.h"
 #include "src/core/design_space.h"
+#include "src/engine/disk_cache.h"
 #include "src/engine/scenario.h"
 #include "src/engine/thread_pool.h"
 #include "src/sim/simulator.h"
@@ -59,12 +69,26 @@ struct EngineStats {
   std::size_t cache_hits = 0;       // served from the scenario cache
   std::size_t layers_priced = 0;    // actual price_layer invocations
   std::size_t layer_cache_hits = 0; // layers served from the layer cache
+  // Disk-cache counters (all zero when no disk cache is configured).
+  // Per engine: simulations_run + cache_hits + disk_hits ==
+  // scenarios_submitted once every run_batch has returned.
+  std::size_t disk_hits = 0;        // scenarios served from disk
+  std::size_t disk_misses = 0;      // probed but absent
+  std::size_t disk_rejected = 0;    // corrupt or stale entries skipped
+  std::size_t disk_stores = 0;      // fresh results persisted
 };
+
+/// Counters as a JSON object (the BENCH_*.json "engine_stats" block and
+/// the CLI report's "stats" block share this shape).
+common::json::Value to_json(const EngineStats& stats);
 
 struct EngineOptions {
   int num_threads = 0;              // <= 0: hardware concurrency
   bool cache_enabled = true;        // scenario-level result memoization
   bool layer_cache_enabled = true;  // layer-granular memoization
+  /// Non-empty: persist scenario results under this directory and serve
+  /// repeats from it across processes (created on demand).
+  std::string disk_cache_dir{};
 };
 
 class SimEngine {
@@ -96,12 +120,17 @@ class SimEngine {
   /// concurrently with run_batch).
   EngineStats stats() const;
 
-  /// Drops both the scenario cache and the layer cache. Counters are
-  /// preserved (they describe work done, not cache contents).
+  /// Drops both in-memory caches (scenario and layer). The disk cache is
+  /// untouched — it belongs to the directory, not the engine; delete the
+  /// directory to invalidate it. Counters are preserved (they describe
+  /// work done, not cache contents).
   void clear_cache();
 
   int num_threads() const { return pool_.num_threads(); }
   ThreadPool& pool() { return pool_; }
+
+  /// The persistent cache layer, or nullptr when not configured.
+  const DiskCache* disk_cache() const { return disk_.get(); }
 
  private:
   /// Indices per pool task for a batch of `jobs` parallel units.
@@ -115,6 +144,7 @@ class SimEngine {
   ThreadPool pool_;
   bool cache_enabled_;
   bool layer_cache_enabled_;
+  std::unique_ptr<DiskCache> disk_;  // null when not configured
 
   mutable std::mutex mu_;  // guards cache_ and the scenario counters
   std::unordered_map<std::uint64_t, std::shared_ptr<const sim::RunResult>>

@@ -1,0 +1,357 @@
+// DiskCache tests: serialization round trips, hit/miss accounting,
+// corrupted-entry tolerance, format-version and registry-generation
+// invalidation, concurrent writers, and — the contract everything else
+// leans on — run_batch bit-identity with the disk cache off, cold, and
+// warm.
+#include "src/engine/disk_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/common/json.h"
+#include "src/dnn/model_zoo.h"
+#include "src/engine/scenario.h"
+#include "src/engine/sim_engine.h"
+#include "src/sim/simulator.h"
+#include "tests/run_result_identical.h"
+
+namespace bpvec::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh cache directory per test, removed on teardown. Lives under the
+/// working directory (the build tree), not /tmp, so parallel ctest
+/// shards with different working directories cannot collide.
+class DiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "disk_cache_test_" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+sim::RunResult sample_result() {
+  const auto config = sim::bpvec_accelerator();
+  return sim::Simulator(config, arch::ddr4())
+      .run(dnn::make_alexnet(dnn::BitwidthMode::kHeterogeneous));
+}
+
+TEST_F(DiskCacheTest, JsonSerializationIsTheIdentity) {
+  const sim::RunResult original = sample_result();
+  const sim::RunResult round_tripped = run_result_from_json(
+      common::json::parse(run_result_to_json(original).dump(1)));
+  expect_bit_identical(original, round_tripped);
+}
+
+TEST_F(DiskCacheTest, StoreThenLoadIsBitIdentical) {
+  DiskCache cache(dir_);
+  const sim::RunResult original = sample_result();
+  ASSERT_TRUE(cache.store(/*key=*/42, /*generation=*/7, original));
+  const auto loaded = cache.load(42, 7);
+  ASSERT_NE(loaded, nullptr);
+  expect_bit_identical(original, *loaded);
+  const DiskCacheStats s = cache.stats();
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+}
+
+TEST_F(DiskCacheTest, AbsentKeyIsAMiss) {
+  DiskCache cache(dir_);
+  EXPECT_EQ(cache.load(1234, 1), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST_F(DiskCacheTest, EntriesSurviveTheCacheObject) {
+  const sim::RunResult original = sample_result();
+  {
+    DiskCache cache(dir_);
+    ASSERT_TRUE(cache.store(9, 3, original));
+  }
+  DiskCache reopened(dir_);  // fresh object, same directory
+  const auto loaded = reopened.load(9, 3);
+  ASSERT_NE(loaded, nullptr);
+  expect_bit_identical(original, *loaded);
+}
+
+TEST_F(DiskCacheTest, ToleratesCorruptedEntries) {
+  DiskCache cache(dir_);
+  const sim::RunResult original = sample_result();
+  ASSERT_TRUE(cache.store(5, 1, original));
+
+  const std::string corruptions[] = {
+      "",                        // empty file
+      "not json at all {{{",     // unparseable
+      "{\"format_version\": 1}"  // parseable, fields missing
+  };
+  for (const std::string& garbage : corruptions) {
+    {
+      std::ofstream out(cache.entry_path(5), std::ios::trunc);
+      out << garbage;
+    }
+    EXPECT_EQ(cache.load(5, 1), nullptr) << "garbage: " << garbage;
+  }
+  // Truncated valid entry (torn write without the atomic rename).
+  {
+    const std::string full =
+        common::json::parse_file(cache.entry_path(5)).dump();
+    std::ofstream out(cache.entry_path(5), std::ios::trunc);
+    out << full.substr(0, full.size() / 2);
+  }
+  EXPECT_EQ(cache.load(5, 1), nullptr);
+  EXPECT_EQ(cache.stats().rejected, 4u);
+  // A store overwrites the corpse and the key works again.
+  ASSERT_TRUE(cache.store(5, 1, original));
+  EXPECT_NE(cache.load(5, 1), nullptr);
+}
+
+TEST_F(DiskCacheTest, RefusesToStoreNonFiniteResults) {
+  // JSON cannot represent inf/nan bit-exactly; storing such a result
+  // would make its key a permanent reject-and-reprice loop.
+  DiskCache cache(dir_);
+  sim::RunResult r = sample_result();
+  r.gops_per_w = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(cache.store(8, 1, r));
+  EXPECT_EQ(cache.stats().store_failures, 1u);
+  EXPECT_FALSE(fs::exists(cache.entry_path(8)));
+  r.gops_per_w = 0.0;
+  r.layers.front().utilization = std::nan("");
+  EXPECT_FALSE(cache.store(8, 1, r));
+  EXPECT_EQ(cache.load(8, 1), nullptr);  // a miss, not a poisoned entry
+}
+
+TEST_F(DiskCacheTest, RejectsForeignFormatVersions) {
+  DiskCache cache(dir_);
+  ASSERT_TRUE(cache.store(6, 1, sample_result()));
+  // Patch the recorded version: a file from a future (or ancient) build.
+  auto entry = common::json::parse_file(cache.entry_path(6));
+  entry.set("format_version", DiskCache::kFormatVersion + 1);
+  {
+    std::ofstream out(cache.entry_path(6), std::ios::trunc);
+    out << entry.dump(1);
+  }
+  EXPECT_EQ(cache.load(6, 1), nullptr);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST_F(DiskCacheTest, RejectsStaleGenerations) {
+  DiskCache cache(dir_);
+  ASSERT_TRUE(cache.store(6, /*generation=*/1, sample_result()));
+  // Same key, different registration stamp — e.g. the backend was
+  // re-registered with different knobs since the entry was written.
+  EXPECT_EQ(cache.load(6, /*generation=*/2), nullptr);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_NE(cache.load(6, 1), nullptr);
+}
+
+TEST_F(DiskCacheTest, ConcurrentWritersNeverTearAnEntry) {
+  DiskCache cache(dir_);
+  const sim::RunResult original = sample_result();
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 16;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&cache, &original] {
+      for (int r = 0; r < kRounds; ++r) {
+        cache.store(77, 1, original);
+        // Interleave loads: a reader must only ever see a complete
+        // entry (rename is atomic) — nullptr would count as rejected.
+        const auto loaded = cache.load(77, 1);
+        ASSERT_NE(loaded, nullptr);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(cache.stats().rejected, 0u);
+  EXPECT_EQ(cache.stats().stores,
+            static_cast<std::size_t>(kWriters) * kRounds);
+  const auto final_load = cache.load(77, 1);
+  ASSERT_NE(final_load, nullptr);
+  expect_bit_identical(original, *final_load);
+}
+
+// ----- engine integration --------------------------------------------
+
+std::vector<Scenario> mixed_batch() {
+  std::vector<Scenario> batch;
+  for (const auto& net :
+       {dnn::make_alexnet(dnn::BitwidthMode::kHeterogeneous),
+        dnn::make_rnn(dnn::BitwidthMode::kHomogeneous8b)}) {
+    batch.push_back(
+        make_scenario(Platform::kTpuLike, core::Memory::kDdr4, net));
+    batch.push_back(
+        make_scenario(Platform::kBpvec, core::Memory::kHbm2, net));
+    batch.push_back(make_scenario("bit_serial", Platform::kBpvec,
+                                  core::Memory::kDdr4, net));
+  }
+  batch.push_back(
+      make_gpu_scenario(dnn::make_resnet18(dnn::BitwidthMode::kHomogeneous8b)));
+  return batch;
+}
+
+TEST_F(DiskCacheTest, RunBatchIsBitIdenticalColdWarmAndOff) {
+  const auto batch = mixed_batch();
+
+  EngineOptions off;
+  off.num_threads = 2;
+  const auto baseline = SimEngine(off).run_batch(batch);
+
+  EngineOptions with_disk = off;
+  with_disk.disk_cache_dir = dir_;
+
+  // Cold: every scenario misses the disk, prices, and is persisted.
+  SimEngine cold(with_disk);
+  const auto cold_results = cold.run_batch(batch);
+  const EngineStats cold_stats = cold.stats();
+  EXPECT_EQ(cold_stats.disk_hits, 0u);
+  EXPECT_EQ(cold_stats.disk_misses, batch.size());
+  EXPECT_EQ(cold_stats.disk_stores, batch.size());
+  EXPECT_EQ(cold_stats.simulations_run, batch.size());
+
+  // Warm, new engine (fresh memo caches, same directory): every scenario
+  // is served from disk, nothing simulates.
+  SimEngine warm(with_disk);
+  const auto warm_results = warm.run_batch(batch);
+  const EngineStats warm_stats = warm.stats();
+  EXPECT_EQ(warm_stats.disk_hits, batch.size());
+  EXPECT_EQ(warm_stats.simulations_run, 0u);
+  EXPECT_EQ(warm_stats.layers_priced, 0u);
+  // The invariant the header promises.
+  EXPECT_EQ(warm_stats.simulations_run + warm_stats.cache_hits +
+                warm_stats.disk_hits,
+            warm_stats.scenarios_submitted);
+
+  ASSERT_EQ(cold_results.size(), baseline.size());
+  ASSERT_EQ(warm_results.size(), baseline.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    expect_bit_identical(baseline[i], cold_results[i]);
+    expect_bit_identical(baseline[i], warm_results[i]);
+  }
+}
+
+TEST_F(DiskCacheTest, MemoCacheSitsAboveTheDiskCache) {
+  const auto batch = mixed_batch();
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.disk_cache_dir = dir_;
+  SimEngine eng(opts);
+  (void)eng.run_batch(batch);
+  // Second submission on the same engine: the in-memory scenario cache
+  // answers; the disk is not even probed.
+  (void)eng.run_batch(batch);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.cache_hits, batch.size());
+  EXPECT_EQ(s.disk_hits, 0u);
+  EXPECT_EQ(s.disk_misses, batch.size());  // from the first run only
+}
+
+TEST_F(DiskCacheTest, DiskHitsFeedTheMemoCache) {
+  const auto batch = mixed_batch();
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.disk_cache_dir = dir_;
+  (void)SimEngine(opts).run_batch(batch);  // populate the directory
+
+  SimEngine warm(opts);
+  (void)warm.run_batch(batch);  // all from disk
+  (void)warm.run_batch(batch);  // all from the memo cache now
+  const EngineStats s = warm.stats();
+  EXPECT_EQ(s.disk_hits, batch.size());
+  EXPECT_EQ(s.cache_hits, batch.size());
+  EXPECT_EQ(s.simulations_run, 0u);
+}
+
+TEST_F(DiskCacheTest, CorruptedEntryRepricesAndHeals) {
+  const auto batch = mixed_batch();
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.disk_cache_dir = dir_;
+  (void)SimEngine(opts).run_batch(batch);
+
+  // Vandalize every entry in the directory.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "{\"broken\": true}";
+  }
+  SimEngine healed(opts);
+  const auto results = healed.run_batch(batch);
+  const EngineStats s = healed.stats();
+  EXPECT_EQ(s.disk_rejected, batch.size());
+  EXPECT_EQ(s.simulations_run, batch.size());  // all repriced
+  EXPECT_EQ(s.disk_stores, batch.size());      // and re-persisted
+
+  // The healed entries serve the next engine.
+  SimEngine warm(opts);
+  const auto warm_results = warm.run_batch(batch);
+  EXPECT_EQ(warm.stats().disk_hits, batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_bit_identical(results[i], warm_results[i]);
+  }
+}
+
+TEST_F(DiskCacheTest, ClearCacheLeavesTheDiskAlone) {
+  const auto batch = mixed_batch();
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.disk_cache_dir = dir_;
+  SimEngine eng(opts);
+  (void)eng.run_batch(batch);
+  eng.clear_cache();  // drops memo caches only
+  (void)eng.run_batch(batch);
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.disk_hits, batch.size());  // disk survived
+  EXPECT_EQ(s.simulations_run, batch.size());
+}
+
+TEST_F(DiskCacheTest, ConcurrentEnginesShareADirectorySafely) {
+  // Two engines (standing in for two processes — same code path, the
+  // atomicity comes from rename) hammer one directory concurrently.
+  const auto batch = mixed_batch();
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.disk_cache_dir = dir_;
+  SimEngine a(opts), b(opts);
+  std::vector<sim::RunResult> ra, rb;
+  std::thread ta([&] { ra = a.run_batch(batch); });
+  std::thread tb([&] { rb = b.run_batch(batch); });
+  ta.join();
+  tb.join();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    expect_bit_identical(ra[i], rb[i]);
+  }
+  // Nothing torn was ever observed.
+  EXPECT_EQ(a.stats().disk_rejected + b.stats().disk_rejected, 0u);
+}
+
+TEST_F(DiskCacheTest, RejectsUnusableDirectory) {
+  EXPECT_THROW(DiskCache(""), Error);
+  // A path through a regular file cannot become a directory.
+  {
+    std::ofstream out(dir_, std::ios::trunc);
+    out << "i am a file";
+  }
+  EXPECT_THROW(DiskCache(dir_ + "/sub"), Error);
+  fs::remove(dir_);
+}
+
+}  // namespace
+}  // namespace bpvec::engine

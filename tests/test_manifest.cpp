@@ -1,0 +1,318 @@
+// Manifest schema tests: grid expansion counts and ordering,
+// unknown-key/bad-value error quality, override application, and
+// to_json/parse_manifest round trips of every field.
+#include "src/cli/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/backend/backend_registry.h"
+#include "src/common/error.h"
+#include "src/common/json.h"
+#include "src/dnn/model_zoo.h"
+#include "src/engine/scenario.h"
+
+namespace bpvec::cli {
+namespace {
+
+using common::json::parse;
+
+Manifest from_text(const std::string& text) {
+  return parse_manifest(parse(text));
+}
+
+constexpr const char* kFig5Text = R"({
+  "name": "fig5",
+  "description": "BPVeC vs TPU-like, DDR4, homogeneous 8-bit",
+  "grids": [{
+    "platforms": ["tpu_like", "bpvec"],
+    "memories": ["ddr4"],
+    "networks": ["all"]
+  }]
+})";
+
+TEST(Manifest, ParsesWithDefaults) {
+  const Manifest m = from_text(kFig5Text);
+  EXPECT_EQ(m.name, "fig5");
+  EXPECT_EQ(m.description, "BPVeC vs TPU-like, DDR4, homogeneous 8-bit");
+  ASSERT_EQ(m.grids.size(), 1u);
+  const GridSpec& g = m.grids[0];
+  EXPECT_EQ(g.backends, std::vector<std::string>{"bpvec"});
+  EXPECT_EQ(g.bitwidth_modes, std::vector<std::string>{"homogeneous8b"});
+  EXPECT_FALSE(g.platform_overrides.any());
+  EXPECT_FALSE(g.memory_overrides.any());
+  EXPECT_FALSE(g.bitwidth_override.has_value());
+  EXPECT_TRUE(g.id_suffix.empty());
+}
+
+TEST(Manifest, ExpansionCountsAreTheCrossProduct) {
+  const Manifest m = from_text(R"({
+    "name": "counts",
+    "grids": [
+      {"backends": ["bpvec", "bit_serial"],
+       "platforms": ["tpu_like", "bpvec"],
+       "memories": ["ddr4", "hbm2"],
+       "networks": ["alexnet", "rnn", "lstm"],
+       "bitwidth_modes": ["homogeneous8b", "heterogeneous"]},
+      {"platforms": ["bpvec"], "memories": ["hbm2"], "networks": ["all"]}
+    ]
+  })");
+  // 2 backends × 2 platforms × 2 memories × 3 networks × 2 modes = 48,
+  // plus 1 × 1 × 1 × 6 × 1 = 6.
+  EXPECT_EQ(scenario_count(m), 54u);
+  EXPECT_EQ(expand(m).size(), 54u);
+}
+
+TEST(Manifest, ExpansionMatchesHandWrittenFig5Batch) {
+  // The manifest expansion must reproduce the fig5 bench's batch exactly
+  // (same scenarios, same order, same ids → same fingerprints).
+  const auto scenarios = expand(from_text(kFig5Text));
+  const auto nets = dnn::all_models(dnn::BitwidthMode::kHomogeneous8b);
+  std::vector<engine::Scenario> expected;
+  for (const auto& net : nets) {
+    expected.push_back(engine::make_scenario(engine::Platform::kTpuLike,
+                                             core::Memory::kDdr4, net));
+    expected.push_back(engine::make_scenario(engine::Platform::kBpvec,
+                                             core::Memory::kDdr4, net));
+  }
+  ASSERT_EQ(scenarios.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(scenarios[i].id, expected[i].id) << i;
+    EXPECT_EQ(scenarios[i].backend, expected[i].backend) << i;
+    EXPECT_EQ(scenarios[i].fingerprint(), expected[i].fingerprint()) << i;
+  }
+}
+
+TEST(Manifest, TokensMatchCaseAndSeparatorInsensitively) {
+  const Manifest m = from_text(R"({
+    "name": "tokens",
+    "grids": [{"platforms": ["TPU-like"], "memories": ["DDR4"],
+               "networks": ["ResNet-18", "Inception-v1"],
+               "bitwidth_modes": ["Heterogeneous"]}]
+  })");
+  const auto scenarios = expand(m);
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].network.name(), "ResNet-18");
+  EXPECT_EQ(scenarios[1].network.name(), "Inception-v1");
+  EXPECT_EQ(scenarios[0].platform.name, "TPU-like");
+}
+
+TEST(Manifest, AppliesPlatformAndMemoryOverrides) {
+  const Manifest m = from_text(R"({
+    "name": "overrides",
+    "grids": [{
+      "platforms": ["bpvec"], "memories": ["ddr4"], "networks": ["rnn"],
+      "platform_overrides": {"rows": 4, "cols": 4, "batch_size": 8,
+                             "scratchpad_bytes": 65536,
+                             "frequency_hz": 1.0e9, "time_chunk": 32,
+                             "static_core_mw": 10.5, "cvu_slice_bits": 4,
+                             "cvu_max_bits": 8, "cvu_lanes": 8},
+      "memory_overrides": {"bandwidth_gbps": 32.0, "energy_pj_per_bit": 7.5,
+                           "startup_latency_ns": 100.0,
+                           "background_power_w": 0.25},
+      "id_suffix": " @custom"
+    }]
+  })");
+  const auto scenarios = expand(m);
+  ASSERT_EQ(scenarios.size(), 1u);
+  const engine::Scenario& s = scenarios[0];
+  EXPECT_EQ(s.platform.rows, 4);
+  EXPECT_EQ(s.platform.cols, 4);
+  EXPECT_EQ(s.platform.batch_size, 8);
+  EXPECT_EQ(s.platform.scratchpad_bytes, 65536);
+  EXPECT_DOUBLE_EQ(s.platform.frequency_hz, 1.0e9);
+  EXPECT_EQ(s.platform.time_chunk, 32);
+  EXPECT_DOUBLE_EQ(s.platform.static_core_mw, 10.5);
+  EXPECT_EQ(s.platform.cvu.slice_bits, 4);
+  EXPECT_EQ(s.platform.cvu.lanes, 8);
+  EXPECT_DOUBLE_EQ(s.memory.bandwidth_gbps, 32.0);
+  EXPECT_DOUBLE_EQ(s.memory.energy_pj_per_bit, 7.5);
+  EXPECT_DOUBLE_EQ(s.memory.startup_latency_ns, 100.0);
+  EXPECT_DOUBLE_EQ(s.memory.background_power_w, 0.25);
+  EXPECT_EQ(s.id, "bpvec:BPVeC/RNN/DDR4 @custom");
+}
+
+TEST(Manifest, AppliesBitwidthOverrideToComputeLayersOnly) {
+  const Manifest m = from_text(R"({
+    "name": "bits",
+    "grids": [{"platforms": ["bpvec"], "memories": ["hbm2"],
+               "networks": ["alexnet"],
+               "bitwidth_override": {"x_bits": 2, "w_bits": 3}}]
+  })");
+  const auto scenarios = expand(m);
+  ASSERT_EQ(scenarios.size(), 1u);
+  for (const dnn::Layer& layer : scenarios[0].network.layers()) {
+    if (layer.is_compute()) {
+      EXPECT_EQ(layer.x_bits, 2) << layer.name;
+      EXPECT_EQ(layer.w_bits, 3) << layer.name;
+    }
+  }
+  // The override changes the fingerprint (different pricing).
+  const Manifest plain = from_text(R"({
+    "name": "bits",
+    "grids": [{"platforms": ["bpvec"], "memories": ["hbm2"],
+               "networks": ["alexnet"]}]
+  })");
+  EXPECT_NE(expand(plain)[0].fingerprint(), scenarios[0].fingerprint());
+}
+
+TEST(Manifest, ErrorsNameUnknownKeys) {
+  try {
+    from_text(R"({"name": "x", "grids": [
+      {"platforms": ["bpvec"], "memories": ["ddr4"], "networks": ["rnn"],
+       "platform_override": {}}]})");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("grids[0]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unknown key \"platform_override\""),
+              std::string::npos) << msg;
+    EXPECT_NE(msg.find("platform_overrides"), std::string::npos)
+        << "should list allowed keys: " << msg;
+  }
+}
+
+TEST(Manifest, ErrorsNameBadValues) {
+  try {
+    from_text(R"({"name": "x", "grids": [
+      {"platforms": ["gpu_like"], "memories": ["ddr4"],
+       "networks": ["rnn"]}]})");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown platform \"gpu_like\""), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("tpu_like"), std::string::npos)
+        << "should list valid platforms: " << msg;
+  }
+  try {
+    from_text(R"({"name": "x", "grids": [
+      {"platforms": ["bpvec"], "memories": ["ddr4"],
+       "networks": ["vgg16"]}]})");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown network \"vgg16\""),
+              std::string::npos) << e.what();
+  }
+}
+
+TEST(Manifest, RejectsStructuralMistakes) {
+  // Missing required keys.
+  EXPECT_THROW(from_text(R"({"grids": []})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x"})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "", "grids": [
+    {"platforms": ["bpvec"], "memories": ["ddr4"], "networks": ["rnn"]}]})"),
+               Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "grids": []})"), Error);
+  // Missing grid axes.
+  EXPECT_THROW(from_text(R"({"name": "x", "grids": [
+    {"memories": ["ddr4"], "networks": ["rnn"]}]})"), Error);
+  // Wrong types.
+  EXPECT_THROW(from_text(R"({"name": 3, "grids": [
+    {"platforms": ["bpvec"], "memories": ["ddr4"], "networks": ["rnn"]}]})"),
+               Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "grids": [
+    {"platforms": "bpvec", "memories": ["ddr4"], "networks": ["rnn"]}]})"),
+               Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "grids": [
+    {"platforms": [], "memories": ["ddr4"], "networks": ["rnn"]}]})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "grids": [
+    {"platforms": ["bpvec"], "memories": ["ddr4"], "networks": ["rnn"],
+     "platform_overrides": {"rows": 2.5}}]})"), Error);
+  // "all" must be alone.
+  EXPECT_THROW(from_text(R"({"name": "x", "grids": [
+    {"platforms": ["bpvec"], "memories": ["ddr4"],
+     "networks": ["all", "rnn"]}]})"), Error);
+  // Bitwidth override out of range.
+  EXPECT_THROW(from_text(R"({"name": "x", "grids": [
+    {"platforms": ["bpvec"], "memories": ["ddr4"], "networks": ["rnn"],
+     "bitwidth_override": {"x_bits": 9, "w_bits": 4}}]})"), Error);
+  // Invalid override combination (rows must be >= 1).
+  EXPECT_THROW(expand(from_text(R"({"name": "x", "grids": [
+    {"platforms": ["bpvec"], "memories": ["ddr4"], "networks": ["rnn"],
+     "platform_overrides": {"rows": 0}}]})")), Error);
+}
+
+TEST(Manifest, ExpandRejectsUnknownBackends) {
+  const Manifest m = from_text(R"({
+    "name": "x",
+    "grids": [{"backends": ["definitely_not_registered"],
+               "platforms": ["bpvec"], "memories": ["ddr4"],
+               "networks": ["rnn"]}]
+  })");
+  try {
+    expand(m);
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown backend \"definitely_not_registered\""),
+              std::string::npos) << msg;
+    EXPECT_NE(msg.find("bpvec"), std::string::npos)
+        << "should list registered backends: " << msg;
+  }
+}
+
+TEST(Manifest, EveryFieldRoundTripsThroughToJson) {
+  const Manifest original = from_text(R"({
+    "name": "round_trip",
+    "description": "every field set",
+    "grids": [{
+      "backends": ["bpvec", "bit_serial"],
+      "platforms": ["tpu_like", "bitfusion", "bpvec"],
+      "memories": ["ddr4", "hbm2"],
+      "networks": ["alexnet", "lstm"],
+      "bitwidth_modes": ["homogeneous8b", "heterogeneous"],
+      "platform_overrides": {"rows": 4, "cols": 8, "scratchpad_bytes": 1024,
+                             "frequency_hz": 750000000.0, "time_chunk": 8,
+                             "batch_size": 2, "static_core_mw": 12.25,
+                             "cvu_slice_bits": 2, "cvu_max_bits": 8,
+                             "cvu_lanes": 16},
+      "memory_overrides": {"bandwidth_gbps": 48.0, "energy_pj_per_bit": 3.5,
+                           "startup_latency_ns": 55.0,
+                           "background_power_w": 0.125},
+      "bitwidth_override": {"x_bits": 4, "w_bits": 2},
+      "id_suffix": " @rt"
+    }]
+  })");
+  // Manifest → JSON → text → JSON → Manifest must preserve everything.
+  const Manifest reparsed =
+      parse_manifest(parse(to_json(original).dump(2)));
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.description, original.description);
+  ASSERT_EQ(reparsed.grids.size(), 1u);
+  const GridSpec& a = original.grids[0];
+  const GridSpec& b = reparsed.grids[0];
+  EXPECT_EQ(a.backends, b.backends);
+  EXPECT_EQ(a.platforms, b.platforms);
+  EXPECT_EQ(a.memories, b.memories);
+  EXPECT_EQ(a.networks, b.networks);
+  EXPECT_EQ(a.bitwidth_modes, b.bitwidth_modes);
+  EXPECT_EQ(a.id_suffix, b.id_suffix);
+  EXPECT_EQ(a.bitwidth_override->x_bits, b.bitwidth_override->x_bits);
+  EXPECT_EQ(a.bitwidth_override->w_bits, b.bitwidth_override->w_bits);
+  // The two expansions are scenario-for-scenario identical.
+  const auto ea = expand(original);
+  const auto eb = expand(reparsed);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].id, eb[i].id);
+    EXPECT_EQ(ea[i].fingerprint(), eb[i].fingerprint()) << ea[i].id;
+  }
+  // And the JSON form itself is a fixed point (dump → parse → dump).
+  const auto dumped = to_json(original).dump(2);
+  EXPECT_EQ(to_json(parse_manifest(parse(dumped))).dump(2), dumped);
+}
+
+TEST(Manifest, LoadManifestReportsPath) {
+  try {
+    load_manifest("/nonexistent/missing_manifest.json");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing_manifest.json"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bpvec::cli

@@ -1,0 +1,9 @@
+// bpvec_run — price scenario manifests from the command line.
+// All logic lives in src/cli/driver.cpp so tests can drive it in-process.
+#include <iostream>
+
+#include "src/cli/driver.h"
+
+int main(int argc, char** argv) {
+  return bpvec::cli::main_cli(argc, argv, std::cout, std::cerr);
+}
