@@ -3,14 +3,19 @@
 // per 8-bit × 8-bit MAC, normalized to a conventional 8-bit digital MAC,
 // broken down over multiplication / addition / shifting / registering.
 //
-// The α×L sweep is priced in parallel through engine::SimEngine; the
-// sequential core::explore_design_space pass is kept (timed) to anchor the
+// Both sweeps run through the DSE subsystem (GridStrategy over
+// dse::geometry_space priced by GeometryEvaluator on the engine pool —
+// what SimEngine::explore_design_space is built on); the sequential
+// core::explore_design_space pass is kept (timed) to anchor the
 // speedup-vs-sequential number in BENCH_fig4.json — the two are
-// bit-identical by the engine's determinism contract.
+// bit-identical by the subsystem's determinism contract. The full sweep
+// additionally maintains the power/area/utilization Pareto frontier, and
+// core::best_design's pick is checked to sit on it.
 #include <cstdio>
 
 #include "bench/bench_common.h"
 #include "src/core/design_space.h"
+#include "src/dse/search.h"
 #include "src/engine/sim_engine.h"
 
 int main() {
@@ -30,10 +35,26 @@ int main() {
   const std::vector<int> fig_alphas{1, 2}, fig_lanes{1, 2, 4, 8, 16};
   const std::vector<int> full_alphas{1, 2, 4}, full_lanes{1, 2, 4, 8, 16};
 
+  // The Fig. 4 grid (no mix) and the full mix-scored sweep, both as DSE
+  // searches. The full sweep's frontier trades per-MAC power and area
+  // against mix utilization.
+  const std::vector<dse::Objective> objectives{
+      dse::objective(dse::Metric::kMacPower),
+      dse::objective(dse::Metric::kMacArea),
+      dse::objective(dse::Metric::kUtilization)};
   std::vector<core::DesignPoint> points, full;
+  std::vector<dse::Evaluation> frontier_entries;
+  std::size_t frontier_size = 0;
   const double batch_s = time_s([&] {
     points = eng.explore_design_space(fig_alphas, fig_lanes);
-    full = eng.explore_design_space(full_alphas, full_lanes, 8, mix);
+    const dse::ParamSpace space = dse::geometry_space(full_alphas, full_lanes);
+    dse::GridStrategy strategy(space);
+    dse::GeometryEvaluator evaluator(eng, space, objectives, mix);
+    const dse::SearchOutcome outcome =
+        dse::run_search(strategy, evaluator, objectives);
+    full = dse::design_points(outcome);
+    frontier_entries = outcome.frontier.entries();
+    frontier_size = outcome.frontier.size();
   });
   const double sequential_s = time_s([&] {
     (void)core::explore_design_space(fig_alphas, fig_lanes);
@@ -75,10 +96,28 @@ int main() {
   }
 
   const auto best = core::best_design(full, mix, 0.99);
-  std::printf("\nBest design over the quantized bitwidth mix: %s\n",
-              best.geometry.to_string().c_str());
+  // best_design minimizes power·area/util² — a monotone scalarization of
+  // the three frontier objectives, so its pick must be non-dominated. A
+  // violation means the scalar and multi-objective paths disagree.
+  bool best_on_frontier = false;
+  for (const auto& e : frontier_entries) {
+    if (e.design.geometry.slice_bits == best.geometry.slice_bits &&
+        e.design.geometry.lanes == best.geometry.lanes) {
+      best_on_frontier = true;
+    }
+  }
+  if (!best_on_frontier) {
+    std::fprintf(stderr, "FAIL: best_design pick %s is not on the Pareto "
+                         "frontier\n",
+                 best.geometry.to_string().c_str());
+    return 1;
+  }
+  std::printf("\nBest design over the quantized bitwidth mix: %s"
+              " (on the Pareto frontier: %zu of %zu points)\n",
+              best.geometry.to_string().c_str(), frontier_size, full.size());
   json.add_metric("best_slice_bits", best.geometry.slice_bits);
   json.add_metric("best_lanes", best.geometry.lanes);
+  json.add_metric("pareto_frontier_size", static_cast<double>(frontier_size));
   json.write();
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "src/cli/driver.h"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -78,6 +80,102 @@ void print_csv(std::ostream& out,
   }
 }
 
+// ----- search mode ----------------------------------------------------
+
+std::string metric_cell(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+/// Typed knob map for one candidate (integer knobs as JSON ints).
+Value knobs_json(const dse::ParamSpace& space, const dse::Candidate& c) {
+  Value knobs = Value::object();
+  for (std::size_t a = 0; a < space.num_axes(); ++a) {
+    const dse::Knob knob = space.axes()[a].knob;
+    const double v = space.value(c, a);
+    if (dse::knob_is_integer(knob)) {
+      knobs.set(dse::to_string(knob),
+                static_cast<std::int64_t>(std::llround(v)));
+    } else {
+      knobs.set(dse::to_string(knob), v);
+    }
+  }
+  return knobs;
+}
+
+Value metrics_json(const dse::Evaluation& e) {
+  BPVEC_CHECK(e.result != nullptr);
+  const sim::RunResult& r = *e.result;
+  Value m = Value::object();
+  m.set("total_cycles", r.total_cycles);
+  m.set("total_macs", r.total_macs);
+  m.set("runtime_s", r.runtime_s);
+  m.set("energy_j", r.energy_j);
+  m.set("average_power_w", r.average_power_w);
+  m.set("gops_per_s", r.gops_per_s);
+  m.set("gops_per_w", r.gops_per_w);
+  m.set("mac_power", e.design.cost.power_total());
+  m.set("mac_area", e.design.cost.area_total());
+  m.set("utilization", e.design.mix_utilization);
+  m.set("core_area_um2", e.core_area_um2);
+  return m;
+}
+
+void print_frontier_table(std::ostream& out, const dse::ParamSpace& space,
+                          const dse::SearchOutcome& outcome) {
+  Table t;
+  std::vector<std::string> header{"#", "Candidate"};
+  for (const dse::Objective& o : outcome.objectives) {
+    header.push_back(std::string(dse::to_string(o.metric)) +
+                     (o.maximize ? " (max)" : " (min)"));
+  }
+  t.set_header(header);
+  const std::vector<dse::Evaluation> frontier = outcome.frontier.sorted();
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    std::vector<std::string> row{std::to_string(i + 1),
+                                 space.label(frontier[i].candidate)};
+    for (double v : frontier[i].objectives) row.push_back(metric_cell(v));
+    t.add_row(row);
+  }
+  out << t.to_string();
+}
+
+void print_search_csv(std::ostream& out, const dse::ParamSpace& space,
+                      const dse::SearchOutcome& outcome) {
+  // Every evaluation (not just the frontier), full precision, proposal
+  // order — the plotting-script view of the whole search.
+  out << "id";
+  for (const dse::Axis& a : space.axes()) out << ',' << dse::to_string(a.knob);
+  out << ",feasible,total_cycles,total_macs,runtime_s,energy_j,"
+         "average_power_w,gops_per_s,gops_per_w,mac_power,mac_area,"
+         "utilization,core_area_um2\n";
+  for (const dse::Evaluation& e : outcome.evaluations) {
+    BPVEC_CHECK(e.result != nullptr);
+    const sim::RunResult& r = *e.result;
+    std::string id = e.id;
+    for (char& c : id) {
+      if (c == ',') c = ';';
+    }
+    out << id;
+    for (std::size_t a = 0; a < space.num_axes(); ++a) {
+      out << ','
+          << dse::knob_value_string(space.axes()[a].knob,
+                                    space.value(e.candidate, a));
+    }
+    out << ',' << (e.feasible ? 1 : 0) << ',' << r.total_cycles << ','
+        << r.total_macs << ',' << common::json::format_double(r.runtime_s)
+        << ',' << common::json::format_double(r.energy_j) << ','
+        << common::json::format_double(r.average_power_w) << ','
+        << common::json::format_double(r.gops_per_s) << ','
+        << common::json::format_double(r.gops_per_w) << ','
+        << common::json::format_double(e.design.cost.power_total()) << ','
+        << common::json::format_double(e.design.cost.area_total()) << ','
+        << common::json::format_double(e.design.mix_utilization) << ','
+        << common::json::format_double(e.core_area_um2) << '\n';
+  }
+}
+
 }  // namespace
 
 Value build_report(const std::string& manifest_name,
@@ -97,10 +195,145 @@ Value build_report(const std::string& manifest_name,
   return report;
 }
 
+Value build_search_report(const std::string& manifest_name,
+                          const SearchSpec& spec,
+                          const dse::ParamSpace& space,
+                          const dse::SearchOutcome& outcome,
+                          const engine::EngineStats& stats,
+                          bool include_stats) {
+  Value report = Value::object();
+  report.set("manifest", manifest_name);
+  report.set("mode", "search");
+  report.set("search", to_json(spec));
+  report.set("space_size", space.size());
+  report.set("candidates", outcome.candidates);
+  report.set("unique_candidates", outcome.unique_candidates);
+  report.set("infeasible", outcome.infeasible);
+  report.set("frontier_size", outcome.frontier.size());
+  Value frontier = Value::array();
+  for (const dse::Evaluation& e : outcome.frontier.sorted()) {
+    Value entry = Value::object();
+    entry.set("id", e.id);
+    entry.set("knobs", knobs_json(space, e.candidate));
+    Value objectives = Value::object();
+    for (std::size_t i = 0; i < outcome.objectives.size(); ++i) {
+      objectives.set(dse::to_string(outcome.objectives[i].metric),
+                     e.objectives[i]);
+    }
+    entry.set("objectives", std::move(objectives));
+    entry.set("metrics", metrics_json(e));
+    frontier.push_back(std::move(entry));
+  }
+  report.set("frontier", std::move(frontier));
+  if (include_stats) report.set("stats", engine::to_json(stats));
+  return report;
+}
+
+namespace {
+
+/// The search subcommand's pipeline, after the manifest is loaded.
+void run_search_mode(const DriverOptions& options, std::ostream& out,
+                     DriverResult& result) {
+  BPVEC_CHECK(result.manifest.search.has_value());
+  const SearchSpec& spec = *result.manifest.search;
+  const dse::ParamSpace space = search_space(spec);
+  engine::Scenario base = search_base_scenario(spec);
+
+  if (options.validate_only) {
+    out << "Manifest: " << result.manifest.name << " (search)\n"
+        << "space: " << space.size() << " candidates over "
+        << space.num_axes() << " axes\nstrategy: " << spec.strategy;
+    if (spec.budget > 0) out << ", budget " << spec.budget;
+    if (spec.strategy == "hill_climb") {
+      out << ", restarts " << spec.restarts;
+    }
+    out << "\nbase scenario: " << base.id << "\nmanifest OK\n";
+    return;
+  }
+
+  engine::EngineOptions engine_options;
+  engine_options.num_threads = options.threads;
+  engine_options.disk_cache_dir = options.cache_dir;
+  engine::SimEngine engine(engine_options);
+
+  auto strategy =
+      dse::make_strategy(spec.strategy, space, spec.budget, spec.restarts,
+                         spec.seed, spec.objectives);
+  dse::ScenarioEvaluator evaluator(engine, space, std::move(base),
+                                   spec.objectives, spec.mix,
+                                   spec.constraints);
+  dse::SearchOptions search_options;
+  search_options.budget = spec.budget;
+  result.search = dse::run_search(*strategy, evaluator, spec.objectives,
+                                  search_options);
+  result.stats = engine.stats();
+  const dse::SearchOutcome& outcome = *result.search;
+
+  if (options.print_table) {
+    out << "Manifest: " << result.manifest.name;
+    if (!result.manifest.description.empty()) {
+      out << " — " << result.manifest.description;
+    }
+    out << "\nsearch: " << spec.strategy << " over " << space.size()
+        << " candidates — " << outcome.candidates << " evaluated ("
+        << outcome.unique_candidates << " unique, " << outcome.infeasible
+        << " infeasible, " << result.stats.simulations_run << " simulated, "
+        << result.stats.cache_hits << " memo hits, "
+        << result.stats.disk_hits << " disk hits)\n"
+        << "Pareto frontier: " << outcome.frontier.size()
+        << " non-dominated candidates\n\n";
+    print_frontier_table(out, space, outcome);
+  }
+  if (options.print_csv) print_search_csv(out, space, outcome);
+
+  result.report =
+      build_search_report(result.manifest.name, spec, space, outcome,
+                          result.stats, !options.deterministic_report);
+  if (options.write_report) {
+    const std::string path =
+        options.report_path.empty()
+            ? "REPORT_" + result.manifest.name + ".json"
+            : options.report_path;
+    write_file(path, result.report.dump(1));
+    if (options.print_table) out << "\n[bpvec_run] wrote " << path << "\n";
+  }
+  if (!options.stats_path.empty()) {
+    write_file(options.stats_path, engine::to_json(result.stats).dump(1));
+    if (options.print_table) {
+      out << "[bpvec_run] wrote " << options.stats_path << "\n";
+    }
+  }
+}
+
+}  // namespace
+
 DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
   DriverResult result;
   result.manifest = load_manifest(options.manifest_path);
+
+  if (options.search_mode) {
+    if (!result.manifest.search) {
+      throw Error(options.manifest_path +
+                  ": manifest has no \"search\" block (omit the search "
+                  "subcommand to run its grids)");
+    }
+    run_search_mode(options, out, result);
+    return result;
+  }
+
+  if (result.manifest.grids.empty()) {
+    throw Error(options.manifest_path +
+                ": manifest has no grids (use `bpvec_run search` for its "
+                "\"search\" block)");
+  }
   result.scenarios = expand(result.manifest);
+
+  if (options.validate_only) {
+    out << "Manifest: " << result.manifest.name << "\n"
+        << result.manifest.grids.size() << " grids, "
+        << result.scenarios.size() << " scenarios\nmanifest OK\n";
+    return result;
+  }
 
   engine::EngineOptions engine_options;
   engine_options.num_threads = options.threads;
@@ -147,12 +380,20 @@ DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
 
 std::string usage() {
   return
-      "usage: bpvec_run <manifest.json> [options]\n"
+      "usage: bpvec_run [search] <manifest.json> [options]\n"
       "\n"
       "Prices every scenario in the manifest through the batch engine and\n"
       "writes a machine-readable JSON report.\n"
       "\n"
+      "subcommands:\n"
+      "  search             run the manifest's \"search\" block: explore its\n"
+      "                     knob space with the configured strategy\n"
+      "                     (grid | random | hill_climb) and report the\n"
+      "                     Pareto frontier over its objectives\n"
+      "\n"
       "options:\n"
+      "  --validate         dry run: parse + expand, print the scenario\n"
+      "                     count (or search-space size), price nothing\n"
       "  --cache-dir DIR    persistent result cache: scenarios priced in any\n"
       "                     earlier run (same build, same configs) are served\n"
       "                     from disk, bit-identically\n"
@@ -184,6 +425,11 @@ int main_cli(int argc, const char* const* argv, std::ostream& out,
       if (arg == "--help" || arg == "-h") {
         out << usage();
         return 0;
+      } else if (arg == "search" && options.manifest_path.empty() &&
+                 !options.search_mode) {
+        options.search_mode = true;
+      } else if (arg == "--validate") {
+        options.validate_only = true;
       } else if (arg == "--cache-dir") {
         options.cache_dir = need_value(i, "--cache-dir");
       } else if (arg == "--report") {

@@ -17,14 +17,26 @@
 //
 // All functions throw bpvec::Error on bad input; main_cli catches and
 // prints it, so tools/bpvec_run.cpp stays a two-liner.
+// The `search` subcommand (`bpvec_run search <manifest>`) runs the
+// manifest's "search" block through the dse subsystem instead: candidates
+// materialize from the typed ParamSpace, ride the same engine (and disk
+// cache), and the report carries the Pareto frontier in its canonical
+// order — also a pure function of the manifest under
+// --deterministic-report, so the CI dse-regression gate cmp's it cold vs
+// warm vs the committed golden.
+//
+// `--validate` dry-runs either mode: parse + expand, print the scenario
+// count (or search-space size), price nothing.
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/cli/manifest.h"
 #include "src/common/json.h"
+#include "src/dse/search.h"
 #include "src/engine/sim_engine.h"
 #include "src/sim/simulator.h"
 
@@ -32,6 +44,10 @@ namespace bpvec::cli {
 
 struct DriverOptions {
   std::string manifest_path;
+  /// Run the manifest's "search" block (the `search` subcommand).
+  bool search_mode = false;
+  /// Parse and expand only: print counts, price nothing, write nothing.
+  bool validate_only = false;
   /// Persistent result-cache directory (engine disk cache); empty = off.
   std::string cache_dir;
   /// Report output path; empty = "REPORT_<manifest name>.json" in the
@@ -53,6 +69,9 @@ struct DriverResult {
   std::vector<sim::RunResult> results;
   engine::EngineStats stats;
   common::json::Value report;  // what was (or would be) written
+  /// Search-mode outcome (frontier + every evaluation); absent in grid
+  /// mode and under --validate.
+  std::optional<dse::SearchOutcome> search;
 };
 
 /// Builds the report document for a priced batch. Scenario rows carry
@@ -65,7 +84,18 @@ common::json::Value build_report(const std::string& manifest_name,
                                  const engine::EngineStats& stats,
                                  bool include_stats);
 
-/// Runs a manifest end to end. `out` receives the table/CSV output.
+/// Search-mode report: strategy/space echo, candidate counters, and the
+/// Pareto frontier in canonical order with full-precision knob, objective
+/// and metric values. Deterministic except the optional "stats" block.
+common::json::Value build_search_report(const std::string& manifest_name,
+                                        const SearchSpec& spec,
+                                        const dse::ParamSpace& space,
+                                        const dse::SearchOutcome& outcome,
+                                        const engine::EngineStats& stats,
+                                        bool include_stats);
+
+/// Runs a manifest end to end (grid or search mode per
+/// DriverOptions::search_mode). `out` receives the table/CSV output.
 DriverResult run_manifest(const DriverOptions& options, std::ostream& out);
 
 /// Parses bpvec_run's argv (argv[0] is skipped) and runs. Usage errors

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <limits>
 #include <utility>
 
 #include "src/backend/backend_registry.h"
 #include "src/common/error.h"
+#include "src/common/token.h"
 #include "src/dnn/model_zoo.h"
 
 namespace bpvec::cli {
@@ -16,16 +18,10 @@ using common::json::Value;
 namespace {
 
 /// Token matching ignores case, '-' and '_' so manifests can say
-/// "ResNet-18" or "resnet18", "tpu_like" or "TPU-like".
-std::string normalize(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '-' || c == '_') continue;
-    out += static_cast<char>(
-        std::tolower(static_cast<unsigned char>(c)));
-  }
-  return out;
-}
+/// "ResNet-18" or "resnet18", "tpu_like" or "TPU-like" (the shared rule
+/// in common::normalize_token — the dse vocabularies use the same one).
+using common::normalize_token;
+using common::quoted_token_list;
 
 [[noreturn]] void fail(const std::string& context,
                        const std::string& message) {
@@ -33,27 +29,17 @@ std::string normalize(const std::string& s) {
                                               : context + ": " + message));
 }
 
-std::string quoted_list(const std::vector<std::string>& options) {
-  std::string out;
-  for (std::size_t i = 0; i < options.size(); ++i) {
-    out += (i ? ", \"" : "\"");
-    out += options[i];
-    out += '"';
-  }
-  return out;
-}
-
 /// Resolves `value` against the canonical `options` (normalized match);
 /// the error names the offending value and every valid choice.
 std::size_t match_token(const std::string& context, const char* what,
                         const std::string& value,
                         const std::vector<std::string>& options) {
-  const std::string norm = normalize(value);
+  const std::string norm = normalize_token(value);
   for (std::size_t i = 0; i < options.size(); ++i) {
-    if (normalize(options[i]) == norm) return i;
+    if (normalize_token(options[i]) == norm) return i;
   }
   fail(context, std::string("unknown ") + what + " \"" + value +
-                    "\"; expected one of " + quoted_list(options));
+                    "\"; expected one of " + quoted_token_list(options));
 }
 
 /// Errors on any member key outside `allowed` — unknown keys are silent
@@ -63,7 +49,7 @@ void check_keys(const std::string& context, const Value& obj,
   for (const auto& [key, value] : obj.members()) {
     if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
       fail(context, "unknown key \"" + key + "\"; allowed keys: " +
-                        quoted_list(allowed));
+                        quoted_token_list(allowed));
     }
   }
 }
@@ -130,6 +116,36 @@ engine::Platform platform_from_index(std::size_t i) {
   }
 }
 
+// Token-index → config resolution, shared by grid expansion and the
+// search block's base scenario so the two modes can never resolve the
+// same token to different configs.
+
+sim::AcceleratorConfig platform_config_from_index(std::size_t i) {
+  switch (platform_from_index(i)) {
+    case engine::Platform::kTpuLike: return sim::tpu_like_baseline();
+    case engine::Platform::kBitFusion: return sim::bitfusion_accelerator();
+    case engine::Platform::kBpvec: break;
+  }
+  return sim::bpvec_accelerator();
+}
+
+arch::DramModel memory_from_index(std::size_t i) {
+  return i == 0 ? arch::ddr4() : arch::hbm2();
+}
+
+dnn::BitwidthMode mode_from_index(std::size_t i) {
+  return i == 0 ? dnn::BitwidthMode::kHomogeneous8b
+                : dnn::BitwidthMode::kHeterogeneous;
+}
+
+void apply_bitwidth_override(dnn::Network& net, const BitwidthOverride& o) {
+  for (dnn::Layer& layer : net.layers()) {
+    if (!layer.is_compute()) continue;
+    layer.x_bits = o.x_bits;
+    layer.w_bits = o.w_bits;
+  }
+}
+
 const std::vector<std::string>& memory_tokens() {
   static const std::vector<std::string> tokens{"ddr4", "hbm2"};
   return tokens;
@@ -158,7 +174,7 @@ std::vector<std::size_t> resolve_networks(
     const std::string& context, const std::vector<std::string>& names) {
   std::vector<std::size_t> out;
   for (const std::string& name : names) {
-    if (normalize(name) == "all") {
+    if (normalize_token(name) == "all") {
       if (names.size() != 1) {
         fail(context, "\"all\" must be the only entry in \"networks\"");
       }
@@ -344,6 +360,225 @@ std::string grid_context(std::size_t index) {
   return "grids[" + std::to_string(index) + "]";
 }
 
+// ----- search block ---------------------------------------------------
+
+std::vector<dse::Axis> parse_search_space(const std::string& context,
+                                          const Value& v) {
+  if (!v.is_object() || v.members().empty()) {
+    fail(context,
+         "\"space\" must be a non-empty object mapping knob names to "
+         "value arrays");
+  }
+  std::vector<dse::Axis> axes;
+  for (const auto& [key, values] : v.members()) {
+    const auto knob = dse::knob_from_token(key);
+    if (!knob) {
+      fail(context, "unknown knob \"" + key + "\"; valid knobs: " +
+                        quoted_token_list(dse::knob_tokens()));
+    }
+    if (!values.is_array() || values.as_array().empty()) {
+      fail(context, "knob \"" + key + "\" must map to a non-empty array "
+                        "of numbers");
+    }
+    dse::Axis axis;
+    axis.knob = *knob;
+    for (const Value& e : values.as_array()) {
+      if (!e.is_number()) {
+        fail(context, "knob \"" + key + "\" has a non-numeric value");
+      }
+      axis.values.push_back(e.as_double());
+    }
+    axes.push_back(std::move(axis));
+  }
+  // Re-validate through ParamSpace now so the error carries manifest
+  // context (duplicate knobs, integral knobs with fractional values…).
+  try {
+    dse::ParamSpace space;
+    for (const dse::Axis& a : axes) space.add_axis(a.knob, a.values);
+  } catch (const Error& e) {
+    fail(context, e.what());
+  }
+  return axes;
+}
+
+std::vector<dse::Objective> parse_objectives(const std::string& context,
+                                             const Value& v) {
+  if (!v.is_array() || v.as_array().empty()) {
+    fail(context, "\"objectives\" must be a non-empty array");
+  }
+  std::vector<dse::Objective> objectives;
+  for (const Value& e : v.as_array()) {
+    dse::Objective o;
+    std::string token;
+    if (e.is_string()) {
+      token = e.as_string();
+    } else if (e.is_object()) {
+      check_keys(context, e, {"metric", "maximize"});
+      token = parse_string(context, require(context, e, "metric"), "metric");
+    } else {
+      fail(context, "objectives must be metric names or "
+                        "{\"metric\", \"maximize\"} objects");
+    }
+    const auto metric = dse::metric_from_token(token);
+    if (!metric) {
+      fail(context, "unknown metric \"" + token + "\"; valid metrics: " +
+                        quoted_token_list(dse::metric_tokens()));
+    }
+    o.metric = *metric;
+    o.maximize = dse::default_maximize(*metric);
+    if (e.is_object()) {
+      if (const Value* m = e.find("maximize")) {
+        if (!m->is_bool()) fail(context, "\"maximize\" must be a boolean");
+        o.maximize = m->as_bool();
+      }
+    }
+    for (const dse::Objective& seen : objectives) {
+      if (seen.metric == o.metric) {
+        fail(context, "duplicate objective \"" + token + "\"");
+      }
+    }
+    objectives.push_back(o);
+  }
+  return objectives;
+}
+
+dse::Constraints parse_constraints(const std::string& context,
+                                   const Value& v) {
+  if (!v.is_object()) fail(context, "\"constraints\" must be an object");
+  check_keys(context, v,
+             {"min_utilization", "max_power_w", "max_energy_j",
+              "max_runtime_s", "max_cycles"});
+  dse::Constraints c;
+  if (const Value* f = v.find("min_utilization")) {
+    c.min_utilization = parse_double(context, *f, "min_utilization");
+    if (*c.min_utilization < 0.0 || *c.min_utilization > 1.0) {
+      fail(context, "\"min_utilization\" must be in [0, 1]");
+    }
+  }
+  // The max_* caps must be positive: a zero or negative cap marks every
+  // candidate infeasible, which can only be a typo.
+  if (const Value* f = v.find("max_power_w")) {
+    c.max_power_w = parse_double(context, *f, "max_power_w");
+    if (*c.max_power_w <= 0.0) fail(context, "\"max_power_w\" must be positive");
+  }
+  if (const Value* f = v.find("max_energy_j")) {
+    c.max_energy_j = parse_double(context, *f, "max_energy_j");
+    if (*c.max_energy_j <= 0.0) {
+      fail(context, "\"max_energy_j\" must be positive");
+    }
+  }
+  if (const Value* f = v.find("max_runtime_s")) {
+    c.max_runtime_s = parse_double(context, *f, "max_runtime_s");
+    if (*c.max_runtime_s <= 0.0) {
+      fail(context, "\"max_runtime_s\" must be positive");
+    }
+  }
+  if (const Value* f = v.find("max_cycles")) {
+    if (!f->is_int()) fail(context, "\"max_cycles\" must be an integer");
+    if (f->as_int() <= 0) fail(context, "\"max_cycles\" must be positive");
+    c.max_cycles = f->as_int();
+  }
+  return c;
+}
+
+std::vector<core::BitwidthMixEntry> parse_mix(const std::string& context,
+                                              const Value& v) {
+  if (!v.is_array() || v.as_array().empty()) {
+    fail(context, "\"mix\" must be a non-empty array");
+  }
+  std::vector<core::BitwidthMixEntry> mix;
+  for (const Value& e : v.as_array()) {
+    if (!e.is_object()) fail(context, "mix entries must be objects");
+    check_keys(context, e, {"x_bits", "w_bits", "weight"});
+    core::BitwidthMixEntry m;
+    m.x_bits = parse_int(context, require(context, e, "x_bits"), "x_bits");
+    m.w_bits = parse_int(context, require(context, e, "w_bits"), "w_bits");
+    if (m.x_bits < 1 || m.x_bits > 8 || m.w_bits < 1 || m.w_bits > 8) {
+      fail(context, "mix bitwidths must be in [1, 8]");
+    }
+    if (const Value* w = e.find("weight")) {
+      m.weight = parse_double(context, *w, "weight");
+      if (m.weight <= 0.0) fail(context, "mix weights must be positive");
+    }
+    mix.push_back(m);
+  }
+  return mix;
+}
+
+SearchSpec parse_search(const Value& v) {
+  const std::string context = "search";
+  if (!v.is_object()) fail("", "\"search\" must be an object");
+  check_keys(context, v,
+             {"backend", "platform", "memory", "network", "bitwidth_mode",
+              "bitwidth_override", "space", "strategy", "budget", "seed",
+              "restarts", "objectives", "constraints", "mix"});
+  SearchSpec s;
+  if (const Value* f = v.find("backend")) {
+    s.backend = parse_string(context, *f, "backend");
+    if (s.backend.empty()) fail(context, "backend key must be non-empty");
+  }
+  if (const Value* f = v.find("platform")) {
+    const std::string p = parse_string(context, *f, "platform");
+    s.platform = platform_tokens()[match_token(context, "platform", p,
+                                               platform_tokens())];
+  }
+  if (const Value* f = v.find("memory")) {
+    const std::string m = parse_string(context, *f, "memory");
+    s.memory =
+        memory_tokens()[match_token(context, "memory", m, memory_tokens())];
+  }
+  {
+    const std::string n =
+        parse_string(context, require(context, v, "network"), "network");
+    s.network =
+        network_tokens()[match_token(context, "network", n, network_tokens())];
+  }
+  if (const Value* f = v.find("bitwidth_mode")) {
+    const std::string m = parse_string(context, *f, "bitwidth_mode");
+    s.bitwidth_mode =
+        mode_tokens()[match_token(context, "bitwidth mode", m, mode_tokens())];
+  }
+  if (const Value* f = v.find("bitwidth_override")) {
+    s.bitwidth_override = parse_bitwidth_override(context, *f);
+  }
+  s.space = parse_search_space(context, require(context, v, "space"));
+  if (const Value* f = v.find("strategy")) {
+    const std::string t = parse_string(context, *f, "strategy");
+    s.strategy = dse::strategy_tokens()[match_token(
+        context, "strategy", t, dse::strategy_tokens())];
+  }
+  if (const Value* f = v.find("budget")) {
+    const int b = parse_int(context, *f, "budget");
+    if (b <= 0) fail(context, "\"budget\" must be positive");
+    s.budget = static_cast<std::size_t>(b);
+  }
+  if (s.strategy == "random" && s.budget == 0) {
+    fail(context, "strategy \"random\" requires a \"budget\" (its sample "
+                      "count)");
+  }
+  if (const Value* f = v.find("seed")) {
+    if (!f->is_int() || f->as_int() < 0) {
+      fail(context, "\"seed\" must be a non-negative integer");
+    }
+    s.seed = static_cast<std::uint64_t>(f->as_int());
+  }
+  if (const Value* f = v.find("restarts")) {
+    const int r = parse_int(context, *f, "restarts");
+    if (r <= 0) fail(context, "\"restarts\" must be positive");
+    s.restarts = static_cast<std::size_t>(r);
+  }
+  if (const Value* f = v.find("objectives")) {
+    s.objectives = parse_objectives(context, *f);
+  }
+  if (const Value* f = v.find("constraints")) {
+    s.constraints = parse_constraints(context, *f);
+  }
+  if (const Value* f = v.find("mix")) {
+    s.mix = parse_mix(context, *f);
+  }
+  return s;
+}
+
 }  // namespace
 
 bool PlatformOverrides::any() const {
@@ -365,19 +600,26 @@ const std::vector<std::string>& network_tokens() {
 
 Manifest parse_manifest(const Value& root) {
   if (!root.is_object()) fail("", "document must be an object");
-  check_keys("", root, {"name", "description", "grids"});
+  check_keys("", root, {"name", "description", "grids", "search"});
   Manifest m;
   m.name = parse_string("", require("", root, "name"), "name");
   if (m.name.empty()) fail("", "\"name\" must be non-empty");
   if (const Value* d = root.find("description")) {
     m.description = parse_string("", *d, "description");
   }
-  const Value& grids = require("", root, "grids");
-  if (!grids.is_array() || grids.as_array().empty()) {
-    fail("", "\"grids\" must be a non-empty array");
+  if (const Value* grids = root.find("grids")) {
+    if (!grids->is_array() || grids->as_array().empty()) {
+      fail("", "\"grids\" must be a non-empty array");
+    }
+    for (std::size_t i = 0; i < grids->as_array().size(); ++i) {
+      m.grids.push_back(parse_grid(grid_context(i), grids->as_array()[i]));
+    }
   }
-  for (std::size_t i = 0; i < grids.as_array().size(); ++i) {
-    m.grids.push_back(parse_grid(grid_context(i), grids.as_array()[i]));
+  if (const Value* search = root.find("search")) {
+    m.search = parse_search(*search);
+  }
+  if (m.grids.empty() && !m.search) {
+    fail("", "manifest needs \"grids\", a \"search\" block, or both");
   }
   return m;
 }
@@ -390,6 +632,68 @@ Manifest load_manifest(const std::string& path) {
     if (what.find(path) != std::string::npos) throw;  // parse error: has path
     throw Error(path + ": " + what);
   }
+}
+
+common::json::Value to_json(const SearchSpec& s) {
+  Value sv = Value::object();
+  sv.set("backend", s.backend);
+  sv.set("platform", s.platform);
+  sv.set("memory", s.memory);
+  sv.set("network", s.network);
+  sv.set("bitwidth_mode", s.bitwidth_mode);
+  if (s.bitwidth_override) {
+    Value o = Value::object();
+    o.set("x_bits", s.bitwidth_override->x_bits);
+    o.set("w_bits", s.bitwidth_override->w_bits);
+    sv.set("bitwidth_override", std::move(o));
+  }
+  Value space = Value::object();
+  for (const dse::Axis& axis : s.space) {
+    Value values = Value::array();
+    for (double v : axis.values) {
+      if (dse::knob_is_integer(axis.knob)) {
+        values.push_back(static_cast<std::int64_t>(std::llround(v)));
+      } else {
+        values.push_back(v);
+      }
+    }
+    space.set(dse::to_string(axis.knob), std::move(values));
+  }
+  sv.set("space", std::move(space));
+  sv.set("strategy", s.strategy);
+  if (s.budget > 0) sv.set("budget", static_cast<std::int64_t>(s.budget));
+  sv.set("seed", static_cast<std::int64_t>(s.seed));
+  sv.set("restarts", static_cast<std::int64_t>(s.restarts));
+  Value objectives = Value::array();
+  for (const dse::Objective& o : s.objectives) {
+    Value ov = Value::object();
+    ov.set("metric", dse::to_string(o.metric));
+    ov.set("maximize", o.maximize);
+    objectives.push_back(std::move(ov));
+  }
+  sv.set("objectives", std::move(objectives));
+  if (s.constraints.any()) {
+    Value cv = Value::object();
+    const dse::Constraints& c = s.constraints;
+    if (c.min_utilization) cv.set("min_utilization", *c.min_utilization);
+    if (c.max_power_w) cv.set("max_power_w", *c.max_power_w);
+    if (c.max_energy_j) cv.set("max_energy_j", *c.max_energy_j);
+    if (c.max_runtime_s) cv.set("max_runtime_s", *c.max_runtime_s);
+    if (c.max_cycles) cv.set("max_cycles", *c.max_cycles);
+    sv.set("constraints", std::move(cv));
+  }
+  if (!s.mix.empty()) {
+    Value mix = Value::array();
+    for (const core::BitwidthMixEntry& m : s.mix) {
+      Value mv = Value::object();
+      mv.set("x_bits", m.x_bits);
+      mv.set("w_bits", m.w_bits);
+      mv.set("weight", m.weight);
+      mix.push_back(std::move(mv));
+    }
+    sv.set("mix", std::move(mix));
+  }
+  return sv;
 }
 
 common::json::Value to_json(const Manifest& manifest) {
@@ -450,7 +754,8 @@ common::json::Value to_json(const Manifest& manifest) {
     if (!g.id_suffix.empty()) grid.set("id_suffix", g.id_suffix);
     grids.push_back(std::move(grid));
   }
-  root.set("grids", std::move(grids));
+  if (!manifest.grids.empty()) root.set("grids", std::move(grids));
+  if (manifest.search) root.set("search", to_json(*manifest.search));
   return root;
 }
 
@@ -464,54 +769,36 @@ std::vector<engine::Scenario> expand(const Manifest& manifest) {
     for (const std::string& b : g.backends) {
       if (!registry.contains(b)) {
         fail(context, "unknown backend \"" + b + "\"; registered backends: " +
-                          quoted_list(registry.keys()));
+                          quoted_token_list(registry.keys()));
       }
     }
 
     // Resolve each axis once; the loops below only combine.
     std::vector<sim::AcceleratorConfig> platforms;
     for (const std::string& p : g.platforms) {
-      const std::size_t idx =
-          match_token(context, "platform", p, platform_tokens());
-      sim::AcceleratorConfig config;
-      switch (platform_from_index(idx)) {
-        case engine::Platform::kTpuLike:
-          config = sim::tpu_like_baseline();
-          break;
-        case engine::Platform::kBitFusion:
-          config = sim::bitfusion_accelerator();
-          break;
-        case engine::Platform::kBpvec:
-          config = sim::bpvec_accelerator();
-          break;
-      }
-      platforms.push_back(
-          apply_overrides(context, std::move(config), g.platform_overrides));
+      platforms.push_back(apply_overrides(
+          context,
+          platform_config_from_index(
+              match_token(context, "platform", p, platform_tokens())),
+          g.platform_overrides));
     }
     std::vector<arch::DramModel> memories;
     for (const std::string& m : g.memories) {
-      const std::size_t idx =
-          match_token(context, "memory", m, memory_tokens());
       memories.push_back(apply_overrides(
-          context, idx == 0 ? arch::ddr4() : arch::hbm2(),
+          context,
+          memory_from_index(match_token(context, "memory", m, memory_tokens())),
           g.memory_overrides));
     }
     const std::vector<std::size_t> net_indices =
         resolve_networks(context, g.networks);
 
     for (const std::string& mode_name : g.bitwidth_modes) {
-      const dnn::BitwidthMode mode =
-          match_token(context, "bitwidth mode", mode_name, mode_tokens()) == 0
-              ? dnn::BitwidthMode::kHomogeneous8b
-              : dnn::BitwidthMode::kHeterogeneous;
+      const dnn::BitwidthMode mode = mode_from_index(
+          match_token(context, "bitwidth mode", mode_name, mode_tokens()));
       for (const std::size_t net_index : net_indices) {
         dnn::Network net = make_network(net_index, mode);
         if (g.bitwidth_override) {
-          for (dnn::Layer& layer : net.layers()) {
-            if (!layer.is_compute()) continue;
-            layer.x_bits = g.bitwidth_override->x_bits;
-            layer.w_bits = g.bitwidth_override->w_bits;
-          }
+          apply_bitwidth_override(net, *g.bitwidth_override);
         }
         for (const sim::AcceleratorConfig& platform : platforms) {
           for (const arch::DramModel& memory : memories) {
@@ -539,6 +826,39 @@ std::size_t scenario_count(const Manifest& manifest) {
              g.memories.size() * g.backends.size();
   }
   return total;
+}
+
+dse::ParamSpace search_space(const SearchSpec& spec) {
+  dse::ParamSpace space;
+  try {
+    for (const dse::Axis& a : spec.space) space.add_axis(a.knob, a.values);
+  } catch (const Error& e) {
+    fail("search", e.what());
+  }
+  return space;
+}
+
+engine::Scenario search_base_scenario(const SearchSpec& spec) {
+  const std::string context = "search";
+  auto& registry = backend::BackendRegistry::instance();
+  if (!registry.contains(spec.backend)) {
+    fail(context, "unknown backend \"" + spec.backend +
+                      "\"; registered backends: " +
+                      quoted_token_list(registry.keys()));
+  }
+  sim::AcceleratorConfig config = platform_config_from_index(
+      match_token(context, "platform", spec.platform, platform_tokens()));
+  arch::DramModel memory = memory_from_index(
+      match_token(context, "memory", spec.memory, memory_tokens()));
+  const dnn::BitwidthMode mode = mode_from_index(match_token(
+      context, "bitwidth mode", spec.bitwidth_mode, mode_tokens()));
+  dnn::Network net = make_network(
+      match_token(context, "network", spec.network, network_tokens()), mode);
+  if (spec.bitwidth_override) {
+    apply_bitwidth_override(net, *spec.bitwidth_override);
+  }
+  return engine::make_scenario(spec.backend, std::move(config),
+                               std::move(memory), std::move(net), /*id=*/"");
 }
 
 }  // namespace bpvec::cli

@@ -35,6 +35,35 @@
 // (they are silent typos otherwise). Backend keys are validated against
 // the live BackendRegistry at expansion time, so custom registered
 // backends work without touching this file.
+// A manifest may also (or instead) carry a "search" block — a declarative
+// design-space search the `bpvec_run search` subcommand executes through
+// the dse subsystem:
+//
+//   {
+//     "name": "dse_smoke",
+//     "search": {
+//       "backend": "bpvec",                    // optional, default
+//       "platform": "bpvec",                   // optional, default
+//       "memory": "ddr4",                      // optional, default
+//       "network": "alexnet",                  // required
+//       "bitwidth_mode": "heterogeneous",      // optional
+//       "space": {                             // required: knob → values
+//         "cvu_slice_bits": [1, 2, 4],
+//         "cvu_lanes": [4, 16],
+//         "batch_size": [1, 4]
+//       },
+//       "strategy": "grid",                    // grid | random | hill_climb
+//       "budget": 64,                          // eval cap (random: required)
+//       "seed": 42,                            // optional
+//       "restarts": 4,                         // hill_climb starts
+//       "objectives": ["cycles", "energy"],    // or {"metric","maximize"}
+//       "constraints": {"min_utilization": 0.5},
+//       "mix": [{"x_bits": 4, "w_bits": 4, "weight": 0.6}]  // optional
+//     }
+//   }
+//
+// Knob tokens are the dse::Knob tokens (they match the grid override
+// keys); axis order in the manifest is the space's canonical axis order.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +72,7 @@
 #include <vector>
 
 #include "src/common/json.h"
+#include "src/dse/search.h"
 #include "src/engine/scenario.h"
 
 namespace bpvec::cli {
@@ -99,10 +129,32 @@ struct GridSpec {
   std::string id_suffix;
 };
 
+/// The "search" block: one base scenario plus a typed knob space and the
+/// strategy/budget/objectives/constraints that drive the dse subsystem.
+struct SearchSpec {
+  std::string backend{"bpvec"};
+  std::string platform{"bpvec"};           // canonical platform token
+  std::string memory{"ddr4"};              // canonical memory token
+  std::string network;                     // canonical network token
+  std::string bitwidth_mode{"homogeneous8b"};
+  std::optional<BitwidthOverride> bitwidth_override;
+  std::vector<dse::Axis> space;            // manifest order == axis order
+  std::string strategy{"grid"};            // dse::strategy_tokens()
+  std::size_t budget = 0;                  // 0 = strategy decides
+  std::size_t restarts = 4;                // hill_climb start points
+  std::uint64_t seed = 42;
+  std::vector<dse::Objective> objectives{  // default: cycles + energy
+      {dse::Metric::kCycles, false},
+      {dse::Metric::kEnergy, false}};
+  dse::Constraints constraints;
+  std::vector<core::BitwidthMixEntry> mix;  // empty = derive from network
+};
+
 struct Manifest {
   std::string name;         // report label; required, non-empty
   std::string description;  // optional free text
-  std::vector<GridSpec> grids;
+  std::vector<GridSpec> grids;              // may be empty when search is set
+  std::optional<SearchSpec> search;
 };
 
 /// Parses and validates a manifest document. Throws bpvec::Error with
@@ -118,6 +170,10 @@ Manifest load_manifest(const std::string& path);
 /// programmatically.
 common::json::Value to_json(const Manifest& manifest);
 
+/// The search block alone, same round-trip contract (also the "search"
+/// echo inside search-mode reports).
+common::json::Value to_json(const SearchSpec& spec);
+
 /// Expands every grid into scenarios, in the documented deterministic
 /// order. Validates backend keys against the BackendRegistry and the
 /// overridden configs; throws bpvec::Error naming the grid on failure.
@@ -131,5 +187,13 @@ std::size_t scenario_count(const Manifest& manifest);
 /// that "all" expands to. Network/platform/memory tokens are matched
 /// case-insensitively, ignoring '-' and '_' (so "ResNet-18" == "resnet18").
 const std::vector<std::string>& network_tokens();
+
+/// The search block's ParamSpace (axes in manifest order, re-validated).
+dse::ParamSpace search_space(const SearchSpec& spec);
+
+/// The search block's base scenario: platform/memory/network resolved
+/// exactly like grid expansion (bitwidth_override applied), backend
+/// validated against the live BackendRegistry. Throws bpvec::Error.
+engine::Scenario search_base_scenario(const SearchSpec& spec);
 
 }  // namespace bpvec::cli

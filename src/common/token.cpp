@@ -1,0 +1,26 @@
+#include "src/common/token.h"
+
+#include <cctype>
+
+namespace bpvec::common {
+
+std::string normalize_token(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '-' || c == '_') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string quoted_token_list(const std::vector<std::string>& options) {
+  std::string out;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    out += (i ? ", \"" : "\"");
+    out += options[i];
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace bpvec::common

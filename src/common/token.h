@@ -1,0 +1,20 @@
+// Token matching shared by the manifest schema and the dse knob/metric/
+// strategy vocabularies: one normalization rule, one error-message list
+// format — so "ResNet-18" == "resnet18" and "hill-climb" == "hill_climb"
+// everywhere, and a future tweak to the rule cannot make the layers
+// disagree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bpvec::common {
+
+/// Case-folds and strips '-' and '_'.
+std::string normalize_token(const std::string& s);
+
+/// `"a", "b", "c"` — the quoted comma list error messages print after
+/// "expected one of".
+std::string quoted_token_list(const std::vector<std::string>& options);
+
+}  // namespace bpvec::common

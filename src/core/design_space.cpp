@@ -1,5 +1,6 @@
 #include "src/core/design_space.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "src/common/error.h"
@@ -64,11 +65,13 @@ double mix_utilization(const bitslice::CvuGeometry& geometry,
 DesignPoint best_design(const std::vector<DesignPoint>& points,
                         const std::vector<BitwidthMixEntry>& mix,
                         double min_utilization) {
-  BPVEC_CHECK(!points.empty());
+  if (points.empty()) throw Error("best_design: empty point set");
   const DesignPoint* best = nullptr;
   double best_score = std::numeric_limits<double>::infinity();
+  double best_util_seen = 0.0;
   for (const auto& p : points) {
     const double util = mix_utilization(p.geometry, mix);
+    best_util_seen = std::max(best_util_seen, util);
     if (util + 1e-12 < min_utilization) continue;
     // Power·area per effective MAC: divide by utilization so idle NBVEs
     // count against a design.
@@ -79,7 +82,12 @@ DesignPoint best_design(const std::vector<DesignPoint>& points,
       best = &p;
     }
   }
-  BPVEC_CHECK_MSG(best != nullptr, "no design point meets the utilization bar");
+  if (best == nullptr) {
+    throw Error("best_design: no design point meets min_utilization=" +
+                std::to_string(min_utilization) + " (best utilization over " +
+                std::to_string(points.size()) +
+                " points: " + std::to_string(best_util_seen) + ")");
+  }
   DesignPoint result = *best;
   result.mix_utilization = mix_utilization(result.geometry, mix);
   return result;

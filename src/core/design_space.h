@@ -55,6 +55,14 @@ double mix_utilization(const bitslice::CvuGeometry& geometry,
 /// over `mix` stays ≥ `min_utilization` — formalizing the paper's
 /// conclusion that 2-bit slicing with L = 16 is the sweet spot (4-bit
 /// slicing is cheaper per CVU but under-utilized below 4-bit operands).
+///
+/// Edge cases (both throw bpvec::Error, never return a garbage point):
+///   * empty `points` — "best_design: empty point set";
+///   * every point below the bar — "best_design: no design point meets
+///     min_utilization=<floor>", including the best utilization seen so
+///     the caller can tell how far the bar missed. Catch the error (or
+///     pre-filter) to treat "no admissible design" as a search outcome
+///     rather than a failure.
 DesignPoint best_design(const std::vector<DesignPoint>& points,
                         const std::vector<BitwidthMixEntry>& mix,
                         double min_utilization = 0.99);

@@ -1,0 +1,246 @@
+#include "src/dse/param_space.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/common/hash.h"
+#include "src/common/json.h"
+#include "src/common/token.h"
+
+namespace bpvec::dse {
+
+namespace {
+
+struct KnobInfo {
+  Knob knob;
+  const char* token;
+  bool integer;
+};
+
+const KnobInfo kKnobs[] = {
+    {Knob::kCvuSliceBits, "cvu_slice_bits", true},
+    {Knob::kCvuMaxBits, "cvu_max_bits", true},
+    {Knob::kCvuLanes, "cvu_lanes", true},
+    {Knob::kRows, "rows", true},
+    {Knob::kCols, "cols", true},
+    {Knob::kScratchpadBytes, "scratchpad_bytes", true},
+    {Knob::kFrequencyHz, "frequency_hz", false},
+    {Knob::kTimeChunk, "time_chunk", true},
+    {Knob::kBatchSize, "batch_size", true},
+    {Knob::kStaticCoreMw, "static_core_mw", false},
+    {Knob::kMemBandwidthGbps, "bandwidth_gbps", false},
+    {Knob::kMemEnergyPjPerBit, "energy_pj_per_bit", false},
+    {Knob::kMemStartupLatencyNs, "startup_latency_ns", false},
+    {Knob::kMemBackgroundPowerW, "background_power_w", false},
+};
+
+const KnobInfo& info(Knob knob) {
+  for (const KnobInfo& k : kKnobs) {
+    if (k.knob == knob) return k;
+  }
+  throw Error("unknown knob enum value");
+}
+
+bool is_integral(double v) {
+  return std::isfinite(v) && v == std::floor(v);
+}
+
+}  // namespace
+
+const char* to_string(Knob knob) { return info(knob).token; }
+
+bool knob_is_integer(Knob knob) { return info(knob).integer; }
+
+std::optional<Knob> knob_from_token(const std::string& token) {
+  const std::string norm = common::normalize_token(token);
+  for (const KnobInfo& k : kKnobs) {
+    if (common::normalize_token(k.token) == norm) return k.knob;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& knob_tokens() {
+  static const std::vector<std::string> tokens = [] {
+    std::vector<std::string> t;
+    for (const KnobInfo& k : kKnobs) t.emplace_back(k.token);
+    return t;
+  }();
+  return tokens;
+}
+
+std::string knob_value_string(Knob knob, double value) {
+  if (knob_is_integer(knob)) {
+    return std::to_string(static_cast<std::int64_t>(std::llround(value)));
+  }
+  return common::json::format_double(value);
+}
+
+void ParamSpace::add_axis(Knob knob, std::vector<double> values) {
+  for (const Axis& a : axes_) {
+    if (a.knob == knob) {
+      throw Error(std::string("ParamSpace: duplicate axis \"") +
+                  to_string(knob) + "\"");
+    }
+  }
+  if (values.empty()) {
+    throw Error(std::string("ParamSpace: axis \"") + to_string(knob) +
+                "\" has no values");
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      throw Error(std::string("ParamSpace: axis \"") + to_string(knob) +
+                  "\" has a non-finite value");
+    }
+    if (knob_is_integer(knob) && !is_integral(v)) {
+      throw Error(std::string("ParamSpace: axis \"") + to_string(knob) +
+                  "\" requires integer values, got " +
+                  common::json::format_double(v));
+    }
+  }
+  axes_.push_back(Axis{knob, std::move(values)});
+}
+
+std::size_t ParamSpace::size() const {
+  if (axes_.empty()) return 0;
+  std::size_t n = 1;
+  for (const Axis& a : axes_) {
+    BPVEC_CHECK_MSG(n <= SIZE_MAX / a.values.size(),
+                    "ParamSpace: cross-product size overflows");
+    n *= a.values.size();
+  }
+  return n;
+}
+
+Candidate ParamSpace::at(std::size_t flat) const {
+  BPVEC_CHECK_MSG(flat < size(), "ParamSpace: flat index out of range");
+  Candidate c;
+  c.choice.resize(axes_.size());
+  // Row-major, first axis outermost: peel from the innermost (last) axis.
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const std::size_t n = axes_[a].values.size();
+    c.choice[a] = flat % n;
+    flat /= n;
+  }
+  return c;
+}
+
+std::size_t ParamSpace::flat_index(const Candidate& c) const {
+  BPVEC_CHECK(c.choice.size() == axes_.size());
+  std::size_t flat = 0;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    BPVEC_CHECK(c.choice[a] < axes_[a].values.size());
+    flat = flat * axes_[a].values.size() + c.choice[a];
+  }
+  return flat;
+}
+
+double ParamSpace::value(const Candidate& c, std::size_t axis) const {
+  BPVEC_CHECK(axis < axes_.size());
+  BPVEC_CHECK(c.choice.size() == axes_.size());
+  BPVEC_CHECK(c.choice[axis] < axes_[axis].values.size());
+  return axes_[axis].values[c.choice[axis]];
+}
+
+std::optional<double> ParamSpace::value(const Candidate& c, Knob knob) const {
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    if (axes_[a].knob == knob) return value(c, a);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t ParamSpace::candidate_key(const Candidate& c) const {
+  common::ConfigHash h;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    h.u64(static_cast<std::uint64_t>(axes_[a].knob));
+    h.f64(value(c, a));
+  }
+  return h.h;
+}
+
+std::string ParamSpace::label(const Candidate& c) const {
+  std::string out;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    if (a) out += ' ';
+    out += to_string(axes_[a].knob);
+    out += '=';
+    out += knob_value_string(axes_[a].knob, value(c, a));
+  }
+  return out;
+}
+
+bitslice::CvuGeometry ParamSpace::geometry(const Candidate& c,
+                                           bitslice::CvuGeometry base) const {
+  if (auto v = value(c, Knob::kCvuSliceBits)) {
+    base.slice_bits = static_cast<int>(std::llround(*v));
+  }
+  if (auto v = value(c, Knob::kCvuMaxBits)) {
+    base.max_bits = static_cast<int>(std::llround(*v));
+  }
+  if (auto v = value(c, Knob::kCvuLanes)) {
+    base.lanes = static_cast<int>(std::llround(*v));
+  }
+  return base;
+}
+
+engine::Scenario ParamSpace::materialize(const Candidate& c,
+                                         const engine::Scenario& base) const {
+  engine::Scenario s = base;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    const double v = value(c, a);
+    const auto i = [&] { return static_cast<int>(std::llround(v)); };
+    switch (axes_[a].knob) {
+      case Knob::kCvuSliceBits: s.platform.cvu.slice_bits = i(); break;
+      case Knob::kCvuMaxBits: s.platform.cvu.max_bits = i(); break;
+      case Knob::kCvuLanes: s.platform.cvu.lanes = i(); break;
+      case Knob::kRows: s.platform.rows = i(); break;
+      case Knob::kCols: s.platform.cols = i(); break;
+      case Knob::kScratchpadBytes:
+        s.platform.scratchpad_bytes = static_cast<std::int64_t>(std::llround(v));
+        break;
+      case Knob::kFrequencyHz: s.platform.frequency_hz = v; break;
+      case Knob::kTimeChunk: s.platform.time_chunk = i(); break;
+      case Knob::kBatchSize: s.platform.batch_size = i(); break;
+      case Knob::kStaticCoreMw: s.platform.static_core_mw = v; break;
+      case Knob::kMemBandwidthGbps: s.memory.bandwidth_gbps = v; break;
+      case Knob::kMemEnergyPjPerBit: s.memory.energy_pj_per_bit = v; break;
+      case Knob::kMemStartupLatencyNs: s.memory.startup_latency_ns = v; break;
+      case Knob::kMemBackgroundPowerW: s.memory.background_power_w = v; break;
+    }
+  }
+  try {
+    s.platform.validate();
+  } catch (const Error& e) {
+    throw Error("ParamSpace: candidate [" + label(c) +
+                "] produces an invalid platform: " + e.what());
+  }
+  if (s.memory.bandwidth_gbps <= 0 || s.memory.energy_pj_per_bit < 0 ||
+      s.memory.startup_latency_ns < 0 || s.memory.background_power_w < 0) {
+    throw Error("ParamSpace: candidate [" + label(c) +
+                "] produces an invalid memory system");
+  }
+  s.id = base.id + " [" + label(c) + "]";
+  return s;
+}
+
+ParamSpace geometry_space(const std::vector<int>& slice_widths,
+                          const std::vector<int>& lanes, int max_bits) {
+  // Validate the full cross product eagerly — same errors as
+  // core::design_grid on an inconsistent axis.
+  for (int alpha : slice_widths) {
+    for (int l : lanes) {
+      bitslice::CvuGeometry g{alpha, max_bits, l};
+      g.validate();
+    }
+  }
+  ParamSpace space;
+  auto to_doubles = [](const std::vector<int>& v) {
+    return std::vector<double>(v.begin(), v.end());
+  };
+  space.add_axis(Knob::kCvuSliceBits, to_doubles(slice_widths));
+  space.add_axis(Knob::kCvuLanes, to_doubles(lanes));
+  space.add_axis(Knob::kCvuMaxBits, {static_cast<double>(max_bits)});
+  return space;
+}
+
+}  // namespace bpvec::dse

@@ -1,0 +1,126 @@
+#include "src/dse/pareto.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/common/token.h"
+
+namespace bpvec::dse {
+
+namespace {
+
+struct MetricInfo {
+  Metric metric;
+  const char* token;
+  bool maximize;
+};
+
+const MetricInfo kMetrics[] = {
+    {Metric::kCycles, "cycles", false},
+    {Metric::kEnergy, "energy", false},
+    {Metric::kRuntime, "runtime", false},
+    {Metric::kPower, "power", false},
+    {Metric::kCoreArea, "core_area", false},
+    {Metric::kMacPower, "mac_power", false},
+    {Metric::kMacArea, "mac_area", false},
+    {Metric::kUtilization, "utilization", true},
+    {Metric::kGopsPerW, "gops_per_w", true},
+    {Metric::kGopsPerS, "gops_per_s", true},
+};
+
+const MetricInfo& info(Metric metric) {
+  for (const MetricInfo& m : kMetrics) {
+    if (m.metric == metric) return m;
+  }
+  throw Error("unknown metric enum value");
+}
+
+}  // namespace
+
+const char* to_string(Metric metric) { return info(metric).token; }
+
+std::optional<Metric> metric_from_token(const std::string& token) {
+  const std::string norm = common::normalize_token(token);
+  for (const MetricInfo& m : kMetrics) {
+    if (common::normalize_token(m.token) == norm) return m.metric;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& metric_tokens() {
+  static const std::vector<std::string> tokens = [] {
+    std::vector<std::string> t;
+    for (const MetricInfo& m : kMetrics) t.emplace_back(m.token);
+    return t;
+  }();
+  return tokens;
+}
+
+bool default_maximize(Metric metric) { return info(metric).maximize; }
+
+Objective objective(Metric metric) {
+  return Objective{metric, default_maximize(metric)};
+}
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b,
+               const std::vector<Objective>& objectives) {
+  BPVEC_CHECK(a.size() == objectives.size() && b.size() == objectives.size());
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    // Normalize to "smaller is better".
+    const double av = objectives[i].maximize ? -a[i] : a[i];
+    const double bv = objectives[i].maximize ? -b[i] : b[i];
+    if (av > bv) return false;
+    if (av < bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+ParetoFrontier::ParetoFrontier(std::vector<Objective> objectives)
+    : objectives_(std::move(objectives)) {
+  BPVEC_CHECK_MSG(!objectives_.empty(),
+                  "ParetoFrontier needs at least one objective");
+}
+
+ParetoFrontier::Insert ParetoFrontier::insert(const Evaluation& e) {
+  if (!e.feasible) return Insert::kInfeasible;
+  BPVEC_CHECK_MSG(e.objectives.size() == objectives_.size(),
+                  "evaluation objective arity mismatch");
+  if (!seen_keys_.insert(e.key).second) return Insert::kDuplicate;
+  for (const Evaluation& kept : entries_) {
+    if (dominates(kept.objectives, e.objectives, objectives_)) {
+      return Insert::kDominated;
+    }
+  }
+  // Evict everything the newcomer dominates.
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Evaluation& kept) {
+                                  return dominates(e.objectives,
+                                                   kept.objectives,
+                                                   objectives_);
+                                }),
+                 entries_.end());
+  entries_.push_back(e);
+  return Insert::kJoined;
+}
+
+std::vector<Evaluation> ParetoFrontier::sorted() const {
+  std::vector<Evaluation> out = entries_;
+  std::sort(out.begin(), out.end(),
+            [&](const Evaluation& a, const Evaluation& b) {
+              for (std::size_t i = 0; i < objectives_.size(); ++i) {
+                const double av =
+                    objectives_[i].maximize ? -a.objectives[i]
+                                            : a.objectives[i];
+                const double bv =
+                    objectives_[i].maximize ? -b.objectives[i]
+                                            : b.objectives[i];
+                if (av != bv) return av < bv;
+              }
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace bpvec::dse

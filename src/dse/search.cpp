@@ -1,0 +1,205 @@
+#include "src/dse/search.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "src/arch/cvu_cost.h"
+#include "src/common/error.h"
+
+namespace bpvec::dse {
+
+namespace {
+
+constexpr std::size_t kDefaultBatch = 256;
+
+std::size_t pool_grain(const engine::SimEngine& engine, std::size_t jobs) {
+  const std::size_t lanes =
+      static_cast<std::size_t>(engine.num_threads()) * 4;
+  return std::max<std::size_t>(1, jobs / std::max<std::size_t>(1, lanes));
+}
+
+double geometry_metric(Metric metric, const core::DesignPoint& design) {
+  switch (metric) {
+    case Metric::kMacPower: return design.cost.power_total();
+    case Metric::kMacArea: return design.cost.area_total();
+    case Metric::kUtilization: return design.mix_utilization;
+    default:
+      throw Error(std::string("metric \"") + to_string(metric) +
+                  "\" requires a scenario search (it is priced by "
+                  "SimEngine::run_batch, not the Fig. 4 cost model)");
+  }
+}
+
+}  // namespace
+
+bool Constraints::any() const {
+  return min_utilization || max_power_w || max_energy_j || max_runtime_s ||
+         max_cycles;
+}
+
+// ----- GeometryEvaluator ---------------------------------------------
+
+GeometryEvaluator::GeometryEvaluator(engine::SimEngine& engine,
+                                     const ParamSpace& space,
+                                     std::vector<Objective> objectives,
+                                     std::vector<core::BitwidthMixEntry> mix)
+    : engine_(engine),
+      space_(space),
+      objectives_(std::move(objectives)),
+      mix_(std::move(mix)) {
+  for (const Objective& o : objectives_) {
+    (void)geometry_metric(o.metric, core::DesignPoint{});  // validate now
+  }
+}
+
+std::vector<Evaluation> GeometryEvaluator::evaluate(
+    const std::vector<Candidate>& batch) {
+  std::vector<Evaluation> out(batch.size());
+  engine_.pool().parallel_for(
+      batch.size(),
+      [&](std::size_t i) {
+        Evaluation& e = out[i];
+        e.candidate = batch[i];
+        e.key = space_.candidate_key(batch[i]);
+        const bitslice::CvuGeometry g =
+            space_.geometry(batch[i], bitslice::CvuGeometry{});
+        e.design = mix_.empty() ? core::price_design_point(g)
+                                : core::price_design_point(g, mix_);
+        e.id = g.to_string();
+        e.objectives.reserve(objectives_.size());
+        for (const Objective& o : objectives_) {
+          e.objectives.push_back(geometry_metric(o.metric, e.design));
+        }
+      },
+      pool_grain(engine_, batch.size()));
+  return out;
+}
+
+// ----- ScenarioEvaluator ---------------------------------------------
+
+ScenarioEvaluator::ScenarioEvaluator(engine::SimEngine& engine,
+                                     const ParamSpace& space,
+                                     engine::Scenario base,
+                                     std::vector<Objective> objectives,
+                                     std::vector<core::BitwidthMixEntry> mix,
+                                     Constraints constraints)
+    : engine_(engine),
+      space_(space),
+      base_(std::move(base)),
+      objectives_(std::move(objectives)),
+      mix_(std::move(mix)),
+      constraints_(constraints) {
+  if (mix_.empty()) {
+    // MAC-weighted bitwidth mix of the workload itself.
+    for (const dnn::Layer& layer : base_.network.layers()) {
+      if (!layer.is_compute()) continue;
+      mix_.push_back({layer.x_bits, layer.w_bits,
+                      static_cast<double>(layer.macs())});
+    }
+    if (mix_.empty()) mix_.push_back({8, 8, 1.0});
+  }
+}
+
+std::vector<Evaluation> ScenarioEvaluator::evaluate(
+    const std::vector<Candidate>& batch) {
+  std::vector<engine::Scenario> scenarios;
+  scenarios.reserve(batch.size());
+  for (const Candidate& c : batch) {
+    scenarios.push_back(space_.materialize(c, base_));
+  }
+  std::vector<sim::RunResult> results = engine_.run_batch(scenarios);
+
+  const arch::CvuCostModel cost;
+  std::vector<Evaluation> out(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Evaluation& e = out[i];
+    e.candidate = batch[i];
+    e.key = space_.candidate_key(batch[i]);
+    e.id = scenarios[i].id;
+    e.design = core::price_design_point(scenarios[i].platform.cvu, mix_);
+    e.core_area_um2 = scenarios[i].platform.core_area_um2(cost);
+    e.result = std::make_shared<const sim::RunResult>(std::move(results[i]));
+    const sim::RunResult& r = *e.result;
+    e.objectives.reserve(objectives_.size());
+    for (const Objective& o : objectives_) {
+      double v = 0;
+      switch (o.metric) {
+        case Metric::kCycles: v = static_cast<double>(r.total_cycles); break;
+        case Metric::kEnergy: v = r.energy_j; break;
+        case Metric::kRuntime: v = r.runtime_s; break;
+        case Metric::kPower: v = r.average_power_w; break;
+        case Metric::kCoreArea: v = e.core_area_um2; break;
+        case Metric::kGopsPerW: v = r.gops_per_w; break;
+        case Metric::kGopsPerS: v = r.gops_per_s; break;
+        case Metric::kMacPower:
+        case Metric::kMacArea:
+        case Metric::kUtilization:
+          v = geometry_metric(o.metric, e.design);
+          break;
+      }
+      e.objectives.push_back(v);
+    }
+    e.feasible =
+        (!constraints_.min_utilization ||
+         e.design.mix_utilization + 1e-12 >= *constraints_.min_utilization) &&
+        (!constraints_.max_power_w ||
+         r.average_power_w <= *constraints_.max_power_w) &&
+        (!constraints_.max_energy_j ||
+         r.energy_j <= *constraints_.max_energy_j) &&
+        (!constraints_.max_runtime_s ||
+         r.runtime_s <= *constraints_.max_runtime_s) &&
+        (!constraints_.max_cycles || r.total_cycles <= *constraints_.max_cycles);
+  }
+  return out;
+}
+
+// ----- driver --------------------------------------------------------
+
+SearchOutcome run_search(SearchStrategy& strategy, Evaluator& evaluator,
+                         std::vector<Objective> objectives,
+                         const SearchOptions& options) {
+  ParetoFrontier frontier(objectives);
+  SearchOutcome outcome{std::move(objectives), {}, std::move(frontier),
+                        0,                    0,  0};
+
+  std::unordered_set<std::uint64_t> unique_keys;
+  const std::size_t cap =
+      options.batch_size > 0 ? options.batch_size : kDefaultBatch;
+  while (options.budget == 0 || outcome.candidates < options.budget) {
+    std::size_t max_batch = cap;
+    if (options.budget > 0) {
+      max_batch = std::min(cap, options.budget - outcome.candidates);
+    }
+    const std::vector<Candidate> batch = strategy.propose(max_batch);
+    if (batch.empty()) break;
+    BPVEC_CHECK_MSG(batch.size() <= max_batch,
+                    "strategy proposed more candidates than asked");
+
+    std::vector<Evaluation> evals = evaluator.evaluate(batch);
+    BPVEC_CHECK(evals.size() == batch.size());
+    for (const Evaluation& e : evals) {
+      unique_keys.insert(e.key);
+      if (!e.feasible) ++outcome.infeasible;
+      (void)outcome.frontier.insert(e);
+    }
+    strategy.observe(evals);
+    outcome.candidates += evals.size();
+    for (Evaluation& e : evals) {
+      outcome.evaluations.push_back(std::move(e));
+    }
+  }
+  outcome.unique_candidates = unique_keys.size();
+  return outcome;
+}
+
+std::vector<core::DesignPoint> design_points(const SearchOutcome& outcome) {
+  std::vector<core::DesignPoint> points;
+  points.reserve(outcome.evaluations.size());
+  for (const Evaluation& e : outcome.evaluations) {
+    points.push_back(e.design);
+  }
+  return points;
+}
+
+}  // namespace bpvec::dse

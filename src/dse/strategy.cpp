@@ -1,0 +1,219 @@
+#include "src/dse/strategy.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/error.h"
+#include "src/common/token.h"
+
+namespace bpvec::dse {
+
+double scalarize(const std::vector<Objective>& objectives,
+                 const Evaluation& e) {
+  if (!e.feasible) return std::numeric_limits<double>::infinity();
+  BPVEC_CHECK(e.objectives.size() == objectives.size());
+  double score = 1.0;
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    if (objectives[i].maximize) {
+      score /= e.objectives[i];
+    } else {
+      score *= e.objectives[i];
+    }
+  }
+  return score;
+}
+
+// ----- grid ----------------------------------------------------------
+
+GridStrategy::GridStrategy(const ParamSpace& space) : space_(space) {}
+
+std::vector<Candidate> GridStrategy::propose(std::size_t max_batch) {
+  BPVEC_CHECK(max_batch > 0);
+  const std::size_t total = space_.size();
+  std::vector<Candidate> out;
+  while (cursor_ < total && out.size() < max_batch) {
+    out.push_back(space_.at(cursor_++));
+  }
+  return out;
+}
+
+// ----- random --------------------------------------------------------
+
+namespace {
+
+/// Draw `j`: one independent stream per draw index, one uniform pick per
+/// axis. Deterministic in (seed, j) — independent of batching.
+Candidate draw(const ParamSpace& space, const Rng& rng, std::uint64_t j) {
+  Rng stream = rng.fork(j);
+  Candidate c;
+  c.choice.reserve(space.num_axes());
+  for (const Axis& axis : space.axes()) {
+    c.choice.push_back(static_cast<std::size_t>(stream.uniform(
+        0, static_cast<std::int64_t>(axis.values.size()) - 1)));
+  }
+  return c;
+}
+
+}  // namespace
+
+RandomStrategy::RandomStrategy(const ParamSpace& space, std::size_t samples,
+                               std::uint64_t seed)
+    : space_(space), samples_(samples), rng_(seed) {
+  BPVEC_CHECK_MSG(samples_ > 0, "random strategy needs samples > 0");
+}
+
+std::vector<Candidate> RandomStrategy::propose(std::size_t max_batch) {
+  BPVEC_CHECK(max_batch > 0);
+  std::vector<Candidate> out;
+  while (drawn_ < samples_ && out.size() < max_batch) {
+    out.push_back(draw(space_, rng_, drawn_++));
+  }
+  return out;
+}
+
+// ----- hill climb ----------------------------------------------------
+
+HillClimbStrategy::HillClimbStrategy(const ParamSpace& space,
+                                     std::size_t restarts,
+                                     std::uint64_t seed,
+                                     std::vector<Objective> objectives)
+    : space_(space),
+      restarts_(restarts),
+      rng_(seed),
+      objectives_(std::move(objectives)) {
+  BPVEC_CHECK_MSG(restarts_ > 0, "hill_climb needs restarts > 0");
+  BPVEC_CHECK_MSG(!objectives_.empty(),
+                  "hill_climb needs objectives to rank neighbors");
+  climbers_.resize(restarts_);
+}
+
+void HillClimbStrategy::plan_round() {
+  pending_.clear();
+  pending_cursor_ = 0;
+
+  if (!starts_planned_) {
+    // Round 0: the start points (drawn exactly like random's first
+    // `restarts` samples).
+    starts_planned_ = true;
+    for (std::size_t r = 0; r < restarts_; ++r) {
+      climbers_[r].current = draw(space_, rng_, r);
+      pending_.push_back(climbers_[r].current);
+    }
+    return;
+  }
+
+  // Keep stepping climbers whose neighbor scores are all known already;
+  // only unknown-score candidates are proposed. Every move strictly
+  // improves the score, so this loop terminates.
+  while (pending_.empty()) {
+    bool any_active = false;
+    for (Climber& c : climbers_) {
+      if (c.done) continue;
+      if (!c.active) {
+        // Adopt the start point's score (observed in round 0).
+        const auto it = score_by_key_.find(space_.candidate_key(c.current));
+        BPVEC_CHECK(it != score_by_key_.end());
+        c.score = it->second;
+        c.active = true;
+      }
+      any_active = true;
+    }
+    if (!any_active) return;  // all climbers stalled — exhausted
+
+    // Collect the neighbors whose scores we don't know yet.
+    bool all_known = true;
+    for (Climber& c : climbers_) {
+      if (c.done) continue;
+      for (std::size_t a = 0; a < space_.num_axes(); ++a) {
+        for (int step : {-1, +1}) {
+          const std::size_t n = space_.axes()[a].values.size();
+          const std::size_t cur = c.current.choice[a];
+          if (step < 0 && cur == 0) continue;
+          if (step > 0 && cur + 1 >= n) continue;
+          Candidate nb = c.current;
+          nb.choice[a] = cur + step;
+          if (score_by_key_.count(space_.candidate_key(nb))) continue;
+          all_known = false;
+          pending_.push_back(nb);
+        }
+      }
+    }
+    if (!all_known) return;  // propose the unknowns, resume after observe
+
+    // All neighbor scores are known: apply one greedy step per climber.
+    for (Climber& c : climbers_) {
+      if (c.done) continue;
+      double best_score = c.score;
+      Candidate best = c.current;
+      bool moved = false;
+      for (std::size_t a = 0; a < space_.num_axes(); ++a) {
+        for (int step : {-1, +1}) {
+          const std::size_t n = space_.axes()[a].values.size();
+          const std::size_t cur = c.current.choice[a];
+          if (step < 0 && cur == 0) continue;
+          if (step > 0 && cur + 1 >= n) continue;
+          Candidate nb = c.current;
+          nb.choice[a] = cur + step;
+          const double s = score_by_key_.at(space_.candidate_key(nb));
+          if (s < best_score) {  // strict improvement; first-wins ties
+            best_score = s;
+            best = nb;
+            moved = true;
+          }
+        }
+      }
+      if (moved) {
+        c.current = best;
+        c.score = best_score;
+      } else {
+        c.done = true;
+      }
+    }
+  }
+}
+
+std::vector<Candidate> HillClimbStrategy::propose(std::size_t max_batch) {
+  BPVEC_CHECK(max_batch > 0);
+  if (pending_cursor_ >= pending_.size()) plan_round();
+  std::vector<Candidate> out;
+  while (pending_cursor_ < pending_.size() && out.size() < max_batch) {
+    out.push_back(pending_[pending_cursor_++]);
+  }
+  return out;
+}
+
+void HillClimbStrategy::observe(const std::vector<Evaluation>& batch) {
+  for (const Evaluation& e : batch) {
+    score_by_key_.emplace(e.key, scalarize(objectives_, e));
+  }
+}
+
+// ----- factory -------------------------------------------------------
+
+const std::vector<std::string>& strategy_tokens() {
+  static const std::vector<std::string> tokens{"grid", "random",
+                                               "hill_climb"};
+  return tokens;
+}
+
+std::unique_ptr<SearchStrategy> make_strategy(
+    const std::string& token, const ParamSpace& space, std::size_t budget,
+    std::size_t restarts, std::uint64_t seed,
+    std::vector<Objective> objectives) {
+  if (token == "grid") return std::make_unique<GridStrategy>(space);
+  if (token == "random") {
+    if (budget == 0) {
+      throw Error("random strategy requires a budget (its sample count)");
+    }
+    return std::make_unique<RandomStrategy>(space, budget, seed);
+  }
+  if (token == "hill_climb") {
+    return std::make_unique<HillClimbStrategy>(space, restarts, seed,
+                                               std::move(objectives));
+  }
+  throw Error("unknown search strategy \"" + token + "\"; expected one of " +
+              common::quoted_token_list(strategy_tokens()));
+}
+
+}  // namespace bpvec::dse

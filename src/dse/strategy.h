@@ -1,0 +1,136 @@
+// Pluggable search strategies over a ParamSpace.
+//
+// A strategy is a proposal engine: the search driver repeatedly asks it
+// for the next batch of candidates (propose), prices them, and hands the
+// evaluations back (observe). All three built-ins are deterministic —
+// random choices flow through Rng::fork keyed on stable indices, never
+// on thread identity or wall clock — so a search is a pure function of
+// (space, strategy, seed, budget).
+//
+//   grid        exhaustive enumeration in the space's canonical
+//               (row-major, first-axis-outermost) order. Over
+//               geometry_space this is bit-identical to
+//               core::design_grid / core::explore_design_space.
+//   random      `samples` independent draws; draw j picks each axis
+//               uniformly from rng.fork(j). Batch size never changes
+//               which candidates are drawn. Repeats are possible by
+//               design — the engine's caches make them near-free and
+//               the frontier dedupes them.
+//   hill_climb  greedy local refinement with `restarts` lock-stepped
+//               starts (drawn like random's first `restarts` samples).
+//               Each round proposes every ±1-step axis neighbor of each
+//               active climber; a climber moves to its best strictly
+//               improving neighbor (scalarize() order, first-wins ties)
+//               and stalls — permanently — when none improves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dse/param_space.h"
+#include "src/dse/pareto.h"
+
+namespace bpvec::dse {
+
+/// Geometric scalarization of an evaluation: the product of all
+/// minimized metric values divided by the product of all maximized ones
+/// — the multi-objective generalization of core::best_design's
+/// power·area/utilization² score. Infeasible evaluations score +inf.
+/// Used by hill_climb to order neighbors (the frontier itself never
+/// scalarizes).
+double scalarize(const std::vector<Objective>& objectives,
+                 const Evaluation& e);
+
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Next candidates to price, at most `max_batch` (> 0). Empty means
+  /// the strategy is exhausted and the search ends.
+  virtual std::vector<Candidate> propose(std::size_t max_batch) = 0;
+
+  /// Evaluations for exactly the candidates of the last propose(), in
+  /// the same order. Called once per non-empty propose().
+  virtual void observe(const std::vector<Evaluation>& batch) { (void)batch; }
+};
+
+class GridStrategy final : public SearchStrategy {
+ public:
+  explicit GridStrategy(const ParamSpace& space);
+
+  const char* name() const override { return "grid"; }
+  std::vector<Candidate> propose(std::size_t max_batch) override;
+
+ private:
+  const ParamSpace& space_;
+  std::size_t cursor_ = 0;
+};
+
+class RandomStrategy final : public SearchStrategy {
+ public:
+  /// Draws exactly `samples` candidates from `seed`.
+  RandomStrategy(const ParamSpace& space, std::size_t samples,
+                 std::uint64_t seed);
+
+  const char* name() const override { return "random"; }
+  std::vector<Candidate> propose(std::size_t max_batch) override;
+
+ private:
+  const ParamSpace& space_;
+  std::size_t samples_;
+  std::size_t drawn_ = 0;
+  Rng rng_;
+};
+
+class HillClimbStrategy final : public SearchStrategy {
+ public:
+  HillClimbStrategy(const ParamSpace& space, std::size_t restarts,
+                    std::uint64_t seed, std::vector<Objective> objectives);
+
+  const char* name() const override { return "hill_climb"; }
+  std::vector<Candidate> propose(std::size_t max_batch) override;
+  void observe(const std::vector<Evaluation>& batch) override;
+
+ private:
+  struct Climber {
+    Candidate current;
+    double score = 0.0;
+    bool active = false;  // set once the start point is scored
+    bool done = false;
+  };
+
+  /// Refills pending_ with the next round of proposals (starts, then
+  /// neighbor rounds) once the previous round is fully observed.
+  void plan_round();
+
+  const ParamSpace& space_;
+  std::size_t restarts_;
+  Rng rng_;
+  std::vector<Objective> objectives_;
+  std::vector<Climber> climbers_;
+  bool starts_planned_ = false;
+  /// Candidates planned for the current round but not yet proposed.
+  std::vector<Candidate> pending_;
+  std::size_t pending_cursor_ = 0;
+  /// Scores observed so far, by candidate key (scalarize()).
+  std::unordered_map<std::uint64_t, double> score_by_key_;
+};
+
+/// Valid strategy tokens: {"grid", "random", "hill_climb"}.
+const std::vector<std::string>& strategy_tokens();
+
+/// Builds a strategy from its token. `budget` is the random strategy's
+/// sample count (must be > 0 for "random"); `restarts` only applies to
+/// "hill_climb". Throws bpvec::Error on an unknown token.
+std::unique_ptr<SearchStrategy> make_strategy(
+    const std::string& token, const ParamSpace& space, std::size_t budget,
+    std::size_t restarts, std::uint64_t seed,
+    std::vector<Objective> objectives);
+
+}  // namespace bpvec::dse

@@ -8,6 +8,7 @@
 #include "src/backend/backend_registry.h"
 #include "src/common/error.h"
 #include "src/common/hash.h"
+#include "src/dse/search.h"
 
 namespace bpvec::engine {
 
@@ -270,27 +271,30 @@ sim::RunResult SimEngine::run(const Scenario& scenario) {
 std::vector<core::DesignPoint> SimEngine::explore_design_space(
     const std::vector<int>& slice_widths, const std::vector<int>& lanes,
     int max_bits) {
-  const auto grid = core::design_grid(slice_widths, lanes, max_bits);
-  std::vector<core::DesignPoint> points(grid.size());
-  pool_.parallel_for(
-      grid.size(),
-      [&](std::size_t i) { points[i] = core::price_design_point(grid[i]); },
-      batch_grain(grid.size()));
-  return points;
+  return explore_design_space(slice_widths, lanes, max_bits, {});
 }
 
 std::vector<core::DesignPoint> SimEngine::explore_design_space(
     const std::vector<int>& slice_widths, const std::vector<int>& lanes,
     int max_bits, const std::vector<core::BitwidthMixEntry>& mix) {
-  const auto grid = core::design_grid(slice_widths, lanes, max_bits);
-  std::vector<core::DesignPoint> points(grid.size());
-  pool_.parallel_for(
-      grid.size(),
-      [&](std::size_t i) {
-        points[i] = core::price_design_point(grid[i], mix);
-      },
-      batch_grain(grid.size()));
-  return points;
+  // Rebased onto the DSE subsystem: a GridStrategy over geometry_space
+  // enumerates the identical α-outer L-inner grid, and GeometryEvaluator
+  // prices each point with the identical core::price_design_point — so
+  // the result is bit-identical to core::explore_design_space, just
+  // fanned out on the pool.
+  if (slice_widths.empty() || lanes.empty()) return {};
+  const dse::ParamSpace space =
+      dse::geometry_space(slice_widths, lanes, max_bits);
+  dse::GridStrategy strategy(space);
+  dse::GeometryEvaluator evaluator(
+      *this, space,
+      {dse::objective(dse::Metric::kMacPower),
+       dse::objective(dse::Metric::kMacArea)},
+      mix);
+  return dse::design_points(dse::run_search(
+      strategy, evaluator,
+      {dse::objective(dse::Metric::kMacPower),
+       dse::objective(dse::Metric::kMacArea)}));
 }
 
 EngineStats SimEngine::stats() const {

@@ -104,8 +104,10 @@ class SimEngine {
   /// Single-scenario convenience (still consults/feeds the caches).
   sim::RunResult run(const Scenario& scenario);
 
-  /// Parallel Fig. 4 sweep: prices the α×L grid on the pool. Bit-identical
-  /// to core::explore_design_space over the same axes.
+  /// Parallel Fig. 4 sweep: a dse::GridStrategy over dse::geometry_space
+  /// priced by dse::GeometryEvaluator on the pool. Bit-identical to
+  /// core::explore_design_space over the same axes (identical grid order,
+  /// identical per-point pricing function).
   std::vector<core::DesignPoint> explore_design_space(
       const std::vector<int>& slice_widths, const std::vector<int>& lanes,
       int max_bits = 8);

@@ -87,6 +87,34 @@ TEST(BestDesign, RejectsEmptyPointSet) {
   EXPECT_THROW(best_design({}, {{8, 8, 1.0}}), Error);
 }
 
+TEST(BestDesign, EmptyPointSetErrorIsDocumented) {
+  try {
+    (void)best_design({}, {{8, 8, 1.0}});
+    FAIL() << "expected bpvec::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("best_design: empty point set"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BestDesign, AllPointsBelowTheBarErrorNamesFloorAndBest) {
+  // 6-bit operands on 2-bit slices use 9/16 engines — nothing reaches a
+  // 0.99 floor, and the error must say how close the best point came.
+  const auto points = explore_design_space({2}, {16});
+  try {
+    (void)best_design(points, {{6, 6, 1.0}}, 0.99);
+    FAIL() << "expected bpvec::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no design point meets min_utilization"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("0.99"), std::string::npos) << what;
+    EXPECT_NE(what.find("best utilization"), std::string::npos) << what;
+  }
+}
+
 TEST(BestDesign, RejectsEmptyMix) {
   const auto points = explore_design_space({2}, {16});
   EXPECT_THROW(best_design(points, {}), Error);

@@ -1,0 +1,375 @@
+// DSE subsystem end to end: strategy determinism, grid-strategy
+// bit-identity against the legacy core::explore_design_space path,
+// engine-cache dedup of repeat-heavy searches, budgets, constraints, and
+// the bpvec_run `search` subcommand (cold/warm byte-identity through the
+// disk cache, --validate dry runs).
+#include "src/dse/search.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/cli/driver.h"
+#include "src/cli/manifest.h"
+#include "src/common/error.h"
+#include "src/core/design_space.h"
+#include "src/dnn/model_zoo.h"
+#include "src/engine/sim_engine.h"
+#include "tests/run_result_identical.h"
+
+namespace bpvec::dse {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<Objective> kGeomObjectives{
+    objective(Metric::kMacPower), objective(Metric::kMacArea)};
+
+std::vector<Objective> kScenObjectives() {
+  return {objective(Metric::kCycles), objective(Metric::kEnergy)};
+}
+
+/// Small all-knob scenario space over the 1-layer LSTM (fast to price).
+ParamSpace lstm_space() {
+  ParamSpace space;
+  space.add_axis(Knob::kCvuSliceBits, {2, 4});
+  space.add_axis(Knob::kCvuLanes, {4, 16});
+  return space;
+}
+
+engine::Scenario lstm_base() {
+  return engine::make_scenario(engine::Platform::kBpvec, core::Memory::kDdr4,
+                               dnn::make_lstm(dnn::BitwidthMode::kHeterogeneous));
+}
+
+// ----- grid bit-identity against the legacy path ---------------------
+
+TEST(GridSearch, BitIdenticalToLegacyExploreDesignSpace) {
+  const std::vector<int> alphas{1, 2, 4};
+  const std::vector<int> lanes{1, 2, 4, 8, 16};
+  const std::vector<core::BitwidthMixEntry> mix{
+      {8, 8, 0.2}, {4, 4, 0.6}, {2, 2, 0.2}};
+
+  engine::SimEngine eng;
+  const ParamSpace space = geometry_space(alphas, lanes);
+  GridStrategy strategy(space);
+  GeometryEvaluator evaluator(eng, space, kGeomObjectives, mix);
+  const SearchOutcome outcome =
+      run_search(strategy, evaluator, kGeomObjectives);
+  const auto via_dse = design_points(outcome);
+
+  // Legacy sequential pass: same grid, same pricing function.
+  std::vector<core::DesignPoint> legacy;
+  for (const auto& g : core::design_grid(alphas, lanes)) {
+    legacy.push_back(core::price_design_point(g, mix));
+  }
+  ASSERT_EQ(via_dse.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(via_dse[i].geometry.slice_bits, legacy[i].geometry.slice_bits);
+    EXPECT_EQ(via_dse[i].geometry.lanes, legacy[i].geometry.lanes);
+    // Exact double equality: identical arithmetic, not merely close.
+    EXPECT_EQ(via_dse[i].cost.power_total(), legacy[i].cost.power_total());
+    EXPECT_EQ(via_dse[i].cost.area_total(), legacy[i].cost.area_total());
+    EXPECT_EQ(via_dse[i].mix_utilization, legacy[i].mix_utilization);
+  }
+
+  // And the engine façade (rebased onto the same subsystem) agrees.
+  const auto via_engine =
+      eng.explore_design_space(alphas, lanes, 8, mix);
+  ASSERT_EQ(via_engine.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(via_engine[i].cost.power_total(),
+              legacy[i].cost.power_total());
+    EXPECT_EQ(via_engine[i].mix_utilization, legacy[i].mix_utilization);
+  }
+
+  // Grid searches propose each point exactly once.
+  EXPECT_EQ(outcome.candidates, space.size());
+  EXPECT_EQ(outcome.unique_candidates, space.size());
+}
+
+// ----- determinism ----------------------------------------------------
+
+TEST(RandomSearch, DrawsAreIndependentOfBatchSize) {
+  const ParamSpace space = lstm_space();
+  auto keys_with_batch = [&](std::size_t batch) {
+    engine::SimEngine eng;
+    RandomStrategy strategy(space, /*samples=*/17, /*seed=*/99);
+    GeometryEvaluator evaluator(eng, space, kGeomObjectives);
+    SearchOptions options;
+    options.batch_size = batch;
+    const SearchOutcome outcome =
+        run_search(strategy, evaluator, kGeomObjectives, options);
+    std::vector<std::uint64_t> keys;
+    for (const auto& e : outcome.evaluations) keys.push_back(e.key);
+    return keys;
+  };
+  const auto one = keys_with_batch(1);
+  const auto big = keys_with_batch(64);
+  EXPECT_EQ(one, big);
+  EXPECT_EQ(one.size(), 17u);
+  // Different seed, different sequence.
+  engine::SimEngine eng;
+  RandomStrategy other(space, 17, /*seed=*/100);
+  GeometryEvaluator evaluator(eng, space, kGeomObjectives);
+  const auto outcome = run_search(other, evaluator, kGeomObjectives);
+  std::vector<std::uint64_t> keys;
+  for (const auto& e : outcome.evaluations) keys.push_back(e.key);
+  EXPECT_NE(one, keys);
+}
+
+// ----- engine-cache dedup of repeat-heavy searches -------------------
+
+TEST(ScenarioSearch, RepeatedCandidatesAreServedFromTheEngineCache) {
+  const ParamSpace space = lstm_space();  // only 4 distinct candidates
+  engine::SimEngine eng;
+  RandomStrategy strategy(space, /*samples=*/20, /*seed=*/1);
+  ScenarioEvaluator evaluator(eng, space, lstm_base(), kScenObjectives());
+  const SearchOutcome outcome =
+      run_search(strategy, evaluator, kScenObjectives());
+
+  EXPECT_EQ(outcome.candidates, 20u);
+  EXPECT_LE(outcome.unique_candidates, 4u);
+  const auto stats = eng.stats();
+  // The satellite guarantee: duplicates never re-simulate.
+  EXPECT_EQ(stats.simulations_run, outcome.unique_candidates);
+  EXPECT_LT(stats.simulations_run, outcome.candidates);
+  EXPECT_EQ(stats.simulations_run + stats.cache_hits,
+            stats.scenarios_submitted);
+  // And the frontier deduped them: at most one entry per unique point.
+  EXPECT_LE(outcome.frontier.size(), outcome.unique_candidates);
+}
+
+// ----- scenario search matches direct pricing ------------------------
+
+TEST(ScenarioSearch, EvaluationsAreBitIdenticalToDirectRuns) {
+  const ParamSpace space = lstm_space();
+  engine::SimEngine eng;
+  GridStrategy strategy(space);
+  ScenarioEvaluator evaluator(eng, space, lstm_base(), kScenObjectives());
+  const SearchOutcome outcome =
+      run_search(strategy, evaluator, kScenObjectives());
+  ASSERT_EQ(outcome.evaluations.size(), 4u);
+
+  engine::SimEngine fresh;  // no shared cache with the search engine
+  for (const auto& e : outcome.evaluations) {
+    ASSERT_NE(e.result, nullptr);
+    const engine::Scenario s = space.materialize(e.candidate, lstm_base());
+    expect_bit_identical(*e.result, fresh.run(s));
+  }
+}
+
+// ----- hill climb -----------------------------------------------------
+
+TEST(HillClimb, FindsTheOptimumOfAMonotoneAxis) {
+  // The 1-layer LSTM is memory-bound (cycles are flat across lanes), but
+  // energy falls monotonically with lanes — so on this axis the local
+  // optimum is global and a single climber must reach it.
+  ParamSpace space;
+  space.add_axis(Knob::kCvuLanes, {4, 8, 16});
+  const std::vector<Objective> objectives{objective(Metric::kEnergy)};
+  engine::SimEngine eng;
+  HillClimbStrategy strategy(space, /*restarts=*/1, /*seed=*/5, objectives);
+  ScenarioEvaluator evaluator(eng, space, lstm_base(), objectives);
+  const SearchOutcome outcome = run_search(strategy, evaluator, objectives);
+
+  ASSERT_EQ(outcome.frontier.size(), 1u);
+  EXPECT_EQ(*space.value(outcome.frontier.entries()[0].candidate,
+                         Knob::kCvuLanes),
+            16.0);
+  // It terminated on its own, without visiting... at most the whole axis.
+  EXPECT_LE(outcome.unique_candidates, 3u);
+}
+
+TEST(HillClimb, DeterministicAcrossRuns) {
+  const ParamSpace space = lstm_space();
+  auto run_once = [&] {
+    engine::SimEngine eng;
+    HillClimbStrategy strategy(space, /*restarts=*/2, /*seed=*/11,
+                               kScenObjectives());
+    ScenarioEvaluator evaluator(eng, space, lstm_base(), kScenObjectives());
+    const SearchOutcome outcome =
+        run_search(strategy, evaluator, kScenObjectives());
+    std::vector<std::uint64_t> keys;
+    for (const auto& e : outcome.evaluations) keys.push_back(e.key);
+    return keys;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ----- budgets and constraints ---------------------------------------
+
+TEST(Search, BudgetCapsEvaluations) {
+  const std::vector<int> alphas{1, 2, 4};
+  const std::vector<int> lanes{1, 2, 4, 8, 16};
+  engine::SimEngine eng;
+  const ParamSpace space = geometry_space(alphas, lanes);
+  GridStrategy strategy(space);
+  GeometryEvaluator evaluator(eng, space, kGeomObjectives);
+  SearchOptions options;
+  options.budget = 5;
+  const SearchOutcome outcome =
+      run_search(strategy, evaluator, kGeomObjectives, options);
+  EXPECT_EQ(outcome.candidates, 5u);
+  // The five that ran are the first five grid points.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(outcome.evaluations[i].key, space.candidate_key(space.at(i)));
+  }
+}
+
+TEST(Search, ConstraintsExcludeFromFrontierButAreRecorded) {
+  // 2-bit workload: 4-bit slicing pads 2→4 and drops to 0.25 bit
+  // efficiency — below a 0.5 floor.
+  engine::Scenario base = lstm_base();
+  for (dnn::Layer& layer : base.network.layers()) {
+    layer.x_bits = 2;
+    layer.w_bits = 2;
+  }
+  const ParamSpace space = lstm_space();
+  Constraints constraints;
+  constraints.min_utilization = 0.5;
+  engine::SimEngine eng;
+  GridStrategy strategy(space);
+  ScenarioEvaluator evaluator(eng, space, base, kScenObjectives(), {},
+                              constraints);
+  const SearchOutcome outcome =
+      run_search(strategy, evaluator, kScenObjectives());
+  EXPECT_EQ(outcome.candidates, 4u);
+  EXPECT_EQ(outcome.infeasible, 2u);  // the two 4-bit-slice candidates
+  for (const auto& e : outcome.frontier.entries()) {
+    EXPECT_EQ(*space.value(e.candidate, Knob::kCvuSliceBits), 2.0);
+  }
+}
+
+TEST(GeometryEvaluator, RejectsScenarioOnlyMetrics) {
+  engine::SimEngine eng;
+  const ParamSpace space = geometry_space({2}, {16});
+  EXPECT_THROW(
+      GeometryEvaluator(eng, space, {objective(Metric::kCycles)}), Error);
+}
+
+// ----- the bpvec_run search subcommand -------------------------------
+
+class SearchCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "dse_cli_test_" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    manifest_path_ = dir_ + "/search.json";
+    std::ofstream out(manifest_path_);
+    out << R"({
+      "name": "cli_search_test",
+      "search": {
+        "network": "lstm",
+        "bitwidth_mode": "heterogeneous",
+        "space": {"cvu_slice_bits": [2, 4], "cvu_lanes": [4, 16]},
+        "strategy": "grid",
+        "objectives": ["cycles", "energy", "mac_area"]
+      }
+    })";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run_cli(const std::vector<std::string>& args, std::string* out_text) {
+    std::vector<const char*> argv{"bpvec_run"};
+    for (const auto& a : args) argv.push_back(a.c_str());
+    std::ostringstream out, err;
+    const int rc = cli::main_cli(static_cast<int>(argv.size()), argv.data(),
+                                 out, err);
+    if (out_text != nullptr) *out_text = out.str() + err.str();
+    return rc;
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string dir_;
+  std::string manifest_path_;
+};
+
+TEST_F(SearchCliTest, ColdAndWarmReportsAreByteIdentical) {
+  const std::string cache = dir_ + "/cache";
+  const std::string cold = dir_ + "/cold.json";
+  const std::string warm = dir_ + "/warm.json";
+  std::string text;
+  ASSERT_EQ(run_cli({"search", manifest_path_, "--cache-dir", cache,
+                     "--report", cold, "--deterministic-report",
+                     "--no-table"},
+                    &text),
+            0)
+      << text;
+  ASSERT_EQ(run_cli({"search", manifest_path_, "--cache-dir", cache,
+                     "--report", warm, "--deterministic-report",
+                     "--no-table"},
+                    &text),
+            0)
+      << text;
+  const std::string cold_bytes = slurp(cold);
+  EXPECT_FALSE(cold_bytes.empty());
+  EXPECT_EQ(cold_bytes, slurp(warm));
+
+  // The warm run priced nothing: every scenario came from disk.
+  cli::DriverOptions options;
+  options.manifest_path = manifest_path_;
+  options.search_mode = true;
+  options.cache_dir = cache;
+  options.write_report = false;
+  options.print_table = false;
+  std::ostringstream sink;
+  const cli::DriverResult result = cli::run_manifest(options, sink);
+  EXPECT_EQ(result.stats.simulations_run, 0u);
+  EXPECT_EQ(result.stats.disk_hits, 4u);
+}
+
+TEST_F(SearchCliTest, ValidatePricesNothingAndWritesNothing) {
+  const std::string report = dir_ + "/report.json";
+  std::string text;
+  ASSERT_EQ(run_cli({"search", manifest_path_, "--validate", "--report",
+                     report},
+                    &text),
+            0);
+  EXPECT_NE(text.find("4 candidates"), std::string::npos) << text;
+  EXPECT_NE(text.find("manifest OK"), std::string::npos) << text;
+  EXPECT_FALSE(fs::exists(report));
+}
+
+TEST_F(SearchCliTest, GridModeOnSearchOnlyManifestFailsHelpfully) {
+  std::string text;
+  EXPECT_NE(run_cli({manifest_path_}, &text), 0);
+  EXPECT_NE(text.find("search"), std::string::npos) << text;
+}
+
+TEST_F(SearchCliTest, ReportCarriesTheCanonicalFrontier) {
+  const std::string report = dir_ + "/report.json";
+  std::string text;
+  ASSERT_EQ(run_cli({"search", manifest_path_, "--report", report,
+                     "--deterministic-report", "--no-table"},
+                    &text),
+            0)
+      << text;
+  const auto doc = common::json::parse(slurp(report));
+  EXPECT_EQ(doc.at("mode").as_string(), "search");
+  EXPECT_EQ(doc.at("space_size").as_int(), 4);
+  EXPECT_EQ(doc.at("candidates").as_int(), 4);
+  EXPECT_EQ(doc.at("unique_candidates").as_int(), 4);
+  ASSERT_GE(doc.at("frontier").size(), 1u);
+  const auto& entry = doc.at("frontier").as_array()[0];
+  EXPECT_TRUE(entry.find("knobs") != nullptr);
+  EXPECT_TRUE(entry.find("objectives") != nullptr);
+  EXPECT_TRUE(entry.at("metrics").find("total_cycles") != nullptr);
+  // No run-dependent stats under --deterministic-report.
+  EXPECT_EQ(doc.find("stats"), nullptr);
+}
+
+}  // namespace
+}  // namespace bpvec::dse

@@ -314,5 +314,178 @@ TEST(Manifest, LoadManifestReportsPath) {
   }
 }
 
+// ----- search block ---------------------------------------------------
+
+constexpr const char* kSearchText = R"({
+  "name": "dse",
+  "search": {
+    "network": "AlexNet",
+    "bitwidth_mode": "heterogeneous",
+    "space": {
+      "cvu_slice_bits": [1, 2, 4],
+      "cvu_lanes": [4, 16],
+      "bandwidth_gbps": [16.0, 64.0]
+    },
+    "strategy": "hill-climb",
+    "budget": 10,
+    "seed": 7,
+    "restarts": 2,
+    "objectives": ["cycles", {"metric": "utilization"},
+                   {"metric": "gops_per_w", "maximize": false}],
+    "constraints": {"min_utilization": 0.5, "max_power_w": 2.0},
+    "mix": [{"x_bits": 4, "w_bits": 4, "weight": 0.7},
+            {"x_bits": 8, "w_bits": 8}]
+  }
+})";
+
+TEST(SearchManifest, ParsesEveryField) {
+  const Manifest m = from_text(kSearchText);
+  EXPECT_TRUE(m.grids.empty());
+  ASSERT_TRUE(m.search.has_value());
+  const SearchSpec& s = *m.search;
+  EXPECT_EQ(s.backend, "bpvec");
+  EXPECT_EQ(s.platform, "bpvec");
+  EXPECT_EQ(s.memory, "ddr4");
+  EXPECT_EQ(s.network, "alexnet");  // canonical token, case-folded
+  EXPECT_EQ(s.bitwidth_mode, "heterogeneous");
+  ASSERT_EQ(s.space.size(), 3u);
+  EXPECT_EQ(s.space[0].knob, dse::Knob::kCvuSliceBits);
+  EXPECT_EQ(s.space[0].values, (std::vector<double>{1, 2, 4}));
+  EXPECT_EQ(s.space[2].knob, dse::Knob::kMemBandwidthGbps);
+  EXPECT_EQ(s.strategy, "hill_climb");  // separator-insensitive token
+  EXPECT_EQ(s.budget, 10u);
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.restarts, 2u);
+  ASSERT_EQ(s.objectives.size(), 3u);
+  EXPECT_EQ(s.objectives[0].metric, dse::Metric::kCycles);
+  EXPECT_FALSE(s.objectives[0].maximize);
+  EXPECT_EQ(s.objectives[1].metric, dse::Metric::kUtilization);
+  EXPECT_TRUE(s.objectives[1].maximize);  // natural direction
+  EXPECT_FALSE(s.objectives[2].maximize);  // explicit override
+  EXPECT_EQ(*s.constraints.min_utilization, 0.5);
+  EXPECT_EQ(*s.constraints.max_power_w, 2.0);
+  ASSERT_EQ(s.mix.size(), 2u);
+  EXPECT_EQ(s.mix[0].weight, 0.7);
+  EXPECT_EQ(s.mix[1].weight, 1.0);  // default
+}
+
+TEST(SearchManifest, DefaultsAreApplied) {
+  const Manifest m = from_text(R"({
+    "name": "d",
+    "search": {"network": "lstm", "space": {"cvu_lanes": [4, 16]}}
+  })");
+  const SearchSpec& s = *m.search;
+  EXPECT_EQ(s.strategy, "grid");
+  EXPECT_EQ(s.budget, 0u);
+  EXPECT_EQ(s.seed, 42u);
+  ASSERT_EQ(s.objectives.size(), 2u);
+  EXPECT_EQ(s.objectives[0].metric, dse::Metric::kCycles);
+  EXPECT_EQ(s.objectives[1].metric, dse::Metric::kEnergy);
+  EXPECT_FALSE(s.constraints.any());
+  EXPECT_TRUE(s.mix.empty());
+}
+
+TEST(SearchManifest, SpaceAndBaseResolve) {
+  const Manifest m = from_text(kSearchText);
+  const dse::ParamSpace space = search_space(*m.search);
+  EXPECT_EQ(space.size(), 12u);
+  const engine::Scenario base = search_base_scenario(*m.search);
+  EXPECT_EQ(base.backend, "bpvec");
+  EXPECT_EQ(base.network.name(), "AlexNet");
+}
+
+TEST(SearchManifest, GridsAndSearchMayCoexist) {
+  const Manifest m = from_text(R"({
+    "name": "both",
+    "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+               "networks": ["lstm"]}],
+    "search": {"network": "lstm", "space": {"cvu_lanes": [4, 16]}}
+  })");
+  EXPECT_EQ(m.grids.size(), 1u);
+  EXPECT_TRUE(m.search.has_value());
+  EXPECT_EQ(expand(m).size(), 1u);
+}
+
+TEST(SearchManifest, RejectsBadBlocks) {
+  // Neither grids nor search.
+  EXPECT_THROW(from_text(R"({"name": "x"})"), Error);
+  // Missing required keys.
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {}})"), Error);
+  EXPECT_THROW(
+      from_text(R"({"name": "x", "search": {"network": "lstm"}})"), Error);
+  // Unknown knob / empty axis / fractional integer knob.
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"warp": [1]}}})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": []}}})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [1.5]}}})"), Error);
+  // Unknown strategy / metric; random without budget; duplicate
+  // objective; bad constraint key.
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "strategy": "simulated_annealing"}})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "objectives": ["happiness"]}})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "strategy": "random"}})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "objectives": ["cycles", "cycles"]}})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "constraints": {"min_happiness": 1.0}}})"), Error);
+  // Non-positive caps mark every candidate infeasible — reject the typo.
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "constraints": {"max_cycles": -1}}})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "constraints": {"max_power_w": 0.0}}})"), Error);
+}
+
+TEST(SearchManifest, ErrorsNameTheOffender) {
+  try {
+    (void)from_text(R"({"name": "x", "search": {
+      "network": "lstm", "space": {"warp_speed": [1]}}})");
+    FAIL() << "expected error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp_speed"), std::string::npos) << what;
+    EXPECT_NE(what.find("cvu_lanes"), std::string::npos) << what;  // choices
+  }
+}
+
+TEST(SearchManifest, RoundTripsThroughToJson) {
+  const Manifest original = from_text(kSearchText);
+  const Manifest reparsed = parse_manifest(to_json(original));
+  ASSERT_TRUE(reparsed.search.has_value());
+  const SearchSpec& a = *original.search;
+  const SearchSpec& b = *reparsed.search;
+  EXPECT_EQ(a.network, b.network);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.budget, b.budget);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.restarts, b.restarts);
+  ASSERT_EQ(a.space.size(), b.space.size());
+  for (std::size_t i = 0; i < a.space.size(); ++i) {
+    EXPECT_EQ(a.space[i].knob, b.space[i].knob);
+    EXPECT_EQ(a.space[i].values, b.space[i].values);
+  }
+  ASSERT_EQ(a.objectives.size(), b.objectives.size());
+  for (std::size_t i = 0; i < a.objectives.size(); ++i) {
+    EXPECT_EQ(a.objectives[i].metric, b.objectives[i].metric);
+    EXPECT_EQ(a.objectives[i].maximize, b.objectives[i].maximize);
+  }
+  EXPECT_EQ(*a.constraints.min_utilization, *b.constraints.min_utilization);
+  ASSERT_EQ(a.mix.size(), b.mix.size());
+  EXPECT_EQ(a.mix[0].weight, b.mix[0].weight);
+  // The JSON form is a fixed point.
+  const auto dumped = to_json(original).dump(2);
+  EXPECT_EQ(to_json(parse_manifest(parse(dumped))).dump(2), dumped);
+}
+
 }  // namespace
 }  // namespace bpvec::cli

@@ -1,0 +1,143 @@
+// Pareto frontier semantics: dominance, dominated-point eviction, tie
+// handling, duplicate-key rejection, infeasible filtering, and the
+// canonical (insertion-order-independent) report order.
+#include "src/dse/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+
+namespace bpvec::dse {
+namespace {
+
+Evaluation eval(std::uint64_t key, std::vector<double> objectives,
+                bool feasible = true) {
+  Evaluation e;
+  e.key = key;
+  e.id = "c" + std::to_string(key);
+  e.objectives = std::move(objectives);
+  e.feasible = feasible;
+  return e;
+}
+
+const std::vector<Objective> kMinMin{{Metric::kCycles, false},
+                                     {Metric::kEnergy, false}};
+
+TEST(Dominates, DirectionAware) {
+  EXPECT_TRUE(dominates({1, 1}, {2, 2}, kMinMin));
+  EXPECT_TRUE(dominates({1, 2}, {2, 2}, kMinMin));   // tie on one axis
+  EXPECT_FALSE(dominates({2, 2}, {2, 2}, kMinMin));  // full tie: neither
+  EXPECT_FALSE(dominates({1, 3}, {2, 2}, kMinMin));  // trade-off: neither
+  const std::vector<Objective> min_max{{Metric::kCycles, false},
+                                       {Metric::kUtilization, true}};
+  EXPECT_TRUE(dominates({1, 0.9}, {2, 0.5}, min_max));
+  EXPECT_FALSE(dominates({1, 0.5}, {2, 0.9}, min_max));
+}
+
+TEST(ParetoFrontier, KeepsNonDominatedEvictsDominated) {
+  ParetoFrontier f(kMinMin);
+  EXPECT_EQ(f.insert(eval(1, {4, 4})), ParetoFrontier::Insert::kJoined);
+  // A trade-off point joins alongside.
+  EXPECT_EQ(f.insert(eval(2, {2, 6})), ParetoFrontier::Insert::kJoined);
+  EXPECT_EQ(f.size(), 2u);
+  // A dominated point bounces.
+  EXPECT_EQ(f.insert(eval(3, {5, 5})), ParetoFrontier::Insert::kDominated);
+  EXPECT_EQ(f.size(), 2u);
+  // A dominator evicts everything it beats (both points above).
+  EXPECT_EQ(f.insert(eval(4, {2, 4})), ParetoFrontier::Insert::kJoined);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.entries()[0].key, 4u);
+}
+
+TEST(ParetoFrontier, TiesAreMutuallyKept) {
+  ParetoFrontier f(kMinMin);
+  EXPECT_EQ(f.insert(eval(1, {3, 3})), ParetoFrontier::Insert::kJoined);
+  // Identical objective vector, different candidate: kept (neither
+  // dominates).
+  EXPECT_EQ(f.insert(eval(2, {3, 3})), ParetoFrontier::Insert::kJoined);
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(ParetoFrontier, DuplicateKeysAreDropped) {
+  ParetoFrontier f(kMinMin);
+  EXPECT_EQ(f.insert(eval(7, {3, 3})), ParetoFrontier::Insert::kJoined);
+  // Same candidate re-proposed (random/hill-climb do this): no growth.
+  EXPECT_EQ(f.insert(eval(7, {3, 3})), ParetoFrontier::Insert::kDuplicate);
+  EXPECT_EQ(f.size(), 1u);
+  // Even a dominated duplicate key is reported as a duplicate, and a
+  // re-proposed key never re-enters after eviction.
+  EXPECT_EQ(f.insert(eval(8, {1, 1})), ParetoFrontier::Insert::kJoined);
+  EXPECT_EQ(f.insert(eval(7, {3, 3})), ParetoFrontier::Insert::kDuplicate);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(ParetoFrontier, InfeasibleNeverEnters) {
+  ParetoFrontier f(kMinMin);
+  EXPECT_EQ(f.insert(eval(1, {1, 1}, /*feasible=*/false)),
+            ParetoFrontier::Insert::kInfeasible);
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST(ParetoFrontier, SortedOrderIsInsertionIndependent) {
+  const std::vector<Evaluation> points{
+      eval(1, {3, 1}), eval(2, {1, 3}), eval(3, {2, 2})};
+  ParetoFrontier forward(kMinMin);
+  for (const auto& e : points) forward.insert(e);
+  ParetoFrontier backward(kMinMin);
+  for (auto it = points.rbegin(); it != points.rend(); ++it) {
+    backward.insert(*it);
+  }
+  const auto a = forward.sorted();
+  const auto b = backward.sorted();
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+  }
+  // Lexicographic on the first objective: keys 2 (1,3), 3 (2,2), 1 (3,1).
+  EXPECT_EQ(a[0].key, 2u);
+  EXPECT_EQ(a[1].key, 3u);
+  EXPECT_EQ(a[2].key, 1u);
+}
+
+TEST(ParetoFrontier, SortedBreaksFullTiesByKey) {
+  ParetoFrontier f(kMinMin);
+  f.insert(eval(9, {3, 3}));
+  f.insert(eval(4, {3, 3}));
+  const auto sorted = f.sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].key, 4u);
+  EXPECT_EQ(sorted[1].key, 9u);
+}
+
+TEST(ParetoFrontier, MaximizeDirectionRespected) {
+  ParetoFrontier f({{Metric::kUtilization, true}});
+  EXPECT_EQ(f.insert(eval(1, {0.5})), ParetoFrontier::Insert::kJoined);
+  EXPECT_EQ(f.insert(eval(2, {0.9})), ParetoFrontier::Insert::kJoined);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.entries()[0].key, 2u);
+  EXPECT_EQ(f.insert(eval(3, {0.7})), ParetoFrontier::Insert::kDominated);
+}
+
+TEST(ParetoFrontier, RejectsArityMismatchAndEmptyObjectives) {
+  EXPECT_THROW(ParetoFrontier({}), Error);
+  ParetoFrontier f(kMinMin);
+  EXPECT_THROW(f.insert(eval(1, {1.0})), Error);
+}
+
+TEST(Metrics, TokensRoundTripAndDirectionsAreNatural) {
+  for (const std::string& token : metric_tokens()) {
+    const auto m = metric_from_token(token);
+    ASSERT_TRUE(m.has_value()) << token;
+    EXPECT_EQ(to_string(*m), token);
+  }
+  EXPECT_FALSE(metric_from_token("happiness").has_value());
+  EXPECT_TRUE(default_maximize(Metric::kUtilization));
+  EXPECT_TRUE(default_maximize(Metric::kGopsPerW));
+  EXPECT_FALSE(default_maximize(Metric::kCycles));
+  EXPECT_FALSE(default_maximize(Metric::kEnergy));
+  EXPECT_EQ(objective(Metric::kGopsPerS).maximize, true);
+}
+
+}  // namespace
+}  // namespace bpvec::dse
