@@ -7,8 +7,12 @@
 #include <sstream>
 #include <utility>
 
+#include "src/backend/backend_registry.h"
 #include "src/common/error.h"
 #include "src/common/table.h"
+#include "src/workload/generators.h"
+#include "src/workload/network_registry.h"
+#include "src/workload/schema.h"
 
 namespace bpvec::cli {
 
@@ -235,6 +239,8 @@ namespace {
 void run_search_mode(const DriverOptions& options, std::ostream& out,
                      DriverResult& result) {
   BPVEC_CHECK(result.manifest.search.has_value());
+  // Declared workloads may be the search's base network.
+  (void)register_workloads(result.manifest);
   const SearchSpec& spec = *result.manifest.search;
   const dse::ParamSpace space = search_space(spec);
   engine::Scenario base = search_base_scenario(spec);
@@ -261,7 +267,7 @@ void run_search_mode(const DriverOptions& options, std::ostream& out,
                          spec.seed, spec.objectives);
   dse::ScenarioEvaluator evaluator(engine, space, std::move(base),
                                    spec.objectives, spec.mix,
-                                   spec.constraints);
+                                   spec.constraints, spec.workload);
   dse::SearchOptions search_options;
   search_options.budget = spec.budget;
   result.search = dse::run_search(*strategy, evaluator, spec.objectives,
@@ -305,10 +311,49 @@ void run_search_mode(const DriverOptions& options, std::ostream& out,
   }
 }
 
+/// The `list` subcommand: every canonical token vocabulary, one line
+/// per axis — what manifests, overrides, and search blocks accept.
+void run_list(std::ostream& out) {
+  auto line = [&](const char* what, const std::vector<std::string>& tokens) {
+    out << what;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << tokens[i];
+    }
+    out << "\n";
+  };
+  line("backends:            ", backend::BackendRegistry::instance().keys());
+  line("platforms:           ", platform_tokens());
+  line("memories:            ", memory_tokens());
+  line("bitwidth_modes:      ", bitwidth_mode_tokens());
+  line("networks:            ",
+       workload::NetworkRegistry::instance().tokens());
+  line("workload_generators: ", workload::generator_tokens());
+  line("search_knobs:        ", dse::knob_tokens());
+  line("metrics:             ", dse::metric_tokens());
+  line("strategies:          ", dse::strategy_tokens());
+  out << "\nNetwork/platform/memory/mode tokens match case- and "
+         "separator-insensitively;\nbackend keys are exact registry "
+         "strings. A grid's \"networks\" axis also accepts\nthe meta "
+         "tokens \"all\" (the six Table I models) and \"workloads\" "
+         "(every network\nthe manifest's \"workloads\" block declares).\n";
+}
+
 }  // namespace
 
 DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
   DriverResult result;
+  // Extra networks first: their tokens must be valid when the manifest
+  // parses. Registration is idempotent for identical files.
+  for (const std::string& file : options.network_files) {
+    dnn::Network net = workload::load_network(file);
+    std::string key = net.name();
+    workload::NetworkRegistry::instance().register_network(std::move(key),
+                                                           std::move(net));
+  }
+  if (options.list_mode) {
+    run_list(out);
+    return result;
+  }
   result.manifest = load_manifest(options.manifest_path);
 
   if (options.search_mode) {
@@ -380,7 +425,7 @@ DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
 
 std::string usage() {
   return
-      "usage: bpvec_run [search] <manifest.json> [options]\n"
+      "usage: bpvec_run [search | list] <manifest.json> [options]\n"
       "\n"
       "Prices every scenario in the manifest through the batch engine and\n"
       "writes a machine-readable JSON report.\n"
@@ -390,8 +435,16 @@ std::string usage() {
       "                     knob space with the configured strategy\n"
       "                     (grid | random | hill_climb) and report the\n"
       "                     Pareto frontier over its objectives\n"
+      "  list               print the canonical token vocabularies\n"
+      "                     (backends, platforms, memories, bitwidth modes,\n"
+      "                     networks, workload generators, search knobs,\n"
+      "                     metrics, strategies) — no manifest needed\n"
       "\n"
       "options:\n"
+      "  --network-file FILE\n"
+      "                     register a workload-schema network (repeatable);\n"
+      "                     its name becomes a valid manifest network token\n"
+      "                     and shows up in `list`\n"
       "  --validate         dry run: parse + expand, print the scenario\n"
       "                     count (or search-space size), price nothing\n"
       "  --cache-dir DIR    persistent result cache: scenarios priced in any\n"
@@ -427,7 +480,20 @@ int main_cli(int argc, const char* const* argv, std::ostream& out,
         return 0;
       } else if (arg == "search" && options.manifest_path.empty() &&
                  !options.search_mode) {
+        if (options.list_mode) {
+          throw Error("`list` and `search` are mutually exclusive "
+                      "subcommands");
+        }
         options.search_mode = true;
+      } else if (arg == "list" && options.manifest_path.empty() &&
+                 !options.list_mode) {
+        if (options.search_mode) {
+          throw Error("`list` and `search` are mutually exclusive "
+                      "subcommands");
+        }
+        options.list_mode = true;
+      } else if (arg == "--network-file") {
+        options.network_files.push_back(need_value(i, "--network-file"));
       } else if (arg == "--validate") {
         options.validate_only = true;
       } else if (arg == "--cache-dir") {
@@ -454,9 +520,12 @@ int main_cli(int argc, const char* const* argv, std::ostream& out,
         throw Error("more than one manifest given: " + arg);
       }
     }
-    if (options.manifest_path.empty()) {
+    if (options.manifest_path.empty() && !options.list_mode) {
       err << usage();
       return 2;
+    }
+    if (options.list_mode && !options.manifest_path.empty()) {
+      throw Error("`list` takes no manifest");
     }
     (void)run_manifest(options, out);
     return 0;

@@ -27,6 +27,12 @@
 //
 // `--validate` dry-runs either mode: parse + expand, print the scenario
 // count (or search-space size), price nothing.
+//
+// `bpvec_run list` prints the canonical token vocabularies (backends,
+// platforms, memories, bitwidth modes, networks, workload generators,
+// search knobs, metrics, strategies) so manifest authors never guess;
+// `--network-file FILE` (repeatable, both modes) registers extra
+// workload-schema networks for the invocation.
 #pragma once
 
 #include <iosfwd>
@@ -46,6 +52,13 @@ struct DriverOptions {
   std::string manifest_path;
   /// Run the manifest's "search" block (the `search` subcommand).
   bool search_mode = false;
+  /// Print the canonical token vocabularies and exit (the `list`
+  /// subcommand — no manifest involved).
+  bool list_mode = false;
+  /// Workload-schema files registered into the NetworkRegistry before
+  /// anything runs (--network-file, repeatable) — their names become
+  /// valid manifest network tokens for this invocation.
+  std::vector<std::string> network_files;
   /// Parse and expand only: print counts, price nothing, write nothing.
   bool validate_only = false;
   /// Persistent result-cache directory (engine disk cache); empty = off.

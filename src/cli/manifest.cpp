@@ -9,7 +9,8 @@
 #include "src/backend/backend_registry.h"
 #include "src/common/error.h"
 #include "src/common/token.h"
-#include "src/dnn/model_zoo.h"
+#include "src/workload/network_registry.h"
+#include "src/workload/schema.h"
 
 namespace bpvec::cli {
 
@@ -102,12 +103,6 @@ double parse_double(const std::string& context, const Value& v,
 
 // ----- token tables --------------------------------------------------
 
-const std::vector<std::string>& platform_tokens() {
-  static const std::vector<std::string> tokens{"tpu_like", "bitfusion",
-                                               "bpvec"};
-  return tokens;
-}
-
 engine::Platform platform_from_index(std::size_t i) {
   switch (i) {
     case 0: return engine::Platform::kTpuLike;
@@ -146,45 +141,65 @@ void apply_bitwidth_override(dnn::Network& net, const BitwidthOverride& o) {
   }
 }
 
-const std::vector<std::string>& memory_tokens() {
-  static const std::vector<std::string> tokens{"ddr4", "hbm2"};
-  return tokens;
-}
-
-const std::vector<std::string>& mode_tokens() {
-  static const std::vector<std::string> tokens{"homogeneous8b",
-                                               "heterogeneous"};
-  return tokens;
-}
-
-dnn::Network make_network(std::size_t token_index, dnn::BitwidthMode mode) {
-  switch (token_index) {
-    case 0: return dnn::make_alexnet(mode);
-    case 1: return dnn::make_inception_v1(mode);
-    case 2: return dnn::make_resnet18(mode);
-    case 3: return dnn::make_resnet50(mode);
-    case 4: return dnn::make_rnn(mode);
-    default: return dnn::make_lstm(mode);
+/// The full network vocabulary for error messages: meta tokens, every
+/// registered network, and the manifest's own (possibly not yet
+/// registered) workload names.
+std::vector<std::string> network_vocabulary(
+    const std::vector<std::string>& workload_names) {
+  std::vector<std::string> vocab{"all", "workloads"};
+  for (const std::string& t : workload::NetworkRegistry::instance().tokens()) {
+    vocab.push_back(t);
   }
+  for (const std::string& n : workload_names) {
+    if (!workload::NetworkRegistry::instance().contains(n)) {
+      vocab.push_back(n);
+    }
+  }
+  return vocab;
 }
 
-/// Resolves a networks axis to canonical token indices ("all" → the
-/// whole zoo; it must then be the sole entry).
-std::vector<std::size_t> resolve_networks(
-    const std::string& context, const std::vector<std::string>& names) {
-  std::vector<std::size_t> out;
+/// Resolves a networks axis to canonical registry tokens. Meta tokens:
+/// "all" → the six zoo builtins, "workloads" → every network the
+/// manifest's workloads block declares (each must be the sole entry).
+/// `workload_names` are valid even before registration, so parse-time
+/// validation and scenario_count need no registry side effects.
+std::vector<std::string> resolve_networks(
+    const std::string& context, const std::vector<std::string>& names,
+    const std::vector<std::string>& workload_names) {
+  const auto& registry = workload::NetworkRegistry::instance();
+  std::vector<std::string> out;
   for (const std::string& name : names) {
-    if (normalize_token(name) == "all") {
+    const std::string norm = normalize_token(name);
+    if (norm == "all") {
       if (names.size() != 1) {
         fail(context, "\"all\" must be the only entry in \"networks\"");
       }
-      for (std::size_t i = 0; i < network_tokens().size(); ++i) {
-        out.push_back(i);
-      }
-      return out;
+      return workload::NetworkRegistry::builtin_tokens();
     }
-    out.push_back(
-        match_token(context, "network", name, network_tokens()));
+    if (norm == "workloads") {
+      if (names.size() != 1) {
+        fail(context,
+             "\"workloads\" must be the only entry in \"networks\"");
+      }
+      if (workload_names.empty()) {
+        fail(context, "\"workloads\" needs a non-empty manifest "
+                      "\"workloads\" block");
+      }
+      return workload_names;
+    }
+    if (auto key = registry.canonical_key(name)) {
+      out.push_back(*key);
+      continue;
+    }
+    const auto it = std::find_if(
+        workload_names.begin(), workload_names.end(),
+        [&](const std::string& w) { return normalize_token(w) == norm; });
+    if (it != workload_names.end()) {
+      out.push_back(*it);
+      continue;
+    }
+    fail(context, "unknown network \"" + name + "\"; expected one of " +
+                      quoted_token_list(network_vocabulary(workload_names)));
   }
   return out;
 }
@@ -303,7 +318,8 @@ arch::DramModel apply_overrides(const std::string& context,
   return memory;
 }
 
-GridSpec parse_grid(const std::string& context, const Value& v) {
+GridSpec parse_grid(const std::string& context, const Value& v,
+                    const std::vector<std::string>& workload_names) {
   if (!v.is_object()) fail(context, "grid must be an object");
   check_keys(context, v,
              {"backends", "platforms", "memories", "networks",
@@ -346,9 +362,33 @@ GridSpec parse_grid(const std::string& context, const Value& v) {
   for (const std::string& m : g.memories) {
     (void)match_token(context, "memory", m, memory_tokens());
   }
-  (void)resolve_networks(context, g.networks);
+  const std::vector<std::string> net_tokens =
+      resolve_networks(context, g.networks, workload_names);
+  if (v.find("bitwidth_modes") == nullptr) {
+    // The default mode (homogeneous8b) rewrites every layer to 8/8 —
+    // correct for the zoo's Table I regimes, but it would silently
+    // discard a custom workload's declared bitwidths (flattening e.g. a
+    // generator bitwidth_policy sweep into identical scenarios). Make
+    // the author choose.
+    const auto& builtins = workload::NetworkRegistry::builtin_tokens();
+    for (const std::string& token : net_tokens) {
+      const std::string norm = normalize_token(token);
+      const bool builtin = std::any_of(
+          builtins.begin(), builtins.end(), [&](const std::string& b) {
+            return normalize_token(b) == norm;
+          });
+      if (!builtin) {
+        fail(context,
+             "network \"" + token + "\" has declared bitwidths, but the "
+             "grid omits \"bitwidth_modes\" and the default "
+             "(homogeneous8b) would rewrite every layer to 8-bit; set "
+             "\"bitwidth_modes\" to [\"heterogeneous\"] to keep the "
+             "declared bits (or [\"homogeneous8b\"] to mean it)");
+      }
+    }
+  }
   for (const std::string& m : g.bitwidth_modes) {
-    (void)match_token(context, "bitwidth mode", m, mode_tokens());
+    (void)match_token(context, "bitwidth mode", m, bitwidth_mode_tokens());
   }
   for (const std::string& b : g.backends) {
     if (b.empty()) fail(context, "backend keys must be non-empty");
@@ -358,6 +398,174 @@ GridSpec parse_grid(const std::string& context, const Value& v) {
 
 std::string grid_context(std::size_t index) {
   return "grids[" + std::to_string(index) + "]";
+}
+
+// ----- workloads block ------------------------------------------------
+
+std::string workload_context(std::size_t index) {
+  return "workloads[" + std::to_string(index) + "]";
+}
+
+/// `file` against the manifest's directory (absolute paths and an empty
+/// base_dir pass through).
+std::string resolve_workload_path(const std::string& base_dir,
+                                  const std::string& file) {
+  if (base_dir.empty() || file.empty() || file.front() == '/') return file;
+  return base_dir + "/" + file;
+}
+
+/// Generator knob lists: a positive integer, or a non-empty array of
+/// positive integers.
+std::vector<int> parse_knob_list(const std::string& context, const Value& v,
+                                 const std::string& key) {
+  std::vector<int> out;
+  if (v.is_int()) {
+    out.push_back(parse_int(context, v, key));
+  } else if (v.is_array() && !v.as_array().empty()) {
+    for (const Value& e : v.as_array()) {
+      out.push_back(parse_int(context, e, key));
+    }
+  } else {
+    fail(context, "\"" + key + "\" must be a positive integer or a "
+                      "non-empty array of positive integers");
+  }
+  for (int i : out) {
+    if (i < 1) {
+      fail(context, "\"" + key + "\" values must be positive, got " +
+                        std::to_string(i));
+    }
+  }
+  return out;
+}
+
+WorkloadSpec parse_workload(const std::string& context, const Value& v,
+                            const std::string& base_dir) {
+  if (!v.is_object()) fail(context, "workload must be an object");
+  WorkloadSpec w;
+  const bool has_file = v.find("file") != nullptr;
+  const bool has_inline = v.find("network") != nullptr;
+  const bool has_generator = v.find("generator") != nullptr;
+  if (has_file + has_inline + has_generator != 1) {
+    fail(context, "workload needs exactly one of \"file\", \"network\", "
+                  "or \"generator\"");
+  }
+  if (has_file) {
+    check_keys(context, v, {"file"});
+    w.kind = WorkloadSpec::Kind::kFile;
+    w.file = parse_string(context, v.at("file"), "file");
+    if (w.file.empty()) fail(context, "\"file\" must be non-empty");
+    try {
+      w.prototypes.push_back(
+          workload::load_network(resolve_workload_path(base_dir, w.file)));
+    } catch (const Error& e) {
+      fail(context, e.what());
+    }
+    w.names.push_back(w.prototypes.back().name());
+    return w;
+  }
+  if (has_inline) {
+    check_keys(context, v, {"network"});
+    w.kind = WorkloadSpec::Kind::kInline;
+    try {
+      w.prototypes.push_back(workload::parse_network(v.at("network")));
+    } catch (const Error& e) {
+      fail(context, e.what());
+    }
+    w.names.push_back(w.prototypes.back().name());
+    return w;
+  }
+  check_keys(context, v, {"generator", "depth", "width", "bitwidth_policy"});
+  w.kind = WorkloadSpec::Kind::kGenerator;
+  const std::string family =
+      parse_string(context, v.at("generator"), "generator");
+  w.generator = workload::generator_tokens()[match_token(
+      context, "workload generator", family, workload::generator_tokens())];
+  if (const Value* f = v.find("depth")) {
+    w.depths = parse_knob_list(context, *f, "depth");
+  }
+  if (const Value* f = v.find("width")) {
+    w.widths = parse_knob_list(context, *f, "width");
+  }
+  if (const Value* f = v.find("bitwidth_policy")) {
+    if (f->is_string()) {
+      w.policies.push_back(parse_string(context, *f, "bitwidth_policy"));
+    } else {
+      w.policies =
+          parse_string_list(context, *f, "bitwidth_policy");
+    }
+    for (const std::string& p : w.policies) {
+      if (!workload::is_bitwidth_policy(p)) {
+        fail(context, "unknown bitwidth_policy \"" + p +
+                          "\"; expected \"uniform:<1..8>\" or "
+                          "\"first_last_8\"");
+      }
+    }
+  }
+  // Cross product, depth-outermost (manifest knob order) — 0 means the
+  // family default, resolved inside the generator.
+  const std::vector<int> depths = w.depths.empty() ? std::vector<int>{0}
+                                                   : w.depths;
+  const std::vector<int> widths = w.widths.empty() ? std::vector<int>{0}
+                                                   : w.widths;
+  const std::vector<std::string> policies =
+      w.policies.empty() ? std::vector<std::string>{""} : w.policies;
+  for (int depth : depths) {
+    for (int width : widths) {
+      for (const std::string& policy : policies) {
+        workload::GeneratorSpec spec{w.generator, depth, width, policy, ""};
+        try {
+          w.prototypes.push_back(workload::generate(spec));
+        } catch (const Error& e) {
+          fail(context, e.what());
+        }
+        w.names.push_back(w.prototypes.back().name());
+      }
+    }
+  }
+  return w;
+}
+
+/// Every name the manifest's workloads block declares, declaration
+/// order (what the "workloads" meta token expands to).
+std::vector<std::string> workload_names_of(const Manifest& manifest) {
+  std::vector<std::string> names;
+  for (const WorkloadSpec& w : manifest.workloads) {
+    names.insert(names.end(), w.names.begin(), w.names.end());
+  }
+  return names;
+}
+
+std::vector<WorkloadSpec> parse_workloads(const Value& v,
+                                          const std::string& base_dir) {
+  if (!v.is_array() || v.as_array().empty()) {
+    fail("", "\"workloads\" must be a non-empty array of workload objects");
+  }
+  std::vector<WorkloadSpec> out;
+  std::vector<std::string> seen;  // normalized names, across entries
+  for (std::size_t i = 0; i < v.as_array().size(); ++i) {
+    const std::string context = workload_context(i);
+    WorkloadSpec w = parse_workload(context, v.as_array()[i], base_dir);
+    for (const std::string& name : w.names) {
+      const std::string norm = normalize_token(name);
+      if (std::find(seen.begin(), seen.end(), norm) != seen.end()) {
+        fail(context, "duplicate workload name \"" + name + "\"");
+      }
+      // Colliding with a zoo builtin would shadow every manifest that
+      // names the token; registration would throw later, but the error
+      // is clearer with the workload entry named.
+      for (const std::string& b :
+           workload::NetworkRegistry::builtin_tokens()) {
+        if (normalize_token(b) == norm) {
+          fail(context, "workload name \"" + name +
+                            "\" collides with the builtin network \"" + b +
+                            "\"");
+        }
+      }
+      seen.push_back(norm);
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
 }
 
 // ----- search block ---------------------------------------------------
@@ -505,13 +713,49 @@ std::vector<core::BitwidthMixEntry> parse_mix(const std::string& context,
   return mix;
 }
 
-SearchSpec parse_search(const Value& v) {
+workload::GeneratorSpec parse_search_workload(const std::string& context,
+                                              const Value& v) {
+  if (!v.is_object()) fail(context, "\"workload\" must be an object");
+  check_keys(context, v, {"generator", "depth", "width", "bitwidth_policy"});
+  workload::GeneratorSpec spec;
+  const std::string family = parse_string(
+      context, require(context, v, "generator"), "generator");
+  spec.family = workload::generator_tokens()[match_token(
+      context, "workload generator", family, workload::generator_tokens())];
+  if (const Value* f = v.find("depth")) {
+    spec.depth = parse_int(context, *f, "depth");
+    if (spec.depth < 1) fail(context, "\"depth\" must be positive");
+  }
+  if (const Value* f = v.find("width")) {
+    spec.width = parse_int(context, *f, "width");
+    if (spec.width < 1) fail(context, "\"width\" must be positive");
+  }
+  if (const Value* f = v.find("bitwidth_policy")) {
+    spec.bitwidth_policy = parse_string(context, *f, "bitwidth_policy");
+    if (!workload::is_bitwidth_policy(spec.bitwidth_policy)) {
+      fail(context, "unknown bitwidth_policy \"" + spec.bitwidth_policy +
+                        "\"; expected \"uniform:<1..8>\" or "
+                        "\"first_last_8\"");
+    }
+  }
+  // Validate the resolved knobs now (range errors carry search context).
+  try {
+    (void)workload::generated_name(spec);
+  } catch (const Error& e) {
+    fail(context, e.what());
+  }
+  return spec;
+}
+
+SearchSpec parse_search(const Value& v,
+                        const std::vector<std::string>& workload_names) {
   const std::string context = "search";
   if (!v.is_object()) fail("", "\"search\" must be an object");
   check_keys(context, v,
-             {"backend", "platform", "memory", "network", "bitwidth_mode",
-              "bitwidth_override", "space", "strategy", "budget", "seed",
-              "restarts", "objectives", "constraints", "mix"});
+             {"backend", "platform", "memory", "network", "workload",
+              "bitwidth_mode", "bitwidth_override", "space", "strategy",
+              "budget", "seed", "restarts", "objectives", "constraints",
+              "mix"});
   SearchSpec s;
   if (const Value* f = v.find("backend")) {
     s.backend = parse_string(context, *f, "backend");
@@ -527,21 +771,97 @@ SearchSpec parse_search(const Value& v) {
     s.memory =
         memory_tokens()[match_token(context, "memory", m, memory_tokens())];
   }
-  {
+  if (const Value* f = v.find("workload")) {
+    if (v.find("network") != nullptr) {
+      fail(context, "\"network\" and \"workload\" are mutually exclusive "
+                    "(the workload generator is the network)");
+    }
+    if (v.find("bitwidth_mode") != nullptr) {
+      fail(context, "\"bitwidth_mode\" does not apply to a \"workload\" "
+                    "generator (its bitwidth_policy owns the bits)");
+    }
+    if (v.find("bitwidth_override") != nullptr) {
+      // net_* axes regenerate the network per candidate, which would
+      // silently drop a post-hoc override; the generator's
+      // bitwidth_policy (and the net_bits axis) own the bits instead.
+      fail(context, "\"bitwidth_override\" does not apply to a "
+                    "\"workload\" generator (set its bitwidth_policy, or "
+                    "sweep \"net_bits\")");
+    }
+    s.workload = parse_search_workload(context, *f);
+  } else {
     const std::string n =
         parse_string(context, require(context, v, "network"), "network");
-    s.network =
-        network_tokens()[match_token(context, "network", n, network_tokens())];
+    const std::vector<std::string> resolved =
+        resolve_networks(context, {n}, workload_names);
+    if (resolved.size() != 1) {
+      fail(context, "\"network\" must name a single network (not \"" + n +
+                        "\")");
+    }
+    s.network = resolved.front();
+    // Same trap the grid path rejects: the omitted-key default mode
+    // (homogeneous8b) would rewrite a custom workload's declared
+    // bitwidths to 8/8 — make the author choose.
+    if (v.find("bitwidth_mode") == nullptr) {
+      const std::string norm = normalize_token(s.network);
+      const auto& builtins = workload::NetworkRegistry::builtin_tokens();
+      const bool builtin = std::any_of(
+          builtins.begin(), builtins.end(), [&](const std::string& b) {
+            return normalize_token(b) == norm;
+          });
+      if (!builtin) {
+        fail(context,
+             "network \"" + s.network + "\" has declared bitwidths, but "
+             "the search omits \"bitwidth_mode\" and the default "
+             "(homogeneous8b) would rewrite every layer to 8-bit; set "
+             "\"bitwidth_mode\" to \"heterogeneous\" to keep the "
+             "declared bits (or \"homogeneous8b\" to mean it)");
+      }
+    }
   }
   if (const Value* f = v.find("bitwidth_mode")) {
     const std::string m = parse_string(context, *f, "bitwidth_mode");
     s.bitwidth_mode =
-        mode_tokens()[match_token(context, "bitwidth mode", m, mode_tokens())];
+        bitwidth_mode_tokens()[match_token(context, "bitwidth mode", m, bitwidth_mode_tokens())];
   }
   if (const Value* f = v.find("bitwidth_override")) {
     s.bitwidth_override = parse_bitwidth_override(context, *f);
   }
   s.space = parse_search_space(context, require(context, v, "space"));
+  for (const dse::Axis& a : s.space) {
+    const bool net_axis =
+        a.knob == dse::Knob::kNetDepth || a.knob == dse::Knob::kNetWidth ||
+        a.knob == dse::Knob::kNetBits;
+    if (!net_axis) continue;
+    if (!s.workload) {
+      fail(context, std::string("knob \"") + dse::to_string(a.knob) +
+                        "\" needs a \"workload\" generator block");
+    }
+    // Range-check every axis value against the family's own caps now —
+    // a bad value must fail --validate, not abort the search mid-run
+    // after budget was spent. generated_name runs the generator's full
+    // knob validation without building a network.
+    for (double value : a.values) {
+      workload::GeneratorSpec probe = *s.workload;
+      const int i = static_cast<int>(std::llround(value));
+      if (i < 1) {
+        fail(context, std::string("knob \"") + dse::to_string(a.knob) +
+                          "\" values must be positive, got " +
+                          std::to_string(i));
+      }
+      switch (a.knob) {
+        case dse::Knob::kNetDepth: probe.depth = i; break;
+        case dse::Knob::kNetWidth: probe.width = i; break;
+        default: probe.bitwidth_policy = "uniform:" + std::to_string(i);
+      }
+      try {
+        (void)workload::generated_name(probe);
+      } catch (const Error& e) {
+        fail(context, std::string("knob \"") + dse::to_string(a.knob) +
+                          "\" value " + std::to_string(i) + ": " + e.what());
+      }
+    }
+  }
   if (const Value* f = v.find("strategy")) {
     const std::string t = parse_string(context, *f, "strategy");
     s.strategy = dse::strategy_tokens()[match_token(
@@ -593,30 +913,52 @@ bool MemoryOverrides::any() const {
 }
 
 const std::vector<std::string>& network_tokens() {
-  static const std::vector<std::string> tokens{
-      "alexnet", "inception_v1", "resnet18", "resnet50", "rnn", "lstm"};
+  return workload::NetworkRegistry::builtin_tokens();
+}
+
+const std::vector<std::string>& platform_tokens() {
+  static const std::vector<std::string> tokens{"tpu_like", "bitfusion",
+                                               "bpvec"};
   return tokens;
 }
 
-Manifest parse_manifest(const Value& root) {
+const std::vector<std::string>& memory_tokens() {
+  static const std::vector<std::string> tokens{"ddr4", "hbm2"};
+  return tokens;
+}
+
+const std::vector<std::string>& bitwidth_mode_tokens() {
+  static const std::vector<std::string> tokens{"homogeneous8b",
+                                               "heterogeneous"};
+  return tokens;
+}
+
+Manifest parse_manifest(const Value& root, const std::string& base_dir) {
   if (!root.is_object()) fail("", "document must be an object");
-  check_keys("", root, {"name", "description", "grids", "search"});
+  check_keys("", root, {"name", "description", "workloads", "grids",
+                        "search"});
   Manifest m;
   m.name = parse_string("", require("", root, "name"), "name");
   if (m.name.empty()) fail("", "\"name\" must be non-empty");
   if (const Value* d = root.find("description")) {
     m.description = parse_string("", *d, "description");
   }
+  // Workloads first: grid/search network tokens may name them.
+  if (const Value* workloads = root.find("workloads")) {
+    m.workloads = parse_workloads(*workloads, base_dir);
+  }
+  const std::vector<std::string> workload_names = workload_names_of(m);
   if (const Value* grids = root.find("grids")) {
     if (!grids->is_array() || grids->as_array().empty()) {
       fail("", "\"grids\" must be a non-empty array");
     }
     for (std::size_t i = 0; i < grids->as_array().size(); ++i) {
-      m.grids.push_back(parse_grid(grid_context(i), grids->as_array()[i]));
+      m.grids.push_back(parse_grid(grid_context(i), grids->as_array()[i],
+                                   workload_names));
     }
   }
   if (const Value* search = root.find("search")) {
-    m.search = parse_search(*search);
+    m.search = parse_search(*search, workload_names);
   }
   if (m.grids.empty() && !m.search) {
     fail("", "manifest needs \"grids\", a \"search\" block, or both");
@@ -625,8 +967,13 @@ Manifest parse_manifest(const Value& root) {
 }
 
 Manifest load_manifest(const std::string& path) {
+  // Relative workload "file" paths resolve against the manifest's own
+  // directory, so a manifest is runnable from any working directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
   try {
-    return parse_manifest(common::json::parse_file(path));
+    return parse_manifest(common::json::parse_file(path), base_dir);
   } catch (const Error& e) {
     const std::string what = e.what();
     if (what.find(path) != std::string::npos) throw;  // parse error: has path
@@ -639,8 +986,19 @@ common::json::Value to_json(const SearchSpec& s) {
   sv.set("backend", s.backend);
   sv.set("platform", s.platform);
   sv.set("memory", s.memory);
-  sv.set("network", s.network);
-  sv.set("bitwidth_mode", s.bitwidth_mode);
+  if (s.workload) {
+    Value wv = Value::object();
+    wv.set("generator", s.workload->family);
+    if (s.workload->depth > 0) wv.set("depth", s.workload->depth);
+    if (s.workload->width > 0) wv.set("width", s.workload->width);
+    if (!s.workload->bitwidth_policy.empty()) {
+      wv.set("bitwidth_policy", s.workload->bitwidth_policy);
+    }
+    sv.set("workload", std::move(wv));
+  } else {
+    sv.set("network", s.network);
+    sv.set("bitwidth_mode", s.bitwidth_mode);
+  }
   if (s.bitwidth_override) {
     Value o = Value::object();
     o.set("x_bits", s.bitwidth_override->x_bits);
@@ -702,6 +1060,38 @@ common::json::Value to_json(const Manifest& manifest) {
   if (!manifest.description.empty()) {
     root.set("description", manifest.description);
   }
+  if (!manifest.workloads.empty()) {
+    Value workloads = Value::array();
+    for (const WorkloadSpec& w : manifest.workloads) {
+      Value wv = Value::object();
+      switch (w.kind) {
+        case WorkloadSpec::Kind::kFile:
+          wv.set("file", w.file);
+          break;
+        case WorkloadSpec::Kind::kInline:
+          wv.set("network", workload::to_json(w.prototypes.front()));
+          break;
+        case WorkloadSpec::Kind::kGenerator: {
+          wv.set("generator", w.generator);
+          auto int_list = [](const std::vector<int>& v) {
+            Value a = Value::array();
+            for (int i : v) a.push_back(i);
+            return a;
+          };
+          if (!w.depths.empty()) wv.set("depth", int_list(w.depths));
+          if (!w.widths.empty()) wv.set("width", int_list(w.widths));
+          if (!w.policies.empty()) {
+            Value a = Value::array();
+            for (const std::string& p : w.policies) a.push_back(p);
+            wv.set("bitwidth_policy", std::move(a));
+          }
+          break;
+        }
+      }
+      workloads.push_back(std::move(wv));
+    }
+    root.set("workloads", std::move(workloads));
+  }
   Value grids = Value::array();
   for (const GridSpec& g : manifest.grids) {
     Value grid = Value::object();
@@ -759,8 +1149,28 @@ common::json::Value to_json(const Manifest& manifest) {
   return root;
 }
 
+std::vector<std::string> register_workloads(const Manifest& manifest) {
+  auto& registry = workload::NetworkRegistry::instance();
+  std::vector<std::string> names;
+  for (std::size_t wi = 0; wi < manifest.workloads.size(); ++wi) {
+    const WorkloadSpec& w = manifest.workloads[wi];
+    for (std::size_t i = 0; i < w.prototypes.size(); ++i) {
+      try {
+        registry.register_network(w.names[i], w.prototypes[i]);
+      } catch (const Error& e) {
+        fail(workload_context(wi), e.what());
+      }
+      names.push_back(w.names[i]);
+    }
+  }
+  return names;
+}
+
 std::vector<engine::Scenario> expand(const Manifest& manifest) {
+  const std::vector<std::string> workload_names =
+      register_workloads(manifest);
   auto& registry = backend::BackendRegistry::instance();
+  auto& networks = workload::NetworkRegistry::instance();
   std::vector<engine::Scenario> scenarios;
   for (std::size_t gi = 0; gi < manifest.grids.size(); ++gi) {
     const GridSpec& g = manifest.grids[gi];
@@ -789,14 +1199,14 @@ std::vector<engine::Scenario> expand(const Manifest& manifest) {
           memory_from_index(match_token(context, "memory", m, memory_tokens())),
           g.memory_overrides));
     }
-    const std::vector<std::size_t> net_indices =
-        resolve_networks(context, g.networks);
+    const std::vector<std::string> net_tokens =
+        resolve_networks(context, g.networks, workload_names);
 
     for (const std::string& mode_name : g.bitwidth_modes) {
       const dnn::BitwidthMode mode = mode_from_index(
-          match_token(context, "bitwidth mode", mode_name, mode_tokens()));
-      for (const std::size_t net_index : net_indices) {
-        dnn::Network net = make_network(net_index, mode);
+          match_token(context, "bitwidth mode", mode_name, bitwidth_mode_tokens()));
+      for (const std::string& net_token : net_tokens) {
+        dnn::Network net = networks.create(net_token, mode);
         if (g.bitwidth_override) {
           apply_bitwidth_override(net, *g.bitwidth_override);
         }
@@ -818,10 +1228,11 @@ std::vector<engine::Scenario> expand(const Manifest& manifest) {
 
 std::size_t scenario_count(const Manifest& manifest) {
   std::size_t total = 0;
+  const std::vector<std::string> workload_names = workload_names_of(manifest);
   for (std::size_t gi = 0; gi < manifest.grids.size(); ++gi) {
     const GridSpec& g = manifest.grids[gi];
     const std::size_t nets =
-        resolve_networks(grid_context(gi), g.networks).size();
+        resolve_networks(grid_context(gi), g.networks, workload_names).size();
     total += g.bitwidth_modes.size() * nets * g.platforms.size() *
              g.memories.size() * g.backends.size();
   }
@@ -850,10 +1261,25 @@ engine::Scenario search_base_scenario(const SearchSpec& spec) {
       match_token(context, "platform", spec.platform, platform_tokens()));
   arch::DramModel memory = memory_from_index(
       match_token(context, "memory", spec.memory, memory_tokens()));
-  const dnn::BitwidthMode mode = mode_from_index(match_token(
-      context, "bitwidth mode", spec.bitwidth_mode, mode_tokens()));
-  dnn::Network net = make_network(
-      match_token(context, "network", spec.network, network_tokens()), mode);
+  dnn::Network net = [&] {
+    if (spec.workload) {
+      // The generator's bitwidth_policy owns the bits; no mode applies.
+      try {
+        return workload::generate(*spec.workload);
+      } catch (const Error& e) {
+        fail(context, e.what());
+      }
+    }
+    const dnn::BitwidthMode mode = mode_from_index(match_token(
+        context, "bitwidth mode", spec.bitwidth_mode,
+        bitwidth_mode_tokens()));
+    try {
+      return workload::NetworkRegistry::instance().create(spec.network,
+                                                          mode);
+    } catch (const Error& e) {
+      fail(context, e.what());
+    }
+  }();
   if (spec.bitwidth_override) {
     apply_bitwidth_override(net, *spec.bitwidth_override);
   }

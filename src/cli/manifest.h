@@ -7,12 +7,17 @@
 //   {
 //     "name": "fig5",
 //     "description": "BPVeC vs TPU-like, DDR4, homogeneous 8-bit",
+//     "workloads": [                              // optional, see below
+//       {"file": "nets/my_net.json"},
+//       {"network": { ...workload schema... }},
+//       {"generator": "mlp_family", "depth": [4, 8], "width": [1024]}
+//     ],
 //     "grids": [
 //       {
 //         "backends": ["bpvec"],                  // optional, default
 //         "platforms": ["tpu_like", "bpvec"],
 //         "memories": ["ddr4"],
-//         "networks": ["all"],                    // or explicit names
+//         "networks": ["all"],                    // see the three kinds below
 //         "bitwidth_modes": ["homogeneous8b"],    // optional, default
 //         "platform_overrides": {"batch_size": 4},      // optional
 //         "memory_overrides": {"bandwidth_gbps": 32.0}, // optional
@@ -35,6 +40,25 @@
 // (they are silent typos otherwise). Backend keys are validated against
 // the live BackendRegistry at expansion time, so custom registered
 // backends work without touching this file.
+//
+// The "workloads" block declares networks the manifest brings along,
+// in three source kinds (see src/workload/):
+//   * file       {"file": "nets/my_net.json"} — a workload-schema
+//                document, resolved relative to the manifest's
+//                directory; registered under the document's "name".
+//   * inline     {"network": { ...workload schema... }} — the same
+//                schema embedded in the manifest.
+//   * generator  {"generator": "mlp_family", "depth": [4, 8],
+//                 "width": [1024], "bitwidth_policy": ["uniform:4"]} —
+//                the cross product of the knob lists (scalars allowed),
+//                one registered network per combination, named by
+//                workload::generated_name ("mlp_family-d4-w1024-u4").
+// Declared workloads register into the NetworkRegistry when the
+// manifest expands (idempotently — re-expanding is a no-op; a name
+// collision with different content is an error). A grid's "networks"
+// axis then accepts any registered token, plus two meta tokens: "all"
+// (the six Table I zoo models) and "workloads" (every network this
+// manifest's workloads block declares, in declaration order).
 // A manifest may also (or instead) carry a "search" block — a declarative
 // design-space search the `bpvec_run search` subcommand executes through
 // the dse subsystem:
@@ -45,7 +69,10 @@
 //       "backend": "bpvec",                    // optional, default
 //       "platform": "bpvec",                   // optional, default
 //       "memory": "ddr4",                      // optional, default
-//       "network": "alexnet",                  // required
+//       "network": "alexnet",                  // required unless "workload"
+//       "workload": {"generator": "mlp_family", // generated base network;
+//                    "depth": 4, "width": 1024, // excludes "network" and
+//                    "bitwidth_policy": "uniform:4"}, // "bitwidth_mode"
 //       "bitwidth_mode": "heterogeneous",      // optional
 //       "space": {                             // required: knob → values
 //         "cvu_slice_bits": [1, 2, 4],
@@ -74,6 +101,7 @@
 #include "src/common/json.h"
 #include "src/dse/search.h"
 #include "src/engine/scenario.h"
+#include "src/workload/generators.h"
 
 namespace bpvec::cli {
 
@@ -114,11 +142,33 @@ struct BitwidthOverride {
   int w_bits = 8;
 };
 
+/// One entry of the manifest's "workloads" block, parsed eagerly: the
+/// network prototypes (declared bitwidths) and the names they register
+/// under are resolved at parse time, so grid validation can see them
+/// and scenario_count stays cheap.
+struct WorkloadSpec {
+  enum class Kind { kFile, kInline, kGenerator };
+  Kind kind = Kind::kFile;
+  std::string file;                  // kFile: the path as written
+  std::string generator;             // kGenerator: canonical family token
+  // kGenerator knob lists as written (empty = family default); the
+  // entry's networks are their cross product, depth-outermost.
+  std::vector<int> depths, widths;
+  std::vector<std::string> policies;
+  // Resolved at parse, 1:1: names[i] registers prototypes[i].
+  std::vector<std::string> names;
+  std::vector<dnn::Network> prototypes;
+};
+
 struct GridSpec {
   std::vector<std::string> backends{"bpvec"};
   std::vector<std::string> platforms;       // tpu_like | bitfusion | bpvec
   std::vector<std::string> memories;        // ddr4 | hbm2
-  std::vector<std::string> networks;        // model names, or "all"
+  /// NetworkRegistry tokens (zoo builtins, user registrations, this
+  /// manifest's workloads), or the meta tokens "all" (the Table I zoo)
+  /// / "workloads" (every network the manifest's workloads block
+  /// declares).
+  std::vector<std::string> networks;
   std::vector<std::string> bitwidth_modes{"homogeneous8b"};
   PlatformOverrides platform_overrides;
   MemoryOverrides memory_overrides;
@@ -136,6 +186,12 @@ struct SearchSpec {
   std::string platform{"bpvec"};           // canonical platform token
   std::string memory{"ddr4"};              // canonical memory token
   std::string network;                     // canonical network token
+  /// Workload generator ("workload" block): the base network comes from
+  /// workload::generate and the space may sweep net_depth / net_width /
+  /// net_bits axes through it. Mutually exclusive with "network",
+  /// "bitwidth_mode", and "bitwidth_override" (the generator's
+  /// bitwidth_policy — and the net_bits axis — own the bits).
+  std::optional<workload::GeneratorSpec> workload;
   std::string bitwidth_mode{"homogeneous8b"};
   std::optional<BitwidthOverride> bitwidth_override;
   std::vector<dse::Axis> space;            // manifest order == axis order
@@ -153,13 +209,17 @@ struct SearchSpec {
 struct Manifest {
   std::string name;         // report label; required, non-empty
   std::string description;  // optional free text
+  std::vector<WorkloadSpec> workloads;      // optional declared networks
   std::vector<GridSpec> grids;              // may be empty when search is set
   std::optional<SearchSpec> search;
 };
 
 /// Parses and validates a manifest document. Throws bpvec::Error with
 /// the grid index and offending key/value on any schema violation.
-Manifest parse_manifest(const common::json::Value& root);
+/// `base_dir` resolves relative workload "file" paths (load_manifest
+/// passes the manifest's directory; empty = the working directory).
+Manifest parse_manifest(const common::json::Value& root,
+                        const std::string& base_dir = "");
 
 /// parse_manifest of a file (errors include the path).
 Manifest load_manifest(const std::string& path);
@@ -174,26 +234,43 @@ common::json::Value to_json(const Manifest& manifest);
 /// echo inside search-mode reports).
 common::json::Value to_json(const SearchSpec& spec);
 
+/// Registers the manifest's declared workloads into the process-wide
+/// NetworkRegistry (idempotent for identical content — expand() calls
+/// this on every run) and returns the registered names in declaration
+/// order. Throws bpvec::Error on a name collision with different
+/// content.
+std::vector<std::string> register_workloads(const Manifest& manifest);
+
 /// Expands every grid into scenarios, in the documented deterministic
-/// order. Validates backend keys against the BackendRegistry and the
-/// overridden configs; throws bpvec::Error naming the grid on failure.
+/// order (registering declared workloads first). Validates backend keys
+/// against the BackendRegistry and the overridden configs; throws
+/// bpvec::Error naming the grid on failure.
 std::vector<engine::Scenario> expand(const Manifest& manifest);
 
 /// Number of scenarios expand() would produce (cheap — no networks are
-/// instantiated).
+/// instantiated or registered).
 std::size_t scenario_count(const Manifest& manifest);
 
-/// The canonical network-name tokens ("alexnet", …, in Table I order)
-/// that "all" expands to. Network/platform/memory tokens are matched
+/// The canonical zoo tokens ("alexnet", …, in Table I order) that "all"
+/// expands to. Network/platform/memory tokens are matched
 /// case-insensitively, ignoring '-' and '_' (so "ResNet-18" == "resnet18").
 const std::vector<std::string>& network_tokens();
+
+/// Canonical vocabularies for the other grid axes (what `bpvec_run
+/// list` prints and error messages cite).
+const std::vector<std::string>& platform_tokens();
+const std::vector<std::string>& memory_tokens();
+const std::vector<std::string>& bitwidth_mode_tokens();
 
 /// The search block's ParamSpace (axes in manifest order, re-validated).
 dse::ParamSpace search_space(const SearchSpec& spec);
 
 /// The search block's base scenario: platform/memory/network resolved
 /// exactly like grid expansion (bitwidth_override applied), backend
-/// validated against the live BackendRegistry. Throws bpvec::Error.
+/// validated against the live BackendRegistry. A "workload" block
+/// generates the base network instead of resolving a registry token
+/// (declared manifest workloads must be registered first — the driver
+/// calls register_workloads). Throws bpvec::Error.
 engine::Scenario search_base_scenario(const SearchSpec& spec);
 
 }  // namespace bpvec::cli

@@ -1,6 +1,13 @@
 // The six evaluated networks (paper Table I): AlexNet, Inception-v1,
 // ResNet-18, ResNet-50, a vanilla RNN, and an LSTM.
 //
+// These factories are the *builtins* of workload::NetworkRegistry
+// (tokens "alexnet" … "lstm"); everything above the dnn layer resolves
+// workloads through that registry, where user networks from JSON files,
+// manifest blocks, and parametric generators sit next to the zoo. The
+// registry guards against duplicate names and empty layer lists — see
+// src/workload/network_registry.h.
+//
 // Shapes follow the canonical architectures (224/227-pixel ImageNet CNNs;
 // recurrent models sized to match Table I's model sizes and op counts).
 // The heterogeneous bitwidth assignment follows Table I:

@@ -33,7 +33,15 @@ const KnobInfo kKnobs[] = {
     {Knob::kMemEnergyPjPerBit, "energy_pj_per_bit", false},
     {Knob::kMemStartupLatencyNs, "startup_latency_ns", false},
     {Knob::kMemBackgroundPowerW, "background_power_w", false},
+    {Knob::kNetDepth, "net_depth", true},
+    {Knob::kNetWidth, "net_width", true},
+    {Knob::kNetBits, "net_bits", true},
 };
+
+bool is_workload_knob(Knob knob) {
+  return knob == Knob::kNetDepth || knob == Knob::kNetWidth ||
+         knob == Knob::kNetBits;
+}
 
 const KnobInfo& info(Knob knob) {
   for (const KnobInfo& k : kKnobs) {
@@ -183,9 +191,51 @@ bitslice::CvuGeometry ParamSpace::geometry(const Candidate& c,
   return base;
 }
 
-engine::Scenario ParamSpace::materialize(const Candidate& c,
-                                         const engine::Scenario& base) const {
+engine::Scenario ParamSpace::materialize(
+    const Candidate& c, const engine::Scenario& base,
+    const workload::GeneratorSpec* generator) const {
   engine::Scenario s = base;
+  // Workload axes first: the regenerated network replaces base.network
+  // wholesale, so platform/memory knob application order is unaffected.
+  bool regenerate = false;
+  workload::GeneratorSpec spec;
+  if (generator != nullptr) spec = *generator;
+  for (std::size_t a = 0; a < axes_.size(); ++a) {
+    if (!is_workload_knob(axes_[a].knob)) continue;
+    if (generator == nullptr) {
+      throw Error(std::string("ParamSpace: axis \"") +
+                  to_string(axes_[a].knob) +
+                  "\" needs a workload generator (give the search a "
+                  "\"workload\" block)");
+    }
+    regenerate = true;
+    const int v = static_cast<int>(std::llround(value(c, a)));
+    // 0 means "family default" inside GeneratorSpec — on an axis it
+    // would silently duplicate the default candidate under a
+    // misleading label, so axis values must be explicit.
+    if (v < 1) {
+      throw Error(std::string("ParamSpace: axis \"") +
+                  to_string(axes_[a].knob) +
+                  "\" values must be positive, got " + std::to_string(v));
+    }
+    switch (axes_[a].knob) {
+      case Knob::kNetDepth: spec.depth = v; break;
+      case Knob::kNetWidth: spec.width = v; break;
+      case Knob::kNetBits:
+        spec.bitwidth_policy = "uniform:" + std::to_string(v);
+        break;
+      default: break;
+    }
+  }
+  if (regenerate) {
+    spec.name.clear();  // the derived name must encode the chosen knobs
+    try {
+      s.network = workload::generate(spec);
+    } catch (const Error& e) {
+      throw Error("ParamSpace: candidate [" + label(c) +
+                  "] produces an invalid workload: " + e.what());
+    }
+  }
   for (std::size_t a = 0; a < axes_.size(); ++a) {
     const double v = value(c, a);
     const auto i = [&] { return static_cast<int>(std::llround(v)); };
@@ -206,6 +256,10 @@ engine::Scenario ParamSpace::materialize(const Candidate& c,
       case Knob::kMemEnergyPjPerBit: s.memory.energy_pj_per_bit = v; break;
       case Knob::kMemStartupLatencyNs: s.memory.startup_latency_ns = v; break;
       case Knob::kMemBackgroundPowerW: s.memory.background_power_w = v; break;
+      case Knob::kNetDepth:
+      case Knob::kNetWidth:
+      case Knob::kNetBits:
+        break;  // applied above (network regeneration)
     }
   }
   try {

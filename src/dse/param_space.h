@@ -24,6 +24,7 @@
 
 #include "src/bitslice/composition.h"
 #include "src/engine/scenario.h"
+#include "src/workload/generators.h"
 
 namespace bpvec::dse {
 
@@ -49,6 +50,14 @@ enum class Knob {
   kMemEnergyPjPerBit,
   kMemStartupLatencyNs,
   kMemBackgroundPowerW,
+  // Workload knobs (workload::GeneratorSpec — the generated-network
+  // family axes). Materializing a candidate that picks one of these
+  // regenerates the scenario's network from the search's generator, so
+  // a search can sweep depth/width/bitwidth the same way it sweeps
+  // rows or bandwidth.
+  kNetDepth,
+  kNetWidth,
+  kNetBits,  // bitwidth_policy "uniform:<bits>"
 };
 
 const char* to_string(Knob knob);
@@ -114,8 +123,15 @@ class ParamSpace {
   /// platform config, and appends " [label]" to the scenario id (ids
   /// must be unique per candidate for reports). Throws bpvec::Error when
   /// the picks produce an invalid platform or memory system.
-  engine::Scenario materialize(const Candidate& c,
-                               const engine::Scenario& base) const;
+  ///
+  /// `generator` supplies the workload family when the space has
+  /// net_depth/net_width/net_bits axes: the chosen values override the
+  /// spec's knobs (net_bits becomes policy "uniform:<bits>") and the
+  /// regenerated network replaces base.network. A space with workload
+  /// axes but no generator throws.
+  engine::Scenario materialize(
+      const Candidate& c, const engine::Scenario& base,
+      const workload::GeneratorSpec* generator = nullptr) const;
 
  private:
   std::vector<Axis> axes_;

@@ -78,27 +78,35 @@ std::vector<Evaluation> GeometryEvaluator::evaluate(
 
 // ----- ScenarioEvaluator ---------------------------------------------
 
-ScenarioEvaluator::ScenarioEvaluator(engine::SimEngine& engine,
-                                     const ParamSpace& space,
-                                     engine::Scenario base,
-                                     std::vector<Objective> objectives,
-                                     std::vector<core::BitwidthMixEntry> mix,
-                                     Constraints constraints)
+ScenarioEvaluator::ScenarioEvaluator(
+    engine::SimEngine& engine, const ParamSpace& space,
+    engine::Scenario base, std::vector<Objective> objectives,
+    std::vector<core::BitwidthMixEntry> mix, Constraints constraints,
+    std::optional<workload::GeneratorSpec> generator)
     : engine_(engine),
       space_(space),
       base_(std::move(base)),
       objectives_(std::move(objectives)),
       mix_(std::move(mix)),
-      constraints_(constraints) {
-  if (mix_.empty()) {
-    // MAC-weighted bitwidth mix of the workload itself.
-    for (const dnn::Layer& layer : base_.network.layers()) {
-      if (!layer.is_compute()) continue;
-      mix_.push_back({layer.x_bits, layer.w_bits,
-                      static_cast<double>(layer.macs())});
-    }
-    if (mix_.empty()) mix_.push_back({8, 8, 1.0});
+      mix_from_network_(mix_.empty()),
+      constraints_(constraints),
+      generator_(std::move(generator)) {
+  if (mix_from_network_) {
+    mix_ = derive_mix(base_.network);
   }
+}
+
+std::vector<core::BitwidthMixEntry> ScenarioEvaluator::derive_mix(
+    const dnn::Network& network) {
+  // MAC-weighted bitwidth mix of the workload itself.
+  std::vector<core::BitwidthMixEntry> mix;
+  for (const dnn::Layer& layer : network.layers()) {
+    if (!layer.is_compute()) continue;
+    mix.push_back({layer.x_bits, layer.w_bits,
+                   static_cast<double>(layer.macs())});
+  }
+  if (mix.empty()) mix.push_back({8, 8, 1.0});
+  return mix;
 }
 
 std::vector<Evaluation> ScenarioEvaluator::evaluate(
@@ -106,7 +114,8 @@ std::vector<Evaluation> ScenarioEvaluator::evaluate(
   std::vector<engine::Scenario> scenarios;
   scenarios.reserve(batch.size());
   for (const Candidate& c : batch) {
-    scenarios.push_back(space_.materialize(c, base_));
+    scenarios.push_back(space_.materialize(
+        c, base_, generator_ ? &*generator_ : nullptr));
   }
   std::vector<sim::RunResult> results = engine_.run_batch(scenarios);
 
@@ -117,7 +126,16 @@ std::vector<Evaluation> ScenarioEvaluator::evaluate(
     e.candidate = batch[i];
     e.key = space_.candidate_key(batch[i]);
     e.id = scenarios[i].id;
-    e.design = core::price_design_point(scenarios[i].platform.cvu, mix_);
+    // Workload axes regenerate the network per candidate, so a derived
+    // mix must follow the candidate's actual layers (a frozen base mix
+    // would score utilization/mac_power/mac_area — and the
+    // min_utilization constraint — against the wrong bitwidths).
+    const bool per_candidate = mix_from_network_ && generator_.has_value();
+    std::vector<core::BitwidthMixEntry> regenerated;
+    if (per_candidate) regenerated = derive_mix(scenarios[i].network);
+    const std::vector<core::BitwidthMixEntry>& mix =
+        per_candidate ? regenerated : mix_;
+    e.design = core::price_design_point(scenarios[i].platform.cvu, mix);
     e.core_area_um2 = scenarios[i].platform.core_area_um2(cost);
     e.result = std::make_shared<const sim::RunResult>(std::move(results[i]));
     const sim::RunResult& r = *e.result;

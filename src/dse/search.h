@@ -87,23 +87,35 @@ class ScenarioEvaluator final : public Evaluator {
   /// constraint. Empty derives it from the base network: one entry per
   /// compute layer, weighted by the layer's MAC count (so utilization
   /// means "MAC-weighted average NBVE utilization over the workload").
+  /// `generator` is the workload family the space's
+  /// net_depth/net_width/net_bits axes vary (required iff the space has
+  /// such an axis); candidates regenerate the network through it.
   ScenarioEvaluator(engine::SimEngine& engine, const ParamSpace& space,
                     engine::Scenario base, std::vector<Objective> objectives,
                     std::vector<core::BitwidthMixEntry> mix = {},
-                    Constraints constraints = {});
+                    Constraints constraints = {},
+                    std::optional<workload::GeneratorSpec> generator = {});
 
   std::vector<Evaluation> evaluate(
       const std::vector<Candidate>& batch) override;
 
+  /// The base mix (explicit, or derived from the base network). When a
+  /// derived mix meets workload axes, evaluate() re-derives it per
+  /// candidate from the regenerated network instead.
   const std::vector<core::BitwidthMixEntry>& mix() const { return mix_; }
 
  private:
+  static std::vector<core::BitwidthMixEntry> derive_mix(
+      const dnn::Network& network);
+
   engine::SimEngine& engine_;
   const ParamSpace& space_;
   engine::Scenario base_;
   std::vector<Objective> objectives_;
   std::vector<core::BitwidthMixEntry> mix_;
+  bool mix_from_network_;
   Constraints constraints_;
+  std::optional<workload::GeneratorSpec> generator_;
 };
 
 struct SearchOptions {

@@ -4,6 +4,7 @@
 
 #include "src/backend/cost_backend.h"
 #include "src/common/hash.h"
+#include "src/workload/schema.h"
 
 namespace bpvec::engine {
 
@@ -23,13 +24,14 @@ std::uint64_t Scenario::fingerprint() const {
   f.str(backend);
   backend::hash_platform(f, platform);
   backend::hash_memory(f, memory);
-  // Network: names identify the workload; shapes/bitwidths drive pricing.
-  f.str(network.name());
-  f.u64(network.layers().size());
-  for (const dnn::Layer& layer : network.layers()) {
-    f.str(layer.name);
-    f.u64(backend::layer_fingerprint(layer, platform.time_chunk));
-  }
+  // Network: the structural fingerprint only — shapes and bitwidths
+  // drive pricing, names merely label it. Structurally identical
+  // workloads (a JSON copy of a zoo model, two registry entries for one
+  // architecture) therefore share scenario/disk cache entries, and two
+  // different networks that happen to share a name can never collide.
+  // The engine restores per-scenario network/layer labels on cached
+  // results, so reports still carry each scenario's own names.
+  f.u64(workload::network_fingerprint(network, platform.time_chunk));
   return f.h;
 }
 

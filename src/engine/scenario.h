@@ -38,10 +38,14 @@ struct Scenario {
   dnn::Network network{"", dnn::NetworkType::kCnn};
 
   /// 64-bit hash over every simulation-relevant field (backend id,
-  /// platform knobs, memory knobs, network layer shapes and bitwidths).
+  /// platform knobs, memory knobs, and the *structural* network
+  /// fingerprint — layer shapes and bitwidths; network/layer names are
+  /// excluded because they label results without changing pricing, so
+  /// structurally identical workloads dedupe across every cache layer).
   /// Two scenarios with equal fingerprints produce bit-identical
-  /// RunResults under the same registry state (the engine additionally
-  /// folds the resolved backend's own fingerprint into cache keys).
+  /// RunResults up to those labels, which SimEngine::run_batch restores
+  /// per scenario (the engine additionally folds the resolved backend's
+  /// own fingerprint into cache keys).
   std::uint64_t fingerprint() const;
 };
 

@@ -248,6 +248,22 @@ std::vector<sim::RunResult> SimEngine::run_batch(
     }
   }
 
+  // Scenario fingerprints are structural (workload::network_fingerprint
+  // excludes names), so a cache or disk hit may carry the labels of a
+  // structurally identical network priced earlier. Restore each
+  // scenario's own network/layer names — for freshly priced scenarios
+  // this rewrites the values the backend already set, so every result is
+  // bit-identical to a direct run of its own scenario.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const dnn::Network& net = batch[i].network;
+    results[i].network = net.name();
+    if (results[i].layers.size() == net.layers().size()) {
+      for (std::size_t k = 0; k < results[i].layers.size(); ++k) {
+        results[i].layers[k].name = net.layers()[k].name;
+      }
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Accounted after the fact so disk-served jobs don't inflate

@@ -9,7 +9,10 @@
 //
 //   * scenario cache — keyed by Scenario::fingerprint × the backend
 //     key's registry generation (re-registering a backend abandons its
-//     stale entries); repeated design points price once.
+//     stale entries); repeated design points price once. Fingerprints
+//     are structural on the workload axis (names excluded), so a JSON
+//     copy of a zoo network dedupes against the builtin; run_batch
+//     restores each scenario's own network/layer labels on the way out.
 //   * layer cache — keyed by backend fingerprint × layer shape/bits
 //     fingerprint; ResNet's repeated blocks and networks shared across
 //     scenarios price each unique layer once (a wall-clock win on the

@@ -1,0 +1,65 @@
+// Parametric workload generators — whole network *families* from a small
+// knob set, so grids and DSE searches can sweep the workload axis
+// (depth, width, bitwidth policy) the same way they sweep platform and
+// memory knobs.
+//
+// Three families:
+//
+//   cnn_family         a VGG-style conv stack on a 3×64×64 input:
+//                      `depth` stages of two 3×3 convs + 2×2 max pool,
+//                      channels starting at `width` and doubling per
+//                      stage (×8 cap), global average pool, 1000-way FC.
+//                      depth in [1, 5] (the input halves per stage),
+//                      width in [1, 512].
+//   mlp_family         `depth` fully connected layers 784 → width →
+//                      … → 10. depth in [1, 64], width in [1, 16384].
+//   transformer_block  `depth` transformer blocks as repeated FC-gate
+//                      GEMMs on d_model = `width`: per block QKV
+//                      (w → 3w), attention output (w → w), FFN up
+//                      (w → 4w) and down (4w → w) — per-token cost, the
+//                      form every accelerator in the paper consumes.
+//                      depth in [1, 64], width in [1, 8192].
+//
+// Every generated network is valid by construction (positive dims,
+// non-empty layers, unique layer names) and carries the spec's
+// bitwidth_policy (default "uniform:8"). Generation is deterministic:
+// equal specs produce bit-identical networks, and the derived name
+// (generated_name) encodes every knob — "mlp_family-d4-w1024-u4" — so
+// two distinct family members can never collide in the NetworkRegistry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/dnn/network.h"
+
+namespace bpvec::workload {
+
+struct GeneratorSpec {
+  /// Family token: "cnn_family" | "mlp_family" | "transformer_block"
+  /// (matched case- and separator-insensitively).
+  std::string family;
+  int depth = 0;  // 0 = family default (cnn 3, mlp 3, transformer 2)
+  int width = 0;  // 0 = family default (cnn 32, mlp 1024, transformer 256)
+  /// schema.h policy token; empty = "uniform:8".
+  std::string bitwidth_policy;
+  /// Network name / registry key; empty = generated_name(*this).
+  std::string name;
+};
+
+/// The family vocabulary, in declaration order (for error messages and
+/// `bpvec_run list`).
+const std::vector<std::string>& generator_tokens();
+
+/// The derived default name, e.g. "cnn_family-d3-w32-u8" (policy slug:
+/// "uniform:<b>" → "u<b>", "first_last_8" → "fl8"). Deterministic and
+/// injective over the knob set — computable without generating, which
+/// is how manifests resolve generated-network tokens cheaply.
+std::string generated_name(const GeneratorSpec& spec);
+
+/// Emits the network for `spec` (defaults resolved, policy applied).
+/// Throws bpvec::Error naming the offending knob on an unknown family,
+/// an out-of-range depth/width, or an invalid bitwidth_policy.
+dnn::Network generate(const GeneratorSpec& spec);
+
+}  // namespace bpvec::workload

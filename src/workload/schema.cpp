@@ -1,0 +1,453 @@
+#include "src/workload/schema.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/backend/cost_backend.h"
+#include "src/common/error.h"
+#include "src/common/token.h"
+
+namespace bpvec::workload {
+
+using common::json::Value;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& context,
+                       const std::string& message) {
+  throw Error("network schema: " +
+              (context.empty() ? message : context + ": " + message));
+}
+
+void check_keys(const std::string& context, const Value& obj,
+                const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : obj.members()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      fail(context, "unknown key \"" + key + "\"; allowed keys: " +
+                        common::quoted_token_list(allowed));
+    }
+  }
+}
+
+const Value& require(const std::string& context, const Value& obj,
+                     const std::string& key) {
+  const Value* v = obj.find(key);
+  if (v == nullptr) fail(context, "missing required key \"" + key + "\"");
+  return *v;
+}
+
+std::string parse_string(const std::string& context, const Value& v,
+                         const std::string& key) {
+  if (!v.is_string()) fail(context, "\"" + key + "\" must be a string");
+  return v.as_string();
+}
+
+int parse_int(const std::string& context, const Value& v,
+              const std::string& key) {
+  if (!v.is_int()) fail(context, "\"" + key + "\" must be an integer");
+  const std::int64_t i = v.as_int();
+  if (i < std::numeric_limits<int>::min() ||
+      i > std::numeric_limits<int>::max()) {
+    fail(context, "\"" + key + "\" out of range");
+  }
+  return static_cast<int>(i);
+}
+
+/// Every shape field is capped well below INT_MAX so downstream
+/// arithmetic (padded-input checks, out_h/out_w) cannot overflow int —
+/// the validator must produce errors, never UB. 2^24 dwarfs any real
+/// layer dimension.
+constexpr int kMaxDim = 1 << 24;
+
+/// Required dimension: a strictly positive integer within kMaxDim.
+int parse_dim(const std::string& context, const Value& obj,
+              const std::string& key) {
+  const int v = parse_int(context, require(context, obj, key), key);
+  if (v < 1 || v > kMaxDim) {
+    fail(context, "\"" + key + "\" must be a positive integer <= " +
+                      std::to_string(kMaxDim) + ", got " +
+                      std::to_string(v));
+  }
+  return v;
+}
+
+/// Optional dimension with a default; must be in [floor, kMaxDim] when
+/// present.
+int parse_opt_int(const std::string& context, const Value& obj,
+                  const std::string& key, int fallback, int floor) {
+  const Value* f = obj.find(key);
+  if (f == nullptr) return fallback;
+  const int v = parse_int(context, *f, key);
+  if (v < floor || v > kMaxDim) {
+    fail(context, "\"" + key + "\" must be in [" + std::to_string(floor) +
+                      ", " + std::to_string(kMaxDim) + "], got " +
+                      std::to_string(v));
+  }
+  return v;
+}
+
+int parse_bits(const std::string& context, const Value& v,
+               const std::string& key) {
+  const int bits = parse_int(context, v, key);
+  if (bits < 1 || bits > 8) {
+    fail(context, "\"" + key + "\" must be in [1, 8], got " +
+                      std::to_string(bits));
+  }
+  return bits;
+}
+
+const std::vector<std::string>& kind_tokens() {
+  static const std::vector<std::string> tokens{"conv", "fc", "pool",
+                                               "recurrent"};
+  return tokens;
+}
+
+/// Per-layer scale ceiling. kMaxDim bounds each dimension, but products
+/// of six capped dims can still overflow the int64 MAC/element counts
+/// the pricing path computes — so bound the *products* too, computed in
+/// double (no overflow). 1e15 MACs per layer is ~500× the whole of
+/// ResNet-50; anything beyond it is a typo, not a workload.
+constexpr double kMaxLayerScale = 1e15;
+
+void check_layer_scale(const std::string& context, const dnn::Layer& layer) {
+  double macs = 0, in_elems = 0, out_elems = 0;
+  switch (layer.kind) {
+    case dnn::LayerKind::kConv: {
+      const dnn::ConvParams& p = layer.conv();
+      const double out_hw =
+          static_cast<double>(p.out_h()) * p.out_w();  // ints: dims capped
+      macs = out_hw * p.out_c * p.in_c * p.kh * p.kw;
+      in_elems = static_cast<double>(p.in_c) * p.in_h * p.in_w;
+      out_elems = out_hw * p.out_c;
+      break;
+    }
+    case dnn::LayerKind::kFullyConnected: {
+      const dnn::FcParams& p = layer.fc();
+      macs = static_cast<double>(p.in_features) * p.out_features;
+      break;
+    }
+    case dnn::LayerKind::kPool: {
+      const dnn::PoolParams& p = layer.pool();
+      in_elems = static_cast<double>(p.channels) * p.in_h * p.in_w;
+      break;
+    }
+    case dnn::LayerKind::kRecurrent: {
+      const dnn::RecurrentParams& p = layer.recurrent();
+      macs = static_cast<double>(p.gates()) * p.hidden_size *
+             (static_cast<double>(p.input_size) + p.hidden_size) *
+             p.time_steps;
+      break;
+    }
+  }
+  if (macs > kMaxLayerScale || in_elems > kMaxLayerScale ||
+      out_elems > kMaxLayerScale) {
+    fail(context, "layer exceeds the supported scale (more than 1e15 "
+                  "MACs or elements)");
+  }
+}
+
+dnn::Layer parse_layer(const std::string& context, const Value& v) {
+  if (!v.is_object()) fail(context, "layer must be an object");
+  const std::string kind = common::normalize_token(
+      parse_string(context, require(context, v, "kind"), "kind"));
+  const std::string name =
+      parse_string(context, require(context, v, "name"), "name");
+  if (name.empty()) fail(context, "\"name\" must be non-empty");
+  const std::string ctx = context + " (\"" + name + "\")";
+
+  dnn::Layer layer;
+  if (kind == "conv") {
+    check_keys(ctx, v,
+               {"kind", "name", "in_c", "in_h", "in_w", "out_c", "kh", "kw",
+                "stride", "pad", "x_bits", "w_bits"});
+    dnn::ConvParams p;
+    p.in_c = parse_dim(ctx, v, "in_c");
+    p.in_h = parse_dim(ctx, v, "in_h");
+    p.in_w = parse_dim(ctx, v, "in_w");
+    p.out_c = parse_dim(ctx, v, "out_c");
+    p.kh = parse_dim(ctx, v, "kh");
+    p.kw = parse_dim(ctx, v, "kw");
+    p.stride = parse_opt_int(ctx, v, "stride", 1, 1);
+    p.pad = parse_opt_int(ctx, v, "pad", 0, 0);
+    if (p.in_h + 2 * p.pad < p.kh || p.in_w + 2 * p.pad < p.kw) {
+      fail(ctx, "kernel larger than the padded input");
+    }
+    layer = dnn::make_conv(name, p);
+  } else if (kind == "fc") {
+    check_keys(ctx, v,
+               {"kind", "name", "in_features", "out_features", "x_bits",
+                "w_bits"});
+    dnn::FcParams p;
+    p.in_features = parse_dim(ctx, v, "in_features");
+    p.out_features = parse_dim(ctx, v, "out_features");
+    layer = dnn::make_fc(name, p);
+  } else if (kind == "pool") {
+    check_keys(ctx, v,
+               {"kind", "name", "channels", "in_h", "in_w", "k", "stride",
+                "pool", "x_bits", "w_bits"});
+    dnn::PoolParams p;
+    p.channels = parse_dim(ctx, v, "channels");
+    p.in_h = parse_dim(ctx, v, "in_h");
+    p.in_w = parse_dim(ctx, v, "in_w");
+    p.k = parse_opt_int(ctx, v, "k", 2, 1);
+    p.stride = parse_opt_int(ctx, v, "stride", 2, 1);
+    if (const Value* f = v.find("pool")) {
+      const std::string t =
+          common::normalize_token(parse_string(ctx, *f, "pool"));
+      if (t == "max") {
+        p.kind = dnn::PoolKind::kMax;
+      } else if (t == "average") {
+        p.kind = dnn::PoolKind::kAverage;
+      } else {
+        fail(ctx, "unknown pool \"" + f->as_string() +
+                      "\"; expected one of \"max\", \"average\"");
+      }
+    }
+    if (p.in_h < p.k || p.in_w < p.k) {
+      fail(ctx, "pool window larger than the input");
+    }
+    layer = dnn::make_pool(name, p);
+  } else if (kind == "recurrent") {
+    check_keys(ctx, v,
+               {"kind", "name", "cell", "input_size", "hidden_size",
+                "time_steps", "x_bits", "w_bits"});
+    dnn::RecurrentParams p;
+    const std::string cell = common::normalize_token(
+        parse_string(ctx, require(ctx, v, "cell"), "cell"));
+    if (cell == "rnn" || cell == "vanillarnn") {
+      p.cell = dnn::RecurrentCellKind::kVanillaRnn;
+    } else if (cell == "lstm") {
+      p.cell = dnn::RecurrentCellKind::kLstm;
+    } else {
+      fail(ctx, "unknown cell \"" + v.at("cell").as_string() +
+                    "\"; expected one of \"rnn\", \"lstm\"");
+    }
+    p.input_size = parse_dim(ctx, v, "input_size");
+    p.hidden_size = parse_dim(ctx, v, "hidden_size");
+    p.time_steps = parse_opt_int(ctx, v, "time_steps", 1, 1);
+    layer = dnn::make_recurrent(name, p);
+  } else {
+    fail(ctx, "unknown kind \"" + v.at("kind").as_string() +
+                  "\"; expected one of " +
+                  common::quoted_token_list(kind_tokens()));
+  }
+  if (const Value* f = v.find("x_bits")) {
+    layer.x_bits = parse_bits(ctx, *f, "x_bits");
+  }
+  if (const Value* f = v.find("w_bits")) {
+    layer.w_bits = parse_bits(ctx, *f, "w_bits");
+  }
+  check_layer_scale(ctx, layer);
+  return layer;
+}
+
+}  // namespace
+
+bool is_bitwidth_policy(const std::string& policy) {
+  // The codebase-wide token rule: case-insensitive, '-'/'_' ignored
+  // (':' and digits pass through normalize_token untouched).
+  const std::string norm = common::normalize_token(policy);
+  if (norm == "firstlast8") return true;
+  if (norm.rfind("uniform:", 0) == 0) {
+    const std::string suffix = norm.substr(8);
+    return suffix.size() == 1 && suffix[0] >= '1' && suffix[0] <= '8';
+  }
+  return false;
+}
+
+void apply_bitwidth_policy(dnn::Network& net, const std::string& policy) {
+  if (!is_bitwidth_policy(policy)) {
+    throw Error("network schema: unknown bitwidth_policy \"" + policy +
+                "\"; expected \"uniform:<1..8>\" or \"first_last_8\"");
+  }
+  const std::string norm = common::normalize_token(policy);
+  auto& layers = net.layers();
+  if (norm.rfind("uniform:", 0) == 0) {
+    const int bits = norm[8] - '0';
+    for (dnn::Layer& l : layers) {
+      l.x_bits = bits;
+      l.w_bits = bits;
+    }
+    // Match the zoo's Table I wording for the regimes it names.
+    net.set_bitwidth_note(bits == 8 ? "All layers 8-bit"
+                                    : "All layers with " +
+                                          std::to_string(bits) + "-bit");
+    return;
+  }
+  // first_last_8: the zoo's heterogeneous CNN rule — boundary *compute*
+  // layers 8-bit, everything else (pools included) 4-bit.
+  int first = -1, last = -1;
+  for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+    if (!layers[i].is_compute()) continue;
+    if (first < 0) first = i;
+    last = i;
+  }
+  if (first < 0) {
+    throw Error("network schema: bitwidth_policy \"first_last_8\" needs at "
+                "least one compute layer in \"" +
+                net.name() + "\"");
+  }
+  for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+    const int bits = (i == first || i == last) ? 8 : 4;
+    layers[i].x_bits = bits;
+    layers[i].w_bits = bits;
+  }
+  net.set_bitwidth_note("First and last layer 8-bit, the rest 4-bit");
+}
+
+dnn::Network parse_network(const Value& root) {
+  if (!root.is_object()) fail("", "document must be an object");
+  check_keys("", root,
+             {"name", "type", "bitwidth_policy", "bitwidth_note", "layers"});
+  const std::string name =
+      parse_string("", require("", root, "name"), "name");
+  if (name.empty()) fail("", "\"name\" must be non-empty");
+
+  dnn::NetworkType type = dnn::NetworkType::kCnn;
+  if (const Value* f = root.find("type")) {
+    const std::string t =
+        common::normalize_token(parse_string("", *f, "type"));
+    if (t == "cnn") {
+      type = dnn::NetworkType::kCnn;
+    } else if (t == "rnn") {
+      type = dnn::NetworkType::kRnn;
+    } else {
+      fail("", "unknown type \"" + f->as_string() +
+                   "\"; expected one of \"cnn\", \"rnn\"");
+    }
+  }
+
+  const Value& layers = require("", root, "layers");
+  if (!layers.is_array() || layers.as_array().empty()) {
+    fail("\"" + name + "\"",
+         "\"layers\" must be a non-empty array of layer objects");
+  }
+
+  dnn::Network net(name, type);
+  // Per-layer explicit bits override the policy, so remember which
+  // layers declared them before the policy pass rewrites everything.
+  std::vector<std::pair<int, int>> explicit_bits;  // (x, w); -1 = unset
+  std::unordered_set<std::string> seen_names;
+  for (std::size_t i = 0; i < layers.as_array().size(); ++i) {
+    const Value& lv = layers.as_array()[i];
+    const std::string context = "layers[" + std::to_string(i) + "]";
+    dnn::Layer layer = parse_layer(context, lv);
+    if (!seen_names.insert(layer.name).second) {
+      fail("\"" + name + "\"",
+           context + ": duplicate layer name \"" + layer.name + "\"");
+    }
+    explicit_bits.emplace_back(
+        lv.find("x_bits") != nullptr ? layer.x_bits : -1,
+        lv.find("w_bits") != nullptr ? layer.w_bits : -1);
+    net.add(std::move(layer));
+  }
+
+  if (const Value* f = root.find("bitwidth_policy")) {
+    const std::string policy = parse_string("", *f, "bitwidth_policy");
+    if (!is_bitwidth_policy(policy)) {
+      fail("\"" + name + "\"",
+           "unknown bitwidth_policy \"" + policy +
+               "\"; expected \"uniform:<1..8>\" or \"first_last_8\"");
+    }
+    apply_bitwidth_policy(net, policy);
+    for (std::size_t i = 0; i < explicit_bits.size(); ++i) {
+      if (explicit_bits[i].first >= 0) {
+        net.layers()[i].x_bits = explicit_bits[i].first;
+      }
+      if (explicit_bits[i].second >= 0) {
+        net.layers()[i].w_bits = explicit_bits[i].second;
+      }
+    }
+  }
+  if (const Value* f = root.find("bitwidth_note")) {
+    net.set_bitwidth_note(parse_string("", *f, "bitwidth_note"));
+  }
+  return net;
+}
+
+dnn::Network load_network(const std::string& path) {
+  try {
+    return parse_network(common::json::parse_file(path));
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    if (what.find(path) != std::string::npos) throw;  // parse error: has path
+    throw Error(path + ": " + what);
+  }
+}
+
+common::json::Value to_json(const dnn::Network& net) {
+  Value root = Value::object();
+  root.set("name", net.name());
+  root.set("type", net.type() == dnn::NetworkType::kRnn ? "rnn" : "cnn");
+  if (!net.bitwidth_note().empty()) {
+    root.set("bitwidth_note", net.bitwidth_note());
+  }
+  Value layers = Value::array();
+  for (const dnn::Layer& l : net.layers()) {
+    Value lv = Value::object();
+    lv.set("kind", dnn::to_string(l.kind));
+    lv.set("name", l.name);
+    switch (l.kind) {
+      case dnn::LayerKind::kConv: {
+        const dnn::ConvParams& p = l.conv();
+        lv.set("in_c", p.in_c);
+        lv.set("in_h", p.in_h);
+        lv.set("in_w", p.in_w);
+        lv.set("out_c", p.out_c);
+        lv.set("kh", p.kh);
+        lv.set("kw", p.kw);
+        lv.set("stride", p.stride);
+        lv.set("pad", p.pad);
+        break;
+      }
+      case dnn::LayerKind::kFullyConnected: {
+        const dnn::FcParams& p = l.fc();
+        lv.set("in_features", p.in_features);
+        lv.set("out_features", p.out_features);
+        break;
+      }
+      case dnn::LayerKind::kPool: {
+        const dnn::PoolParams& p = l.pool();
+        lv.set("channels", p.channels);
+        lv.set("in_h", p.in_h);
+        lv.set("in_w", p.in_w);
+        lv.set("k", p.k);
+        lv.set("stride", p.stride);
+        lv.set("pool", p.kind == dnn::PoolKind::kAverage ? "average" : "max");
+        break;
+      }
+      case dnn::LayerKind::kRecurrent: {
+        const dnn::RecurrentParams& p = l.recurrent();
+        lv.set("cell",
+               p.cell == dnn::RecurrentCellKind::kLstm ? "lstm" : "rnn");
+        lv.set("input_size", p.input_size);
+        lv.set("hidden_size", p.hidden_size);
+        lv.set("time_steps", p.time_steps);
+        break;
+      }
+    }
+    lv.set("x_bits", l.x_bits);
+    lv.set("w_bits", l.w_bits);
+    layers.push_back(std::move(lv));
+  }
+  root.set("layers", std::move(layers));
+  return root;
+}
+
+std::uint64_t network_fingerprint(const dnn::Network& net, int time_chunk) {
+  // Names (network and layer) are deliberately excluded: they label
+  // results but never change pricing, so structural twins share every
+  // engine cache entry (the engine restores per-scenario labels on
+  // cached results).
+  common::ConfigHash f;
+  f.u64(net.layers().size());
+  for (const dnn::Layer& layer : net.layers()) {
+    f.u64(backend::layer_fingerprint(layer, time_chunk));
+  }
+  return f.h;
+}
+
+}  // namespace bpvec::workload

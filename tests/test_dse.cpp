@@ -243,6 +243,63 @@ TEST(Search, ConstraintsExcludeFromFrontierButAreRecorded) {
   }
 }
 
+TEST(ScenarioSearch, WorkloadAxesSweepGeneratedFamilies) {
+  // The workload axis rides the same search machinery as platform and
+  // memory knobs: a grid over net_depth × net_width regenerates the MLP
+  // family per candidate and prices each distinct network once.
+  ParamSpace space;
+  space.add_axis(Knob::kNetDepth, {2, 3});
+  space.add_axis(Knob::kNetWidth, {16, 32});
+  engine::SimEngine eng;
+  GridStrategy strategy(space);
+  const workload::GeneratorSpec generator{"mlp_family", 0, 0, "uniform:4",
+                                          ""};
+  ScenarioEvaluator evaluator(eng, space, lstm_base(), kScenObjectives(),
+                              {}, {}, generator);
+  const SearchOutcome outcome =
+      run_search(strategy, evaluator, kScenObjectives());
+  ASSERT_EQ(outcome.candidates, 4u);
+  EXPECT_EQ(eng.stats().simulations_run, 4u);  // four distinct networks
+  for (const Evaluation& e : outcome.evaluations) {
+    ASSERT_NE(e.result, nullptr);
+    EXPECT_EQ(e.result->network.rfind("mlp_family-", 0), 0u) << e.id;
+    EXPECT_GT(e.result->total_cycles, 0);
+  }
+  // Wider and deeper nets do strictly more MACs in this family.
+  EXPECT_LT(outcome.evaluations[0].result->total_macs,
+            outcome.evaluations[3].result->total_macs);
+  // A re-run is served entirely from the engine's scenario cache.
+  GridStrategy again(space);
+  ScenarioEvaluator evaluator2(eng, space, lstm_base(), kScenObjectives(),
+                               {}, {}, generator);
+  (void)run_search(again, evaluator2, kScenObjectives());
+  EXPECT_EQ(eng.stats().simulations_run, 4u);
+  EXPECT_EQ(eng.stats().cache_hits, 4u);
+}
+
+TEST(ScenarioSearch, DerivedMixFollowsTheRegeneratedNetwork) {
+  // A net_bits sweep changes the workload's bitwidths per candidate; the
+  // derived utilization mix (and the min_utilization constraint) must
+  // score each candidate's own network, not the frozen base.
+  ParamSpace space;
+  space.add_axis(Knob::kCvuSliceBits, {4});  // 4-bit slices
+  space.add_axis(Knob::kNetBits, {2, 8});
+  engine::SimEngine eng;
+  GridStrategy strategy(space);
+  const workload::GeneratorSpec generator{"mlp_family", 2, 32, "", ""};
+  const std::vector<Objective> objectives{objective(Metric::kCycles),
+                                          objective(Metric::kUtilization)};
+  ScenarioEvaluator evaluator(eng, space, lstm_base(), objectives, {}, {},
+                              generator);
+  const SearchOutcome outcome = run_search(strategy, evaluator, objectives);
+  ASSERT_EQ(outcome.candidates, 2u);
+  // On 4-bit slices a 2-bit workload wastes half of each operand slice
+  // (utilization 0.25) while an 8-bit workload composes fully (1.0) —
+  // visible only if the mix follows each candidate's regenerated net.
+  EXPECT_DOUBLE_EQ(outcome.evaluations[0].design.mix_utilization, 0.25);
+  EXPECT_DOUBLE_EQ(outcome.evaluations[1].design.mix_utilization, 1.0);
+}
+
 TEST(GeometryEvaluator, RejectsScenarioOnlyMetrics) {
   engine::SimEngine eng;
   const ParamSpace space = geometry_space({2}, {16});

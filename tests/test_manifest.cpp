@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <string>
 
 #include "src/backend/backend_registry.h"
+#include "src/cli/driver.h"
 #include "src/common/error.h"
 #include "src/common/json.h"
 #include "src/dnn/model_zoo.h"
@@ -485,6 +487,358 @@ TEST(SearchManifest, RoundTripsThroughToJson) {
   // The JSON form is a fixed point.
   const auto dumped = to_json(original).dump(2);
   EXPECT_EQ(to_json(parse_manifest(parse(dumped))).dump(2), dumped);
+}
+
+// ----- workloads block ------------------------------------------------
+
+/// Writes a workload-schema document to a temp file and returns its
+/// (absolute) path.
+std::string write_net_file(const std::string& filename,
+                           const std::string& name) {
+  const std::string path = ::testing::TempDir() + filename;
+  std::ofstream out(path, std::ios::trunc);
+  out << R"({"name": ")" << name << R"(", "bitwidth_policy": "uniform:4",
+    "layers": [
+      {"kind": "fc", "name": "fc0", "in_features": 32, "out_features": 16},
+      {"kind": "fc", "name": "fc1", "in_features": 16, "out_features": 4}
+    ]})";
+  out.flush();
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+TEST(WorkloadManifest, ParsesAllThreeSourceKinds) {
+  const std::string path = write_net_file("wm_kinds.json", "wm-file-net");
+  const Manifest m = from_text(R"({
+    "name": "wm_kinds",
+    "workloads": [
+      {"file": ")" + path + R"("},
+      {"network": {"name": "wm-inline-net", "layers": [
+        {"kind": "fc", "name": "fc", "in_features": 8, "out_features": 2}]}},
+      {"generator": "mlp_family", "depth": [2, 3], "width": 16,
+       "bitwidth_policy": "uniform:4"}
+    ],
+    "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+               "networks": ["workloads"],
+               "bitwidth_modes": ["heterogeneous"]}]
+  })");
+  ASSERT_EQ(m.workloads.size(), 3u);
+  EXPECT_EQ(m.workloads[0].kind, WorkloadSpec::Kind::kFile);
+  EXPECT_EQ(m.workloads[0].names, std::vector<std::string>{"wm-file-net"});
+  EXPECT_EQ(m.workloads[1].kind, WorkloadSpec::Kind::kInline);
+  EXPECT_EQ(m.workloads[1].names,
+            std::vector<std::string>{"wm-inline-net"});
+  EXPECT_EQ(m.workloads[2].kind, WorkloadSpec::Kind::kGenerator);
+  EXPECT_EQ(m.workloads[2].names,
+            (std::vector<std::string>{"mlp_family-d2-w16-u4",
+                                      "mlp_family-d3-w16-u4"}));
+  // File prototype carries its declared (policy-resolved) bits.
+  EXPECT_EQ(m.workloads[0].prototypes[0].layers()[0].x_bits, 4);
+  EXPECT_EQ(scenario_count(m), 4u);  // the "workloads" meta token
+}
+
+TEST(WorkloadManifest, ExpandPricesDeclaredWorkloadsEndToEnd) {
+  const Manifest m = from_text(R"({
+    "name": "wm_expand",
+    "workloads": [
+      {"network": {"name": "wm-expand-net", "bitwidth_policy": "uniform:4",
+        "layers": [
+          {"kind": "fc", "name": "fc", "in_features": 8,
+           "out_features": 2}]}},
+      {"generator": "mlp_family", "depth": 2, "width": 8}
+    ],
+    "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+               "networks": ["workloads"],
+               "bitwidth_modes": ["homogeneous8b", "heterogeneous"]}]
+  })");
+  const auto scenarios = expand(m);  // registers + expands, idempotently
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios.size(), scenario_count(m));
+  // Mode-major order: both nets homogeneous, then both heterogeneous.
+  EXPECT_EQ(scenarios[0].network.name(), "wm-expand-net");
+  EXPECT_EQ(scenarios[1].network.name(), "mlp_family-d2-w8-u8");
+  EXPECT_EQ(scenarios[0].network.layers()[0].x_bits, 8);  // forced 8/8
+  EXPECT_EQ(scenarios[2].network.layers()[0].x_bits, 4);  // declared bits
+  // Re-expanding re-registers the identical prototypes: a no-op.
+  EXPECT_EQ(expand(m).size(), 4u);
+  // Declared workloads become plain registry tokens for other manifests.
+  const Manifest other = from_text(R"({
+    "name": "wm_expand_other",
+    "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+               "networks": ["wm-expand-net"],
+               "bitwidth_modes": ["heterogeneous"]}]
+  })");
+  EXPECT_EQ(expand(other).size(), 1u);
+}
+
+TEST(WorkloadManifest, MixedExplicitAndZooTokensResolve) {
+  const Manifest m = from_text(R"({
+    "name": "wm_mixed",
+    "workloads": [{"generator": "mlp_family", "depth": 2, "width": 4}],
+    "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+               "networks": ["alexnet", "mlp_family-d2-w4-u8"],
+               "bitwidth_modes": ["heterogeneous"]}]
+  })");
+  const auto scenarios = expand(m);
+  ASSERT_EQ(scenarios.size(), 2u);
+  EXPECT_EQ(scenarios[0].network.name(), "AlexNet");
+  EXPECT_EQ(scenarios[1].network.name(), "mlp_family-d2-w4-u8");
+}
+
+TEST(WorkloadManifest, RejectsBadWorkloadBlocks) {
+  const auto bad = [](const std::string& text, const std::string& needle) {
+    try {
+      (void)from_text(text);
+      FAIL() << "expected an error containing: " << needle;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  const std::string grid = R"("grids": [{"platforms": ["bpvec"],
+      "memories": ["ddr4"], "networks": ["all"]}])";
+  bad(R"({"name": "m", "workloads": [], )" + grid + "}",
+      "\"workloads\" must be a non-empty array");
+  bad(R"({"name": "m", "workloads": [{}], )" + grid + "}",
+      "exactly one of \"file\", \"network\", or \"generator\"");
+  bad(R"({"name": "m", "workloads": [
+        {"generator": "mlp_family", "file": "x"}], )" + grid + "}",
+      "exactly one of");
+  bad(R"({"name": "m", "workloads": [{"generator": "nope"}], )" + grid + "}",
+      "unknown workload generator \"nope\"");
+  bad(R"({"name": "m", "workloads": [
+        {"generator": "mlp_family", "depth": 0}], )" + grid + "}",
+      "\"depth\" values must be positive");
+  bad(R"({"name": "m", "workloads": [
+        {"generator": "mlp_family", "bitwidth_policy": "uniform:9"}], )" +
+          grid + "}",
+      "unknown bitwidth_policy");
+  bad(R"({"name": "m", "workloads": [
+        {"network": {"name": "alexnet", "layers": [
+          {"kind": "fc", "name": "f", "in_features": 1,
+           "out_features": 1}]}}], )" + grid + "}",
+      "collides with the builtin network \"alexnet\"");
+  bad(R"({"name": "m", "workloads": [
+        {"network": {"name": "wm-dupe", "layers": [
+          {"kind": "fc", "name": "f", "in_features": 1,
+           "out_features": 1}]}},
+        {"network": {"name": "WM_DUPE", "layers": [
+          {"kind": "fc", "name": "f", "in_features": 2,
+           "out_features": 1}]}}], )" + grid + "}",
+      "duplicate workload name");
+  bad(R"({"name": "m", "workloads": [{"file": "/nonexistent/net.json"}], )" +
+          grid + "}",
+      "/nonexistent/net.json");
+  // The "workloads" meta token needs a workloads block.
+  bad(R"({"name": "m", "grids": [{"platforms": ["bpvec"],
+        "memories": ["ddr4"], "networks": ["workloads"]}]})",
+      "\"workloads\" needs a non-empty manifest");
+  // Omitting bitwidth_modes on a custom-workload grid would silently
+  // flatten the declared bits to the homogeneous8b default.
+  bad(R"({"name": "m", "workloads": [
+        {"generator": "mlp_family", "depth": 2, "width": 8,
+         "bitwidth_policy": ["uniform:2", "uniform:4"]}],
+      "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+                 "networks": ["workloads"]}]})",
+      "the grid omits \"bitwidth_modes\"");
+}
+
+TEST(WorkloadManifest, UnknownNetworkErrorListsTheVocabulary) {
+  try {
+    (void)from_text(R"({
+      "name": "m",
+      "workloads": [{"generator": "mlp_family", "depth": 2, "width": 4}],
+      "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+                 "networks": ["mlp_family-d9-w9-u8"]}]})");
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown network"), std::string::npos) << what;
+    EXPECT_NE(what.find("\"all\""), std::string::npos);
+    EXPECT_NE(what.find("\"workloads\""), std::string::npos);
+    EXPECT_NE(what.find("\"alexnet\""), std::string::npos);
+    EXPECT_NE(what.find("\"mlp_family-d2-w4-u8\""), std::string::npos);
+  }
+}
+
+TEST(WorkloadManifest, RoundTripsThroughToJson) {
+  const std::string path = write_net_file("wm_roundtrip.json", "wm-rt-net");
+  const Manifest original = from_text(R"({
+    "name": "wm_rt",
+    "workloads": [
+      {"file": ")" + path + R"("},
+      {"network": {"name": "wm-rt-inline", "layers": [
+        {"kind": "conv", "name": "c", "in_c": 1, "in_h": 4, "in_w": 4,
+         "out_c": 2, "kh": 3, "kw": 3, "pad": 1}]}},
+      {"generator": "cnn_family", "depth": [1, 2], "width": [4, 8],
+       "bitwidth_policy": ["uniform:4", "first_last_8"]}
+    ],
+    "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+               "networks": ["workloads"],
+               "bitwidth_modes": ["heterogeneous"]}]
+  })");
+  // 2 depths × 2 widths × 2 policies = 8 generated + file + inline.
+  EXPECT_EQ(original.workloads[2].names.size(), 8u);
+  EXPECT_EQ(scenario_count(original), 10u);
+  const auto dumped = to_json(original).dump(2);
+  const Manifest reparsed = parse_manifest(parse(dumped));
+  ASSERT_EQ(reparsed.workloads.size(), original.workloads.size());
+  for (std::size_t i = 0; i < original.workloads.size(); ++i) {
+    EXPECT_EQ(reparsed.workloads[i].kind, original.workloads[i].kind);
+    EXPECT_EQ(reparsed.workloads[i].names, original.workloads[i].names);
+  }
+  EXPECT_EQ(to_json(reparsed).dump(2), dumped);  // fixed point
+}
+
+TEST(SearchManifest, WorkloadGeneratorBlock) {
+  const Manifest m = from_text(R"({
+    "name": "wm_search",
+    "search": {
+      "workload": {"generator": "mlp_family", "depth": 2, "width": 16,
+                   "bitwidth_policy": "uniform:4"},
+      "space": {"net_width": [8, 16], "cvu_lanes": [4, 16]}
+    }
+  })");
+  ASSERT_TRUE(m.search.has_value());
+  ASSERT_TRUE(m.search->workload.has_value());
+  EXPECT_EQ(m.search->workload->family, "mlp_family");
+  EXPECT_EQ(m.search->workload->depth, 2);
+  EXPECT_TRUE(m.search->network.empty());
+  const engine::Scenario base = search_base_scenario(*m.search);
+  EXPECT_EQ(base.network.name(), "mlp_family-d2-w16-u4");
+  EXPECT_EQ(base.network.layers()[0].x_bits, 4);
+  // Round trip: the workload block replaces network/bitwidth_mode.
+  const auto dumped = to_json(m).dump(2);
+  const Manifest reparsed = parse_manifest(parse(dumped));
+  ASSERT_TRUE(reparsed.search->workload.has_value());
+  EXPECT_EQ(reparsed.search->workload->family, "mlp_family");
+  EXPECT_EQ(to_json(reparsed).dump(2), dumped);
+}
+
+TEST(SearchManifest, WorkloadBlockExclusionsAndNetAxisGuards) {
+  const auto bad = [](const std::string& text, const std::string& needle) {
+    try {
+      (void)from_text(text);
+      FAIL() << "expected an error containing: " << needle;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  bad(R"({"name": "m", "search": {
+        "workload": {"generator": "mlp_family"}, "network": "alexnet",
+        "space": {"cvu_lanes": [4]}}})",
+      "mutually exclusive");
+  bad(R"({"name": "m", "search": {
+        "workload": {"generator": "mlp_family"},
+        "bitwidth_mode": "heterogeneous",
+        "space": {"cvu_lanes": [4]}}})",
+      "\"bitwidth_mode\" does not apply");
+  bad(R"({"name": "m", "search": {
+        "workload": {"generator": "mlp_family"},
+        "bitwidth_override": {"x_bits": 2, "w_bits": 2},
+        "space": {"cvu_lanes": [4]}}})",
+      "\"bitwidth_override\" does not apply");
+  bad(R"({"name": "m", "search": {"network": "alexnet",
+        "space": {"net_depth": [2, 3]}}})",
+      "needs a \"workload\" generator block");
+  // Axis values outside the family's caps must fail --validate, not
+  // abort a half-spent search.
+  bad(R"({"name": "m", "search": {
+        "workload": {"generator": "mlp_family"},
+        "space": {"net_bits": [4, 16]}}})",
+      "\"net_bits\" value 16");
+  bad(R"({"name": "m", "search": {
+        "workload": {"generator": "cnn_family"},
+        "space": {"net_depth": [8]}}})",
+      "depth must be in [1, 5]");
+  bad(R"({"name": "m", "search": {
+        "workload": {"generator": "mlp_family"},
+        "space": {"net_width": [0]}}})",
+      "\"net_width\" values must be positive");
+}
+
+TEST(SearchManifest, CustomNetworkTokenNeedsAnExplicitBitwidthMode) {
+  // Same guard the grid path has: the default mode would flatten the
+  // declared bits.
+  const Manifest declared = from_text(R"({
+    "name": "m",
+    "workloads": [{"generator": "mlp_family", "depth": 2, "width": 8,
+                   "bitwidth_policy": "uniform:4"}],
+    "search": {"network": "mlp_family-d2-w8-u4",
+               "bitwidth_mode": "heterogeneous",
+               "space": {"cvu_lanes": [4]}}
+  })");
+  (void)register_workloads(declared);
+  const engine::Scenario base = search_base_scenario(*declared.search);
+  EXPECT_EQ(base.network.layers()[0].x_bits, 4);  // declared bits kept
+  try {
+    (void)from_text(R"({
+      "name": "m",
+      "workloads": [{"generator": "mlp_family", "depth": 2, "width": 8,
+                     "bitwidth_policy": "uniform:4"}],
+      "search": {"network": "mlp_family-d2-w8-u4",
+                 "space": {"cvu_lanes": [4]}}
+    })");
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "the search omits \"bitwidth_mode\""),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ----- the list subcommand and --network-file -------------------------
+
+TEST(CliList, PrintsEveryVocabulary) {
+  std::ostringstream out, err;
+  const char* argv[] = {"bpvec_run", "list"};
+  ASSERT_EQ(main_cli(2, argv, out, err), 0) << err.str();
+  const std::string text = out.str();
+  for (const char* needle :
+       {"backends:", "bpvec", "platforms:", "tpu_like", "memories:",
+        "ddr4", "bitwidth_modes:", "networks:", "alexnet",
+        "workload_generators:", "mlp_family", "search_knobs:",
+        "net_depth", "metrics:", "cycles", "strategies:", "hill_climb"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(CliList, NetworkFileRegistersAndShowsUp) {
+  const std::string path = write_net_file("cli_list.json", "cli-list-net");
+  std::ostringstream out, err;
+  const char* argv[] = {"bpvec_run", "list", "--network-file",
+                        path.c_str()};
+  ASSERT_EQ(main_cli(4, argv, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("cli-list-net"), std::string::npos);
+  // Once registered, a manifest can name it without a workloads block.
+  const Manifest m = from_text(R"({
+    "name": "cli_list_grid",
+    "grids": [{"platforms": ["bpvec"], "memories": ["ddr4"],
+               "networks": ["cli-list-net"],
+               "bitwidth_modes": ["heterogeneous"]}]
+  })");
+  EXPECT_EQ(expand(m).size(), 1u);
+}
+
+TEST(CliList, RejectsAManifestArgument) {
+  std::ostringstream out, err;
+  const char* argv[] = {"bpvec_run", "list", "extra.json"};
+  EXPECT_NE(main_cli(3, argv, out, err), 0);
+  EXPECT_NE(err.str().find("`list` takes no manifest"), std::string::npos)
+      << err.str();
+  // Both orderings of the two subcommands conflict explicitly (neither
+  // may silently become a manifest path).
+  for (const auto& argv2 : {std::pair{"search", "list"},
+                            std::pair{"list", "search"}}) {
+    std::ostringstream out2, err2;
+    const char* args[] = {"bpvec_run", argv2.first, argv2.second};
+    EXPECT_NE(main_cli(3, args, out2, err2), 0);
+    EXPECT_NE(err2.str().find("mutually exclusive subcommands"),
+              std::string::npos)
+        << err2.str();
+  }
 }
 
 }  // namespace

@@ -145,5 +145,73 @@ TEST(GeometrySpace, ValidatesEagerlyLikeDesignGrid) {
   EXPECT_THROW(core::design_grid({3}, {16}), Error);
 }
 
+TEST(ParamSpace, WorkloadAxesRegenerateTheNetwork) {
+  ParamSpace space;
+  space.add_axis(Knob::kNetDepth, {2, 3});
+  space.add_axis(Knob::kNetWidth, {16});
+  space.add_axis(Knob::kNetBits, {4});
+  space.add_axis(Knob::kCvuLanes, {4, 16});
+  const auto base = engine::make_scenario(
+      engine::Platform::kBpvec, core::Memory::kDdr4,
+      dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b));
+  const workload::GeneratorSpec generator{"mlp_family", 0, 0, "", ""};
+
+  const engine::Scenario first =
+      space.materialize(space.at(0), base, &generator);
+  EXPECT_EQ(first.network.name(), "mlp_family-d2-w16-u4");
+  EXPECT_EQ(first.network.layers().size(), 2u);
+  EXPECT_EQ(first.network.layers()[0].x_bits, 4);
+  EXPECT_EQ(first.platform.cvu.lanes, 4);
+  // Ids stay unique per candidate (the label carries the net knobs).
+  EXPECT_NE(first.id.find("net_depth=2"), std::string::npos);
+
+  const engine::Scenario deeper =
+      space.materialize(space.at(2), base, &generator);  // depth=3
+  EXPECT_EQ(deeper.network.layers().size(), 3u);
+  EXPECT_NE(first.fingerprint(), deeper.fingerprint());
+}
+
+TEST(ParamSpace, WorkloadAxesWithoutAGeneratorThrow) {
+  ParamSpace space;
+  space.add_axis(Knob::kNetDepth, {2});
+  const auto base = engine::make_scenario(
+      engine::Platform::kBpvec, core::Memory::kDdr4,
+      dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b));
+  try {
+    (void)space.materialize(space.at(0), base);
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("needs a workload generator"),
+              std::string::npos)
+        << e.what();
+  }
+  // 0 would silently mean "family default" — axis values must be
+  // explicit positives.
+  ParamSpace zero;
+  zero.add_axis(Knob::kNetDepth, {0, 3});
+  const workload::GeneratorSpec mlp{"mlp_family", 0, 0, "", ""};
+  try {
+    (void)zero.materialize(zero.at(0), base, &mlp);
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "\"net_depth\" values must be positive"),
+              std::string::npos)
+        << e.what();
+  }
+  // Out-of-range picks surface as invalid-workload candidate errors.
+  ParamSpace bad;
+  bad.add_axis(Knob::kNetBits, {9});
+  const workload::GeneratorSpec generator{"mlp_family", 0, 0, "", ""};
+  try {
+    (void)bad.materialize(bad.at(0), base, &generator);
+    FAIL() << "expected an error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid workload"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace bpvec::dse

@@ -1,4 +1,7 @@
 // bpvec_run — price scenario manifests from the command line.
+// Subcommands: (default) grid mode, `search` for the dse block, `list`
+// for the canonical token vocabularies. `--network-file` registers
+// custom workload-schema networks for the invocation.
 // All logic lives in src/cli/driver.cpp so tests can drive it in-process.
 #include <iostream>
 
