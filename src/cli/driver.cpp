@@ -229,6 +229,26 @@ Value build_search_report(const std::string& manifest_name,
     frontier.push_back(std::move(entry));
   }
   report.set("frontier", std::move(frontier));
+  // Per-strategy provenance: how the non-exhaustive strategies were
+  // driven, so a report is reproducible without the manifest file. Grid
+  // has none (the space itself is the full provenance), which also keeps
+  // pre-existing grid-search reports byte-stable.
+  if (spec.strategy != "grid") {
+    Value sb = Value::object();
+    sb.set("name", spec.strategy);
+    sb.set("seed", static_cast<std::int64_t>(spec.seed));
+    if (spec.budget > 0) {
+      sb.set("budget", static_cast<std::int64_t>(spec.budget));
+    }
+    sb.set("budget_consumed", outcome.candidates);
+    if (spec.strategy == "hill_climb" || spec.strategy == "annealing") {
+      sb.set("restarts", static_cast<std::int64_t>(spec.restarts));
+    }
+    if (spec.strategy == "genetic") {
+      sb.set("population", static_cast<std::int64_t>(spec.population));
+    }
+    report.set("strategy", std::move(sb));
+  }
   if (include_stats) report.set("stats", engine::to_json(stats));
   return report;
 }
@@ -250,8 +270,11 @@ void run_search_mode(const DriverOptions& options, std::ostream& out,
         << "space: " << space.size() << " candidates over "
         << space.num_axes() << " axes\nstrategy: " << spec.strategy;
     if (spec.budget > 0) out << ", budget " << spec.budget;
-    if (spec.strategy == "hill_climb") {
+    if (spec.strategy == "hill_climb" || spec.strategy == "annealing") {
       out << ", restarts " << spec.restarts;
+    }
+    if (spec.strategy == "genetic") {
+      out << ", population " << spec.population;
     }
     out << "\nbase scenario: " << base.id << "\nmanifest OK\n";
     return;
@@ -262,9 +285,14 @@ void run_search_mode(const DriverOptions& options, std::ostream& out,
   engine_options.disk_cache_dir = options.cache_dir;
   engine::SimEngine engine(engine_options);
 
-  auto strategy =
-      dse::make_strategy(spec.strategy, space, spec.budget, spec.restarts,
-                         spec.seed, spec.objectives);
+  dse::StrategyOptions strategy_options;
+  strategy_options.budget = spec.budget;
+  strategy_options.restarts = spec.restarts;
+  strategy_options.population = spec.population;
+  strategy_options.seed = spec.seed;
+  strategy_options.objectives = spec.objectives;
+  auto strategy = dse::make_strategy(spec.strategy, space,
+                                     std::move(strategy_options));
   dse::ScenarioEvaluator evaluator(engine, space, std::move(base),
                                    spec.objectives, spec.mix,
                                    spec.constraints, spec.workload);
@@ -433,8 +461,9 @@ std::string usage() {
       "subcommands:\n"
       "  search             run the manifest's \"search\" block: explore its\n"
       "                     knob space with the configured strategy\n"
-      "                     (grid | random | hill_climb) and report the\n"
-      "                     Pareto frontier over its objectives\n"
+      "                     (grid | random | hill_climb | annealing |\n"
+      "                     genetic) and report the Pareto frontier over\n"
+      "                     its objectives\n"
       "  list               print the canonical token vocabularies\n"
       "                     (backends, platforms, memories, bitwidth modes,\n"
       "                     networks, workload generators, search knobs,\n"

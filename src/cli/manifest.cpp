@@ -754,8 +754,8 @@ SearchSpec parse_search(const Value& v,
   check_keys(context, v,
              {"backend", "platform", "memory", "network", "workload",
               "bitwidth_mode", "bitwidth_override", "space", "strategy",
-              "budget", "seed", "restarts", "objectives", "constraints",
-              "mix"});
+              "budget", "seed", "restarts", "population", "objectives",
+              "constraints", "mix"});
   SearchSpec s;
   if (const Value* f = v.find("backend")) {
     s.backend = parse_string(context, *f, "backend");
@@ -872,9 +872,10 @@ SearchSpec parse_search(const Value& v,
     if (b <= 0) fail(context, "\"budget\" must be positive");
     s.budget = static_cast<std::size_t>(b);
   }
-  if (s.strategy == "random" && s.budget == 0) {
-    fail(context, "strategy \"random\" requires a \"budget\" (its sample "
-                      "count)");
+  if (s.budget == 0 && (s.strategy == "random" || s.strategy == "annealing" ||
+                        s.strategy == "genetic")) {
+    fail(context, "strategy \"" + s.strategy +
+                      "\" requires a \"budget\" (its proposal count)");
   }
   if (const Value* f = v.find("seed")) {
     if (!f->is_int() || f->as_int() < 0) {
@@ -886,6 +887,11 @@ SearchSpec parse_search(const Value& v,
     const int r = parse_int(context, *f, "restarts");
     if (r <= 0) fail(context, "\"restarts\" must be positive");
     s.restarts = static_cast<std::size_t>(r);
+  }
+  if (const Value* f = v.find("population")) {
+    const int p = parse_int(context, *f, "population");
+    if (p < 2) fail(context, "\"population\" must be at least 2");
+    s.population = static_cast<std::size_t>(p);
   }
   if (const Value* f = v.find("objectives")) {
     s.objectives = parse_objectives(context, *f);
@@ -1022,6 +1028,11 @@ common::json::Value to_json(const SearchSpec& s) {
   if (s.budget > 0) sv.set("budget", static_cast<std::int64_t>(s.budget));
   sv.set("seed", static_cast<std::int64_t>(s.seed));
   sv.set("restarts", static_cast<std::int64_t>(s.restarts));
+  // Only genetic reads "population" — emitting it unconditionally would
+  // churn the echoed spec in every non-genetic search report.
+  if (s.strategy == "genetic") {
+    sv.set("population", static_cast<std::int64_t>(s.population));
+  }
   Value objectives = Value::array();
   for (const dse::Objective& o : s.objectives) {
     Value ov = Value::object();

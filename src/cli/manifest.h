@@ -79,10 +79,13 @@
 //         "cvu_lanes": [4, 16],
 //         "batch_size": [1, 4]
 //       },
-//       "strategy": "grid",                    // grid | random | hill_climb
-//       "budget": 64,                          // eval cap (random: required)
+//       "strategy": "grid",        // grid | random | hill_climb |
+//                                  //   annealing | genetic
+//       "budget": 64,              // eval cap (random/annealing/genetic:
+//                                  //   required)
 //       "seed": 42,                            // optional
-//       "restarts": 4,                         // hill_climb starts
+//       "restarts": 4,                         // hill_climb/annealing starts
+//       "population": 16,                      // genetic generation size
 //       "objectives": ["cycles", "energy"],    // or {"metric","maximize"}
 //       "constraints": {"min_utilization": 0.5},
 //       "mix": [{"x_bits": 4, "w_bits": 4, "weight": 0.6}]  // optional
@@ -197,7 +200,8 @@ struct SearchSpec {
   std::vector<dse::Axis> space;            // manifest order == axis order
   std::string strategy{"grid"};            // dse::strategy_tokens()
   std::size_t budget = 0;                  // 0 = strategy decides
-  std::size_t restarts = 4;                // hill_climb start points
+  std::size_t restarts = 4;                // hill_climb starts / annealing chains
+  std::size_t population = 16;             // genetic generation size
   std::uint64_t seed = 42;
   std::vector<dse::Objective> objectives{  // default: cycles + energy
       {dse::Metric::kCycles, false},

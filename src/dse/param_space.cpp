@@ -194,7 +194,17 @@ bitslice::CvuGeometry ParamSpace::geometry(const Candidate& c,
 engine::Scenario ParamSpace::materialize(
     const Candidate& c, const engine::Scenario& base,
     const workload::GeneratorSpec* generator) const {
-  engine::Scenario s = base;
+  engine::Scenario s;
+  materialize_into(c, base, generator, s);
+  return s;
+}
+
+void ParamSpace::materialize_into(const Candidate& c,
+                                  const engine::Scenario& base,
+                                  const workload::GeneratorSpec* generator,
+                                  engine::Scenario& out) const {
+  engine::Scenario& s = out;
+  s = base;
   // Workload axes first: the regenerated network replaces base.network
   // wholesale, so platform/memory knob application order is unaffected.
   bool regenerate = false;
@@ -273,8 +283,10 @@ engine::Scenario ParamSpace::materialize(
     throw Error("ParamSpace: candidate [" + label(c) +
                 "] produces an invalid memory system");
   }
-  s.id = base.id + " [" + label(c) + "]";
-  return s;
+  s.id = base.id;
+  s.id += " [";
+  s.id += label(c);
+  s.id += ']';
 }
 
 ParamSpace geometry_space(const std::vector<int>& slice_widths,

@@ -133,6 +133,16 @@ class ParamSpace {
       const Candidate& c, const engine::Scenario& base,
       const workload::GeneratorSpec* generator = nullptr) const;
 
+  /// Allocation-lean materialize: writes the candidate scenario into
+  /// `out` (which must not alias `base`). Copy-assignment into a reused
+  /// buffer keeps the string/vector capacities of the previous candidate
+  /// alive, so a search's per-candidate construction cost stops paying
+  /// for fresh heap churn (ScenarioEvaluator reuses one buffer per batch
+  /// slot). Identical semantics and errors to materialize().
+  void materialize_into(const Candidate& c, const engine::Scenario& base,
+                        const workload::GeneratorSpec* generator,
+                        engine::Scenario& out) const;
+
  private:
   std::vector<Axis> axes_;
 };

@@ -1,11 +1,13 @@
 #include "src/dse/search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 #include <utility>
 
 #include "src/arch/cvu_cost.h"
 #include "src/common/error.h"
+#include "src/workload/schema.h"
 
 namespace bpvec::dse {
 
@@ -94,6 +96,12 @@ ScenarioEvaluator::ScenarioEvaluator(
   if (mix_from_network_) {
     mix_ = derive_mix(base_.network);
   }
+  // Prewarm the base network's structural fingerprint memo: every
+  // candidate that keeps the base workload copies the memo along with
+  // the network, so the engine's fingerprint pass hashes the workload
+  // once per search instead of once per candidate.
+  (void)workload::network_fingerprint(base_.network,
+                                      base_.platform.time_chunk);
 }
 
 std::vector<core::BitwidthMixEntry> ScenarioEvaluator::derive_mix(
@@ -111,12 +119,20 @@ std::vector<core::BitwidthMixEntry> ScenarioEvaluator::derive_mix(
 
 std::vector<Evaluation> ScenarioEvaluator::evaluate(
     const std::vector<Candidate>& batch) {
-  std::vector<engine::Scenario> scenarios;
-  scenarios.reserve(batch.size());
-  for (const Candidate& c : batch) {
-    scenarios.push_back(space_.materialize(
-        c, base_, generator_ ? &*generator_ : nullptr));
+  // Materialize into reused buffers (capacities survive across batches)
+  // and report the construction wall time to the engine's phase timers
+  // — the "construct" share of the dispatch-cost split.
+  const auto t0 = std::chrono::steady_clock::now();
+  scratch_.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    space_.materialize_into(batch[i], base_,
+                            generator_ ? &*generator_ : nullptr,
+                            scratch_[i]);
   }
+  engine_.record_construct_seconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+  const std::vector<engine::Scenario>& scenarios = scratch_;
   std::vector<sim::RunResult> results = engine_.run_batch(scenarios);
 
   const arch::CvuCostModel cost;

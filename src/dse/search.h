@@ -116,6 +116,9 @@ class ScenarioEvaluator final : public Evaluator {
   bool mix_from_network_;
   Constraints constraints_;
   std::optional<workload::GeneratorSpec> generator_;
+  /// Reused per-batch Scenario buffers (materialize_into keeps the
+  /// previous candidate's heap capacities alive between batches).
+  std::vector<engine::Scenario> scratch_;
 };
 
 struct SearchOptions {

@@ -2,10 +2,12 @@
 //
 // A strategy is a proposal engine: the search driver repeatedly asks it
 // for the next batch of candidates (propose), prices them, and hands the
-// evaluations back (observe). All three built-ins are deterministic —
-// random choices flow through Rng::fork keyed on stable indices, never
-// on thread identity or wall clock — so a search is a pure function of
-// (space, strategy, seed, budget).
+// evaluations back (observe). All built-ins are deterministic — random
+// choices flow through Rng::fork keyed on stable indices (draw index,
+// chain × step, generation × slot), never on thread identity or wall
+// clock — so a search is a pure function of (space, strategy, seed,
+// budget). Batch size never changes which candidates a strategy
+// proposes: rounds are planned whole and merely sliced to max_batch.
 //
 //   grid        exhaustive enumeration in the space's canonical
 //               (row-major, first-axis-outermost) order. Over
@@ -21,7 +23,22 @@
 //               Each round proposes every ±1-step axis neighbor of each
 //               active climber; a climber moves to its best strictly
 //               improving neighbor (scalarize() order, first-wins ties)
-//               and stalls — permanently — when none improves.
+//               and stalls — permanently — when none improves. Neighbor
+//               candidate keys are cached per climber position, so
+//               known-score skip checks are O(1) map lookups instead of
+//               a re-enumeration + re-hash per round.
+//   annealing   simulated annealing: `restarts` lock-stepped chains
+//               started like hill_climb's, each proposing one random
+//               ±1-step axis neighbor per round. Worse neighbors are
+//               accepted with probability exp(-(s'/s - 1)/T) under a
+//               geometric temperature schedule (1.0 → 1e-3 across the
+//               budget), so chains escape the local optima hill_climb
+//               stalls in. Requires a budget (> 0 total proposals).
+//   genetic     generational GA: a population drawn like random's first
+//               P samples, then per generation the top quarter survives
+//               (elitism) and the rest are children of tournament-
+//               selected parents via uniform crossover + per-axis
+//               mutation (probability 1/num_axes). Requires a budget.
 #pragma once
 
 #include <cstdint>
@@ -40,8 +57,8 @@ namespace bpvec::dse {
 /// minimized metric values divided by the product of all maximized ones
 /// — the multi-objective generalization of core::best_design's
 /// power·area/utilization² score. Infeasible evaluations score +inf.
-/// Used by hill_climb to order neighbors (the frontier itself never
-/// scalarizes).
+/// Used by hill_climb/annealing/genetic to order candidates (the
+/// frontier itself never scalarizes).
 double scalarize(const std::vector<Objective>& objectives,
                  const Evaluation& e);
 
@@ -98,16 +115,30 @@ class HillClimbStrategy final : public SearchStrategy {
   void observe(const std::vector<Evaluation>& batch) override;
 
  private:
+  /// A ±1-step axis neighbor with its candidate_key computed once — the
+  /// skip check ("score already known?") is then a hash-map lookup, not
+  /// a fresh enumeration + key hash per round.
+  struct Neighbor {
+    Candidate candidate;
+    std::uint64_t key = 0;
+  };
+
   struct Climber {
     Candidate current;
     double score = 0.0;
     bool active = false;  // set once the start point is scored
     bool done = false;
+    /// Neighbors of `current`, enumeration order (axis-major, -1 then
+    /// +1). Valid while the climber sits at `current`.
+    std::vector<Neighbor> neighbors;
+    bool neighbors_cached = false;
   };
 
   /// Refills pending_ with the next round of proposals (starts, then
   /// neighbor rounds) once the previous round is fully observed.
   void plan_round();
+  /// (Re)enumerates `c.current`'s neighbors with their keys.
+  void cache_neighbors(Climber& c) const;
 
   const ParamSpace& space_;
   std::size_t restarts_;
@@ -122,15 +153,103 @@ class HillClimbStrategy final : public SearchStrategy {
   std::unordered_map<std::uint64_t, double> score_by_key_;
 };
 
-/// Valid strategy tokens: {"grid", "random", "hill_climb"}.
+class SimulatedAnnealingStrategy final : public SearchStrategy {
+ public:
+  /// `chains` lock-stepped annealing chains (started like hill_climb's
+  /// restarts), `budget` total proposals across all chains (> 0; sets
+  /// the cooling schedule's length), seeded like every strategy.
+  SimulatedAnnealingStrategy(const ParamSpace& space, std::size_t chains,
+                             std::size_t budget, std::uint64_t seed,
+                             std::vector<Objective> objectives);
+
+  const char* name() const override { return "annealing"; }
+  std::vector<Candidate> propose(std::size_t max_batch) override;
+  void observe(const std::vector<Evaluation>& batch) override;
+
+ private:
+  struct Chain {
+    Candidate current;
+    double score = 0.0;
+    bool active = false;  // set once the start point is scored
+    Candidate proposal;
+    bool has_proposal = false;
+    /// Acceptance draw and temperature, fixed at proposal time so the
+    /// verdict is a pure function of (chain, step) — not of batching.
+    double accept_u = 0.0;
+    double accept_temp = 1.0;
+  };
+
+  void plan_round();
+  bool accept(const Chain& c, double proposal_score) const;
+
+  const ParamSpace& space_;
+  std::size_t budget_;
+  Rng rng_;
+  std::vector<Objective> objectives_;
+  std::vector<Chain> chains_;
+  /// Axes with >= 2 values (the only ones a neighbor step can move).
+  std::vector<std::size_t> movable_axes_;
+  double cooling_ = 1.0;   // geometric per-round factor
+  std::size_t step_ = 0;   // neighbor rounds planned so far
+  std::size_t proposed_ = 0;
+  bool starts_planned_ = false;
+  std::vector<Candidate> pending_;
+  std::size_t pending_cursor_ = 0;
+  std::unordered_map<std::uint64_t, double> score_by_key_;
+};
+
+class GeneticStrategy final : public SearchStrategy {
+ public:
+  /// `population` candidates per generation (>= 2), `budget` total
+  /// proposals (> 0). Generation 0 is drawn exactly like random's first
+  /// `population` samples.
+  GeneticStrategy(const ParamSpace& space, std::size_t population,
+                  std::size_t budget, std::uint64_t seed,
+                  std::vector<Objective> objectives);
+
+  const char* name() const override { return "genetic"; }
+  std::vector<Candidate> propose(std::size_t max_batch) override;
+  void observe(const std::vector<Evaluation>& batch) override;
+
+ private:
+  void plan_generation();
+
+  const ParamSpace& space_;
+  std::size_t population_;
+  std::size_t budget_;
+  Rng rng_;
+  std::vector<Objective> objectives_;
+  /// The previous generation, proposal order (the parent pool).
+  std::vector<Candidate> parents_;
+  std::size_t generation_ = 0;
+  std::size_t proposed_ = 0;
+  std::vector<Candidate> pending_;
+  std::size_t pending_cursor_ = 0;
+  std::unordered_map<std::uint64_t, double> score_by_key_;
+};
+
+/// Valid strategy tokens:
+/// {"grid", "random", "hill_climb", "annealing", "genetic"}.
 const std::vector<std::string>& strategy_tokens();
 
-/// Builds a strategy from its token. `budget` is the random strategy's
-/// sample count (must be > 0 for "random"); `restarts` only applies to
-/// "hill_climb". Throws bpvec::Error on an unknown token.
-std::unique_ptr<SearchStrategy> make_strategy(
-    const std::string& token, const ParamSpace& space, std::size_t budget,
-    std::size_t restarts, std::uint64_t seed,
-    std::vector<Objective> objectives);
+/// Everything make_strategy needs beyond the space. `budget` is the
+/// random strategy's sample count and the annealing/genetic proposal
+/// budget (those three require it > 0); `restarts` is hill_climb's
+/// start count and annealing's chain count; `population` is genetic's
+/// generation size; `objectives` rank candidates for every
+/// score-driven strategy.
+struct StrategyOptions {
+  std::size_t budget = 0;
+  std::size_t restarts = 4;
+  std::size_t population = 16;
+  std::uint64_t seed = 42;
+  std::vector<Objective> objectives;
+};
+
+/// Builds a strategy from its token. Throws bpvec::Error on an unknown
+/// token or an option the strategy rejects (e.g. a missing budget).
+std::unique_ptr<SearchStrategy> make_strategy(const std::string& token,
+                                              const ParamSpace& space,
+                                              StrategyOptions options);
 
 }  // namespace bpvec::dse

@@ -1,6 +1,7 @@
 #include "src/engine/sim_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <shared_mutex>
 #include <string>
 #include <utility>
@@ -13,7 +14,13 @@
 namespace bpvec::engine {
 
 namespace {
-constexpr std::size_t kNotDupe = static_cast<std::size_t>(-1);
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
 }  // namespace
 
 common::json::Value to_json(const EngineStats& stats) {
@@ -23,10 +30,16 @@ common::json::Value to_json(const EngineStats& stats) {
   v.set("cache_hits", stats.cache_hits);
   v.set("layers_priced", stats.layers_priced);
   v.set("layer_cache_hits", stats.layer_cache_hits);
+  v.set("delta_scenarios", stats.delta_scenarios);
   v.set("disk_hits", stats.disk_hits);
   v.set("disk_misses", stats.disk_misses);
   v.set("disk_rejected", stats.disk_rejected);
   v.set("disk_stores", stats.disk_stores);
+  v.set("construct_s", stats.construct_s);
+  v.set("hash_s", stats.hash_s);
+  v.set("plan_s", stats.plan_s);
+  v.set("price_s", stats.price_s);
+  v.set("assemble_s", stats.assemble_s);
   return v;
 }
 
@@ -45,70 +58,22 @@ std::size_t SimEngine::batch_grain(std::size_t jobs) const {
   return std::max<std::size_t>(1, jobs / std::max<std::size_t>(1, lanes));
 }
 
-sim::RunResult SimEngine::run_with_layer_cache(
-    const backend::CostBackend& be, const dnn::Network& network) {
-  const auto& net_layers = network.layers();
-  if (!layer_cache_enabled_) {
-    layers_priced_.fetch_add(net_layers.size(), std::memory_order_relaxed);
-    return be.run(network);
+void SimEngine::for_each(std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    // run() and tiny batches skip the pool entirely: no task allocation,
+    // no queue round-trip, no wake. Identical semantics (parallel_for
+    // runs caller-side too and rethrows the same exceptions).
+    fn(0);
+    return;
   }
+  pool_.parallel_for(n, fn, batch_grain(n));
+}
 
-  const std::uint64_t be_print = be.fingerprint();
-  std::vector<std::uint64_t> keys(net_layers.size());
-  for (std::size_t i = 0; i < net_layers.size(); ++i) {
-    keys[i] = be.layer_key(be_print, net_layers[i]);
-  }
-
-  // Probe every key under one reader lock (the warm path: many pool
-  // threads probe concurrently), then price the misses outside it.
-  // Misses sharing a key (ResNet's repeated blocks) price once: later
-  // occurrences alias the first. Two threads pricing the same layer
-  // concurrently both produce the identical result (price_layer is
-  // pure), so the benign double work cannot change any output — the
-  // last emplace is a no-op.
-  std::vector<sim::LayerResult> layers(net_layers.size());
-  std::vector<std::size_t> misses;      // first occurrence per missed key
-  std::vector<std::size_t> dupe_of(net_layers.size(), kNotDupe);
-  {
-    std::unordered_map<std::uint64_t, std::size_t> first_miss;
-    std::shared_lock<std::shared_mutex> lock(layer_mu_);
-    for (std::size_t i = 0; i < net_layers.size(); ++i) {
-      if (auto it = layer_cache_.find(keys[i]); it != layer_cache_.end()) {
-        layers[i] = it->second;
-        // The fingerprint deliberately ignores names so ResNet's repeated
-        // blocks share an entry; restore this layer's own name.
-        layers[i].name = net_layers[i].name;
-        continue;
-      }
-      if (auto it = first_miss.find(keys[i]); it != first_miss.end()) {
-        dupe_of[i] = it->second;  // duplicate within this network
-        continue;
-      }
-      first_miss.emplace(keys[i], i);
-      misses.push_back(i);
-    }
-  }
-  layers_priced_.fetch_add(misses.size(), std::memory_order_relaxed);
-  layer_cache_hits_.fetch_add(net_layers.size() - misses.size(),
-                              std::memory_order_relaxed);
-
-  for (std::size_t i : misses) {
-    layers[i] = be.price_layer(net_layers[i]);
-  }
-  for (std::size_t i = 0; i < net_layers.size(); ++i) {
-    if (dupe_of[i] != kNotDupe) {
-      layers[i] = layers[dupe_of[i]];
-      layers[i].name = net_layers[i].name;
-    }
-  }
-
-  if (!misses.empty()) {
-    std::unique_lock<std::shared_mutex> lock(layer_mu_);
-    for (std::size_t i : misses) {
-      layer_cache_.emplace(keys[i], layers[i]);
-    }
-  }
-  return be.assemble(network, std::move(layers));
+void SimEngine::record_construct_seconds(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.construct_s += seconds;
 }
 
 std::vector<sim::RunResult> SimEngine::run_batch(
@@ -124,6 +89,7 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   // cache one registration's numbers under another's stamp. Scenarios
   // the cache serves never construct a backend at all. Unknown backend
   // keys fail loudly here, before any pricing.
+  auto t_phase = SteadyClock::now();
   auto& registry = backend::BackendRegistry::instance();
   std::unordered_map<std::string, backend::BackendRegistry::Resolved>
       resolved;
@@ -136,24 +102,26 @@ std::vector<sim::RunResult> SimEngine::run_batch(
     }
     generations[i] = it->second.generation;
   }
+  double plan_s = seconds_since(t_phase);
 
   // Scenario fingerprints are pure per-scenario work — hash them on the
   // pool so the cache feature doesn't serialize the parallel region. The
   // disk cache keys off the raw fingerprint (registry generations are
   // process-local; the disk key instead folds the backend instance's own
   // fingerprint, see below), the memo cache folds the generation in.
+  // Networks memoize their structural fingerprint, so a batch of
+  // candidates copied off one base scenario hashes the workload once.
+  t_phase = SteadyClock::now();
   const bool need_prints = cache_enabled_ || disk_ != nullptr;
   std::vector<std::uint64_t> raw_prints(batch.size());
   std::vector<std::uint64_t> prints(batch.size());
   if (need_prints) {
-    pool_.parallel_for(
-        batch.size(),
-        [&](std::size_t i) {
-          raw_prints[i] = batch[i].fingerprint();
-          prints[i] = common::hash_combine(raw_prints[i], generations[i]);
-        },
-        batch_grain(batch.size()));
+    for_each(batch.size(), [&](std::size_t i) {
+      raw_prints[i] = batch[i].fingerprint();
+      prints[i] = common::hash_combine(raw_prints[i], generations[i]);
+    });
   }
+  const double hash_s = seconds_since(t_phase);
 
   // Plan: resolve each scenario against the cache, keeping only the first
   // occurrence of each fingerprint as a real job; later occurrences alias
@@ -166,6 +134,7 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   std::vector<std::size_t> jobs;  // batch indices that actually price
   std::vector<std::shared_ptr<const sim::RunResult>> hits(batch.size());
 
+  t_phase = SteadyClock::now();
   {
     std::unordered_map<std::uint64_t, std::size_t> first_job;
     std::lock_guard<std::mutex> lock(mu_);
@@ -192,52 +161,179 @@ std::vector<sim::RunResult> SimEngine::run_batch(
       jobs.push_back(i);
     }
   }
+  plan_s += seconds_since(t_phase);
 
-  // Price the unique scenarios in parallel, writing each job's result
-  // straight into its primary output slot; the cache's private copy is
-  // made inside the same task so no extra serial pass touches the bulky
-  // RunResults. Each job constructs and owns its backend instance — no
-  // state is shared across tasks, so scheduling order cannot affect the
-  // numbers. The disk cache sits below the memo caches: only memo misses
-  // probe it, a hit skips pricing entirely (the loaded result is
-  // bit-identical by the DiskCache contract), and a miss prices then
-  // persists. Disk-served jobs still feed the in-memory scenario cache.
+  // Delta-pricing pipeline over the unique jobs, in four phases. Each
+  // job constructs and owns its backend instance; cached layer results
+  // are exact copies and assemble() is a pure fold, so every result is
+  // bit-identical to a direct be.run(network) for any cache state, any
+  // thread count, and any batch composition. The disk cache sits below
+  // the memo caches: only memo misses probe it, a hit skips pricing
+  // entirely (the loaded result is bit-identical by the DiskCache
+  // contract), and a miss prices then persists.
+  struct JobState {
+    std::unique_ptr<backend::CostBackend> be;
+    bool disk_served = false;
+    std::uint64_t disk_key = 0;
+    std::vector<std::uint64_t> keys;       // per-layer cache keys
+    std::vector<sim::LayerResult> layers;  // assembled per-layer results
+    /// (layer index, unique-miss index) pairs still needing a price.
+    std::vector<std::pair<std::size_t, std::size_t>> need;
+  };
+  std::vector<JobState> state(jobs.size());
   std::vector<std::shared_ptr<const sim::RunResult>> fresh(
       cache_enabled_ ? jobs.size() : 0);
   std::atomic<std::size_t> disk_served{0};
-  pool_.parallel_for(
-      jobs.size(),
-      [&](std::size_t j) {
-        const std::size_t i = jobs[j];
-        const Scenario& s = batch[i];
-        const auto be = resolved.at(s.backend).factory(s.platform, s.memory);
-        BPVEC_CHECK_MSG(be != nullptr,
-                        "backend factory returned null for: " + s.backend);
-        if (disk_ != nullptr) {
-          // Key: scenario fingerprint × this backend instance's own
-          // fingerprint — both stable across processes, and the latter
-          // covers every pricing knob, so two registrations of one key
-          // with different models can never share an entry.
-          const std::uint64_t disk_key =
-              common::hash_combine(raw_prints[i], be->fingerprint());
-          if (auto cached = disk_->load(disk_key, generations[i])) {
-            results[i] = *cached;
-            disk_served.fetch_add(1, std::memory_order_relaxed);
-            // Reuse the loaded copy as the memo cache's shared entry —
-            // no second deep copy of the layer vector per warm scenario.
-            if (cache_enabled_) fresh[j] = std::move(cached);
-            return;
-          }
-          results[i] = run_with_layer_cache(*be, s.network);
-          disk_->store(disk_key, generations[i], results[i]);
+  std::atomic<std::size_t> probe_hits{0};
+
+  // Phase 1 — per job: construct the backend, probe the disk cache, and
+  // probe the layer cache for every layer key (one reader lock per job;
+  // pool threads probe concurrently).
+  t_phase = SteadyClock::now();
+  for_each(jobs.size(), [&](std::size_t j) {
+    const std::size_t i = jobs[j];
+    const Scenario& s = batch[i];
+    JobState& js = state[j];
+    js.be = resolved.at(s.backend).factory(s.platform, s.memory);
+    BPVEC_CHECK_MSG(js.be != nullptr,
+                    "backend factory returned null for: " + s.backend);
+    if (disk_ != nullptr) {
+      // Key: scenario fingerprint × this backend instance's own
+      // fingerprint — both stable across processes, and the latter
+      // covers every pricing knob, so two registrations of one key
+      // with different models can never share an entry.
+      js.disk_key = common::hash_combine(raw_prints[i], js.be->fingerprint());
+      if (auto cached = disk_->load(js.disk_key, generations[i])) {
+        results[i] = *cached;
+        js.disk_served = true;
+        disk_served.fetch_add(1, std::memory_order_relaxed);
+        // Reuse the loaded copy as the memo cache's shared entry —
+        // no second deep copy of the layer vector per warm scenario.
+        if (cache_enabled_) fresh[j] = std::move(cached);
+        return;
+      }
+    }
+    if (!layer_cache_enabled_) return;  // phase 4 prices via be->run
+    const auto& net_layers = s.network.layers();
+    const std::uint64_t be_print = js.be->fingerprint();
+    js.keys.resize(net_layers.size());
+    js.layers.resize(net_layers.size());
+    for (std::size_t k = 0; k < net_layers.size(); ++k) {
+      js.keys[k] = js.be->layer_key(be_print, net_layers[k]);
+    }
+    {
+      std::shared_lock<std::shared_mutex> lock(layer_mu_);
+      for (std::size_t k = 0; k < net_layers.size(); ++k) {
+        if (auto it = layer_cache_.find(js.keys[k]);
+            it != layer_cache_.end()) {
+          js.layers[k] = it->second;
+          // The fingerprint deliberately ignores names so ResNet's
+          // repeated blocks share an entry; restore this layer's own.
+          js.layers[k].name = net_layers[k].name;
+          continue;
+        }
+        js.need.emplace_back(k, 0);
+      }
+    }
+    probe_hits.fetch_add(net_layers.size() - js.need.size(),
+                         std::memory_order_relaxed);
+  });
+  double price_s = seconds_since(t_phase);
+
+  // Phase 2 — serial dedup: collect the unique missing layer keys across
+  // the whole batch. A key shared by several jobs (a net_depth sweep's
+  // common prefix, repeated blocks across candidates) prices exactly
+  // once — this is what makes a warm neighbor a *delta*: only the layers
+  // its changed axis actually touched are re-priced.
+  t_phase = SteadyClock::now();
+  struct MissRef {
+    std::size_t job;
+    std::size_t layer;
+  };
+  std::vector<MissRef> unique;
+  std::vector<std::uint64_t> unique_keys;
+  std::size_t aliased = 0;
+  std::size_t delta_jobs = 0;
+  if (layer_cache_enabled_) {
+    std::unordered_map<std::uint64_t, std::size_t> owner;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      JobState& js = state[j];
+      if (js.disk_served) continue;
+      std::size_t owned = 0;
+      for (auto& [layer, miss] : js.need) {
+        const std::uint64_t key = js.keys[layer];
+        auto it = owner.find(key);
+        if (it == owner.end()) {
+          it = owner.emplace(key, unique.size()).first;
+          unique.push_back({j, layer});
+          unique_keys.push_back(key);
+          ++owned;
         } else {
-          results[i] = run_with_layer_cache(*be, s.network);
+          ++aliased;
         }
-        if (cache_enabled_) {
-          fresh[j] = std::make_shared<const sim::RunResult>(results[i]);
-        }
-      },
-      batch_grain(jobs.size()));
+        miss = it->second;
+      }
+      // Fewer layers priced here than the network has = a delta
+      // assembly (the rest came from the cache or a batch sibling).
+      if (owned < js.keys.size()) ++delta_jobs;
+    }
+  }
+  plan_s += seconds_since(t_phase);
+
+  // Phase 3 — price the unique misses in parallel at *layer*
+  // granularity (balances uneven networks better than per-scenario
+  // fan-out), then publish them to the layer cache under one writer
+  // lock per batch. Which backend instance prices a shared key is
+  // irrelevant: equal keys mean equal backend and layer fingerprints,
+  // and fingerprints cover every pricing knob.
+  t_phase = SteadyClock::now();
+  std::vector<sim::LayerResult> priced(unique.size());
+  if (!unique.empty()) {
+    for_each(unique.size(), [&](std::size_t u) {
+      const MissRef ref = unique[u];
+      const Scenario& s = batch[jobs[ref.job]];
+      priced[u] =
+          state[ref.job].be->price_layer(s.network.layers()[ref.layer]);
+    });
+    layers_priced_.fetch_add(unique.size(), std::memory_order_relaxed);
+    std::unique_lock<std::shared_mutex> lock(layer_mu_);
+    for (std::size_t u = 0; u < unique.size(); ++u) {
+      layer_cache_.emplace(unique_keys[u], priced[u]);
+    }
+  }
+  layer_cache_hits_.fetch_add(
+      probe_hits.load(std::memory_order_relaxed) + aliased,
+      std::memory_order_relaxed);
+  price_s += seconds_since(t_phase);
+
+  // Phase 4 — assemble each job from its cached + freshly priced layers
+  // (or fully price it when the layer cache is disabled), persist to
+  // disk, and make the scenario cache's shared copy.
+  t_phase = SteadyClock::now();
+  for_each(jobs.size(), [&](std::size_t j) {
+    const std::size_t i = jobs[j];
+    const Scenario& s = batch[i];
+    JobState& js = state[j];
+    if (js.disk_served) return;
+    if (!layer_cache_enabled_) {
+      layers_priced_.fetch_add(s.network.layers().size(),
+                               std::memory_order_relaxed);
+      results[i] = js.be->run(s.network);
+    } else {
+      const auto& net_layers = s.network.layers();
+      for (const auto& [layer, miss] : js.need) {
+        js.layers[layer] = priced[miss];
+        js.layers[layer].name = net_layers[layer].name;
+      }
+      results[i] = js.be->assemble(s.network, std::move(js.layers));
+    }
+    if (disk_ != nullptr) {
+      disk_->store(js.disk_key, generations[i], results[i]);
+    }
+    if (cache_enabled_) {
+      fresh[j] = std::make_shared<const sim::RunResult>(results[i]);
+    }
+  });
 
   // Fan cached/duplicate slots out from the shared copies (usually few).
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -263,6 +359,7 @@ std::vector<sim::RunResult> SimEngine::run_batch(
       }
     }
   }
+  const double assemble_s = seconds_since(t_phase);
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -271,6 +368,17 @@ std::vector<sim::RunResult> SimEngine::run_batch(
     // cache_hits <= scenarios_submitted still holds (counters lag work).
     stats_.simulations_run +=
         jobs.size() - disk_served.load(std::memory_order_relaxed);
+    stats_.delta_scenarios += delta_jobs;
+    stats_.hash_s += hash_s;
+    stats_.plan_s += plan_s;
+    // With the layer cache off, phase 4 is full pricing, not reassembly
+    // — attribute its wall time accordingly.
+    if (layer_cache_enabled_) {
+      stats_.price_s += price_s;
+      stats_.assemble_s += assemble_s;
+    } else {
+      stats_.price_s += price_s + assemble_s;
+    }
     if (cache_enabled_) {
       for (std::size_t j = 0; j < jobs.size(); ++j) {
         cache_.emplace(prints[jobs[j]], std::move(fresh[j]));

@@ -16,7 +16,13 @@
 //   * layer cache — keyed by backend fingerprint × layer shape/bits
 //     fingerprint; ResNet's repeated blocks and networks shared across
 //     scenarios price each unique layer once (a wall-clock win on the
-//     Fig. 5–9 grids even single-threaded).
+//     Fig. 5–9 grids even single-threaded). run_batch prices at this
+//     granularity: each batch collects the unique missing layer keys
+//     across all of its scenarios, prices each exactly once, and
+//     assembles every scenario from the shared results — so a candidate
+//     that differs from an already-priced neighbor in one axis re-prices
+//     only the layers that axis actually changed (delta pricing; see
+//     EngineStats::delta_scenarios).
 //   * disk cache (optional, EngineOptions::disk_cache_dir) — persistent
 //     scenario-level results keyed by Scenario::fingerprint × the
 //     resolved backend instance's fingerprint, below the memo caches:
@@ -50,6 +56,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -72,6 +79,10 @@ struct EngineStats {
   std::size_t cache_hits = 0;       // served from the scenario cache
   std::size_t layers_priced = 0;    // actual price_layer invocations
   std::size_t layer_cache_hits = 0; // layers served from the layer cache
+  /// Simulations assembled as a delta: at least one layer came from the
+  /// layer cache (or from another scenario in the same batch) instead of
+  /// being re-priced. delta_scenarios <= simulations_run.
+  std::size_t delta_scenarios = 0;
   // Disk-cache counters (all zero when no disk cache is configured).
   // Per engine: simulations_run + cache_hits + disk_hits ==
   // scenarios_submitted once every run_batch has returned.
@@ -79,6 +90,17 @@ struct EngineStats {
   std::size_t disk_misses = 0;      // probed but absent
   std::size_t disk_rejected = 0;    // corrupt or stale entries skipped
   std::size_t disk_stores = 0;      // fresh results persisted
+  // Phase timers (seconds of wall clock, accumulated per batch): where a
+  // search actually spends its time. construct_s is fed by callers that
+  // build Scenarios for the engine (ScenarioEvaluator's materialize
+  // pass, via record_construct_seconds); the rest are run_batch's own
+  // phases: fingerprint hashing, serial cache planning, backend pricing
+  // (disk probes + layer pricing), and per-scenario reassembly.
+  double construct_s = 0.0;
+  double hash_s = 0.0;
+  double plan_s = 0.0;
+  double price_s = 0.0;
+  double assemble_s = 0.0;
 };
 
 /// Counters as a JSON object (the BENCH_*.json "engine_stats" block and
@@ -137,14 +159,18 @@ class SimEngine {
   /// The persistent cache layer, or nullptr when not configured.
   const DiskCache* disk_cache() const { return disk_.get(); }
 
+  /// Adds caller-side Scenario construction time to the construct_s
+  /// phase timer (ScenarioEvaluator reports its materialize pass here so
+  /// one EngineStats block carries the whole dispatch-cost split).
+  void record_construct_seconds(double seconds);
+
  private:
   /// Indices per pool task for a batch of `jobs` parallel units.
   std::size_t batch_grain(std::size_t jobs) const;
 
-  /// Prices one scenario through `be`, consulting/feeding the layer
-  /// cache. Bit-identical to be.run(network) for any cache state.
-  sim::RunResult run_with_layer_cache(const backend::CostBackend& be,
-                                      const dnn::Network& network);
+  /// parallel_for that skips the pool for a single unit of work (the
+  /// run() fast path: no queue round-trip for one job).
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   ThreadPool pool_;
   bool cache_enabled_;

@@ -1,0 +1,164 @@
+// Delta pricing: the layer-cache engine must be a pure optimization —
+// bit-identical results to full pricing, at any thread count, while
+// provably pricing fewer layers (EngineStats) whenever scenarios share
+// layers in-network, across the batch, or with a warm cache.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/dnn/model_zoo.h"
+#include "src/engine/scenario.h"
+#include "src/engine/sim_engine.h"
+#include "src/workload/generators.h"
+#include "tests/run_result_identical.h"
+
+namespace bpvec::engine {
+namespace {
+
+Scenario bpvec_scenario(dnn::Network net) {
+  return make_scenario(Platform::kBpvec, core::Memory::kDdr4,
+                       std::move(net));
+}
+
+/// Runs `batch` with the layer cache on and off and demands byte-equal
+/// results at the given thread count.
+void expect_delta_matches_full(const std::vector<Scenario>& batch,
+                               int threads) {
+  SimEngine delta({threads, /*cache_enabled=*/false,
+                   /*layer_cache_enabled=*/true});
+  SimEngine full({threads, /*cache_enabled=*/false,
+                  /*layer_cache_enabled=*/false});
+  const std::vector<sim::RunResult> a = delta.run_batch(batch);
+  const std::vector<sim::RunResult> b = full.run_batch(batch);
+  ASSERT_EQ(a.size(), batch.size());
+  ASSERT_EQ(b.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(batch[i].id + " @ " + std::to_string(threads) +
+                 " threads");
+    expect_bit_identical(a[i], b[i]);
+  }
+  // Same arithmetic, fewer invocations: the delta engine never prices
+  // more layers than the full engine.
+  EXPECT_LE(delta.stats().layers_priced, full.stats().layers_priced);
+  EXPECT_EQ(full.stats().layer_cache_hits, 0u);
+}
+
+std::vector<Scenario> zoo_batch(dnn::BitwidthMode mode) {
+  std::vector<Scenario> batch;
+  for (dnn::Network& net : dnn::all_models(mode)) {
+    batch.push_back(bpvec_scenario(std::move(net)));
+  }
+  return batch;
+}
+
+workload::GeneratorSpec family_spec(const std::string& family, int depth,
+                                    int width, int bits) {
+  workload::GeneratorSpec spec;
+  spec.family = family;
+  spec.depth = depth;
+  spec.width = width;
+  spec.bitwidth_policy = "uniform:" + std::to_string(bits);
+  return spec;
+}
+
+/// A bits sweep over one generated family — candidates share every
+/// layer shape, differing only in bitwidths.
+std::vector<Scenario> family_sweep(const std::string& family, int depth,
+                                   int width) {
+  std::vector<Scenario> batch;
+  for (int bits : {2, 4, 8}) {
+    batch.push_back(bpvec_scenario(
+        workload::generate(family_spec(family, depth, width, bits))));
+  }
+  return batch;
+}
+
+std::size_t total_layers(const std::vector<Scenario>& batch) {
+  std::size_t n = 0;
+  for (const Scenario& s : batch) n += s.network.layers().size();
+  return n;
+}
+
+TEST(DeltaPricing, BitIdenticalOnAllZooNets) {
+  for (auto mode : {dnn::BitwidthMode::kHomogeneous8b,
+                    dnn::BitwidthMode::kHeterogeneous}) {
+    const std::vector<Scenario> batch = zoo_batch(mode);
+    ASSERT_EQ(batch.size(), 6u);  // the six Table I models
+    expect_delta_matches_full(batch, 1);
+    expect_delta_matches_full(batch, 4);
+  }
+}
+
+TEST(DeltaPricing, BitIdenticalOnGeneratedFamilySweeps) {
+  for (const char* family : {"cnn_family", "mlp_family"}) {
+    const std::vector<Scenario> batch = family_sweep(family, 5, 64);
+    expect_delta_matches_full(batch, 1);
+    expect_delta_matches_full(batch, 4);
+  }
+}
+
+TEST(DeltaPricing, InNetworkDuplicatesPriceOnce) {
+  // mlp_family d6 repeats its width→width hidden FC four times; the
+  // names differ but the priced structure is identical, so the delta
+  // engine prices 3 unique layers per candidate instead of 6.
+  const std::vector<Scenario> batch = family_sweep("mlp_family", 6, 256);
+  for (int threads : {1, 4}) {
+    SimEngine eng({threads, /*cache_enabled=*/true,
+                   /*layer_cache_enabled=*/true});
+    (void)eng.run_batch(batch);
+    const EngineStats stats = eng.stats();
+    EXPECT_LT(stats.layers_priced, total_layers(batch));
+    EXPECT_EQ(stats.layers_priced + stats.layer_cache_hits,
+              total_layers(batch));
+    EXPECT_GT(stats.delta_scenarios, 0u);
+    EXPECT_LE(stats.delta_scenarios, stats.simulations_run);
+  }
+}
+
+TEST(DeltaPricing, WarmNeighborPricesOnlyNewLayers) {
+  // Warm the cache with the depth-6 MLP, then price its depth-5
+  // neighbor: every layer of the neighbor is already cached (fc0, the
+  // hidden block, the classifier head), so the delta run prices zero
+  // layers — and still matches a cold full engine byte for byte.
+  const Scenario deep = bpvec_scenario(
+      workload::generate(family_spec("mlp_family", 6, 256, 8)));
+  const Scenario neighbor = bpvec_scenario(
+      workload::generate(family_spec("mlp_family", 5, 256, 8)));
+
+  for (int threads : {1, 4}) {
+    SimEngine eng({threads, /*cache_enabled=*/true,
+                   /*layer_cache_enabled=*/true});
+    (void)eng.run_batch({deep});
+    const std::size_t priced_cold = eng.stats().layers_priced;
+    const std::vector<sim::RunResult> warm = eng.run_batch({neighbor});
+    const EngineStats stats = eng.stats();
+    EXPECT_EQ(stats.layers_priced, priced_cold);  // nothing new priced
+    EXPECT_LT(stats.layers_priced,
+              deep.network.layers().size() +
+                  neighbor.network.layers().size());
+    EXPECT_GT(stats.delta_scenarios, 0u);
+
+    SimEngine cold_full({threads, /*cache_enabled=*/false,
+                         /*layer_cache_enabled=*/false});
+    const std::vector<sim::RunResult> full = cold_full.run_batch({neighbor});
+    ASSERT_EQ(warm.size(), 1u);
+    ASSERT_EQ(full.size(), 1u);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_bit_identical(warm[0], full[0]);
+  }
+}
+
+TEST(DeltaPricing, MixedZooAndGeneratedBatchStaysIdentical) {
+  // The union batch exercises cross-scenario sharing: zoo nets repeat
+  // blocks (ResNet stages), the sweep repeats shapes across candidates.
+  std::vector<Scenario> batch = zoo_batch(dnn::BitwidthMode::kHeterogeneous);
+  for (Scenario& s : family_sweep("cnn_family", 4, 32)) {
+    batch.push_back(std::move(s));
+  }
+  expect_delta_matches_full(batch, 1);
+  expect_delta_matches_full(batch, 4);
+}
+
+}  // namespace
+}  // namespace bpvec::engine

@@ -9,6 +9,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "src/cli/driver.h"
@@ -197,6 +198,95 @@ TEST(HillClimb, DeterministicAcrossRuns) {
     return keys;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// ----- population strategies (annealing / genetic) -------------------
+
+/// The dse_smoke manifest's space: CVU geometry × memory bandwidth.
+ParamSpace smoke_space() {
+  ParamSpace space;
+  space.add_axis(Knob::kCvuSliceBits, {1, 2, 4});
+  space.add_axis(Knob::kCvuLanes, {4, 16});
+  space.add_axis(Knob::kMemBandwidthGbps, {16, 64});
+  return space;
+}
+
+/// The dse_smoke base: the 2-bit AlexNet on the BPVeC platform.
+engine::Scenario smoke_base() {
+  engine::Scenario s = engine::make_scenario(
+      engine::Platform::kBpvec, core::Memory::kDdr4,
+      dnn::make_alexnet(dnn::BitwidthMode::kHeterogeneous));
+  for (dnn::Layer& layer : s.network.layers()) {
+    layer.x_bits = 2;
+    layer.w_bits = 2;
+  }
+  return s;
+}
+
+TEST(PopulationStrategies, ReachTheGridOptimumDeterministically) {
+  // Ground truth: exhaustively score the 12-candidate dse_smoke space.
+  const ParamSpace space = smoke_space();
+  const std::vector<Objective> objectives = kScenObjectives();
+  double best_score = std::numeric_limits<double>::infinity();
+  std::uint64_t best_key = 0;
+  {
+    engine::SimEngine eng;
+    GridStrategy grid(space);
+    ScenarioEvaluator evaluator(eng, space, smoke_base(), objectives);
+    const SearchOutcome outcome = run_search(grid, evaluator, objectives);
+    EXPECT_EQ(outcome.candidates, space.size());
+    for (const Evaluation& e : outcome.evaluations) {
+      const double s = scalarize(objectives, e);
+      if (s < best_score) {
+        best_score = s;
+        best_key = e.key;
+      }
+    }
+  }
+
+  // Both population strategies must visit that optimum within a modest
+  // budget, and propose the exact same candidate sequence at any thread
+  // count (determinism is a strategy property, not an engine accident).
+  for (const char* token : {"annealing", "genetic"}) {
+    std::vector<std::vector<std::uint64_t>> sequences;
+    for (int threads : {1, 4}) {
+      engine::EngineOptions engine_options;
+      engine_options.num_threads = threads;
+      engine::SimEngine eng(engine_options);
+      StrategyOptions strategy_options;
+      strategy_options.budget = 48;
+      strategy_options.restarts = 4;
+      strategy_options.population = 6;
+      strategy_options.seed = 7;
+      strategy_options.objectives = objectives;
+      auto strategy = make_strategy(token, space, strategy_options);
+      ScenarioEvaluator evaluator(eng, space, smoke_base(), objectives);
+      const SearchOutcome outcome =
+          run_search(*strategy, evaluator, objectives);
+
+      double found = std::numeric_limits<double>::infinity();
+      std::uint64_t found_key = 0;
+      std::vector<std::uint64_t> keys;
+      for (const Evaluation& e : outcome.evaluations) {
+        keys.push_back(e.key);
+        const double s = scalarize(objectives, e);
+        if (s < found) {
+          found = s;
+          found_key = e.key;
+        }
+      }
+      EXPECT_EQ(found, best_score)
+          << token << " missed the grid optimum at " << threads
+          << " threads";
+      EXPECT_EQ(found_key, best_key) << token;
+      // Repeat-heavy sampling rides the engine cache: every unique
+      // candidate simulates exactly once.
+      EXPECT_EQ(eng.stats().simulations_run, outcome.unique_candidates);
+      sequences.push_back(std::move(keys));
+    }
+    EXPECT_EQ(sequences[0], sequences[1])
+        << token << " proposals changed with the thread count";
+  }
 }
 
 // ----- budgets and constraints ---------------------------------------

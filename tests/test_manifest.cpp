@@ -489,6 +489,50 @@ TEST(SearchManifest, RoundTripsThroughToJson) {
   EXPECT_EQ(to_json(parse_manifest(parse(dumped))).dump(2), dumped);
 }
 
+TEST(SearchManifest, PopulationStrategiesParseAndValidate) {
+  const Manifest m = from_text(R"({
+    "name": "ga",
+    "search": {
+      "network": "lstm", "space": {"cvu_lanes": [4, 16]},
+      "strategy": "genetic", "budget": 32, "population": 6,
+      "seed": 9
+    }
+  })");
+  const SearchSpec& s = *m.search;
+  EXPECT_EQ(s.strategy, "genetic");
+  EXPECT_EQ(s.population, 6u);
+  EXPECT_EQ(s.budget, 32u);
+  // population survives the JSON round trip for genetic searches...
+  const Manifest reparsed = parse_manifest(to_json(m));
+  EXPECT_EQ(reparsed.search->population, 6u);
+  // ...but is not echoed for strategies that never read it, so existing
+  // grid/hill_climb search reports stay byte-stable.
+  const Manifest grid = from_text(R"({
+    "name": "g",
+    "search": {"network": "lstm", "space": {"cvu_lanes": [4, 16]}}
+  })");
+  const auto* sv = to_json(grid).find("search");
+  ASSERT_NE(sv, nullptr);
+  EXPECT_EQ(sv->find("population"), nullptr);
+
+  EXPECT_EQ(from_text(R"({"name": "a", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4, 16]},
+    "strategy": "annealing", "budget": 16, "restarts": 3
+  }})").search->strategy, "annealing");
+
+  // annealing/genetic are sampling strategies: a budget is mandatory.
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "strategy": "annealing"}})"), Error);
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "strategy": "genetic"}})"), Error);
+  // A 1-candidate population has no parents to cross.
+  EXPECT_THROW(from_text(R"({"name": "x", "search": {
+    "network": "lstm", "space": {"cvu_lanes": [4]},
+    "strategy": "genetic", "budget": 8, "population": 1}})"), Error);
+}
+
 // ----- workloads block ------------------------------------------------
 
 /// Writes a workload-schema document to a temp file and returns its
