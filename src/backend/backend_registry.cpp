@@ -4,6 +4,7 @@
 
 #include "src/backend/bit_serial_backend.h"
 #include "src/backend/bpvec_backend.h"
+#include "src/backend/functional_backend.h"
 #include "src/backend/gpu_backend.h"
 #include "src/common/error.h"
 
@@ -29,6 +30,11 @@ BackendRegistry::BackendRegistry() {
                              baselines::SerialMode::kFullySerial, 16, 8},
                          platform, memory);
                    });
+  register_backend("functional", [](const sim::AcceleratorConfig& platform,
+                                    const arch::DramModel& memory) {
+    return std::make_unique<FunctionalBackend>(FunctionalConfig{}, platform,
+                                               memory);
+  });
   register_backend("gpu", [](const sim::AcceleratorConfig&,
                              const arch::DramModel&) {
     return std::make_unique<GpuBackend>();

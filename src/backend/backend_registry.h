@@ -7,6 +7,8 @@
 //   "bpvec"           cycle-level Simulator (Table II ASIC platforms)
 //   "bit_serial"      Stripes-like activation-serial baseline
 //   "bit_serial_loom" Loom-like fully-serial baseline
+//   "functional"      bpvec cycle model + bit-packed probe execution
+//                     (measured wall-clock, three-way verification)
 //   "gpu"             RTX 2080 Ti roofline (ignores platform/memory)
 //
 // A factory receives the scenario's resolved platform + memory configs;

@@ -1,0 +1,322 @@
+#include "src/backend/functional_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/bitslice/cvu.h"
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/core/gemm_executor.h"
+#include "src/dnn/gemm_lowering.h"
+#include "src/dnn/quantize.h"
+#include "src/dnn/reference_ops.h"
+#include "src/kernels/packed_kernels.h"
+#include "src/kernels/simd.h"
+
+namespace bpvec::backend {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+int ceil_log2(std::int64_t v) {
+  int b = 0;
+  while ((std::int64_t{1} << b) < v) ++b;
+  return b;
+}
+
+/// First min(n, m.rows) rows of `m` — the CVU cross-check sub-block.
+dnn::Matrix head_rows(const dnn::Matrix& m, std::int64_t n) {
+  dnn::Matrix out;
+  out.rows = std::min(n, m.rows);
+  out.cols = m.cols;
+  out.data.assign(m.data.begin(),
+                  m.data.begin() + static_cast<std::size_t>(out.rows * m.cols));
+  return out;
+}
+
+/// Small CVU instance for the scalar datapath cross-check. B = 16 covers
+/// every bitwidth the packer accepts, not just the workload schema's
+/// [1, 8] range.
+bitslice::Cvu make_check_cvu() { return bitslice::Cvu({2, 16, 16}); }
+
+void probe_conv(const dnn::Layer& probe, const FunctionalConfig& fc, Rng& rng,
+                kernels::KernelStats* stats, double* wall_s) {
+  const dnn::ConvParams& p = probe.conv();
+  dnn::Tensor input(p.in_c, p.in_h, p.in_w);
+  for (auto& v : input.data()) v = rng.signed_value(probe.x_bits);
+  const auto weights = rng.signed_vector(
+      static_cast<std::size_t>(p.out_c) * p.in_c * p.kh * p.kw, probe.w_bits);
+
+  const auto t0 = Clock::now();
+  const auto packed =
+      kernels::packed_conv(input, weights, p, probe.x_bits, probe.w_bits,
+                           /*pool=*/nullptr, stats);
+  *wall_s += seconds_since(t0);
+
+  const auto reference = dnn::conv2d_reference(input, weights, p);
+  BPVEC_CHECK_MSG(packed == reference,
+                  "functional probe: packed conv deviates from reference: " +
+                      probe.name);
+
+  // Scalar CVU datapath on a sub-block of the same lowered GEMM.
+  const dnn::Matrix a = head_rows(dnn::im2col(input, p), fc.check_rows);
+  const dnn::Matrix b =
+      head_rows(dnn::weights_as_matrix(weights, p), fc.check_cols);
+  bitslice::Cvu cvu = make_check_cvu();
+  const auto cvu_out = core::execute_gemm(cvu, a, b, probe.x_bits,
+                                          probe.w_bits);
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(p.out_h()) * p.out_w();
+  for (std::int64_t m = 0; m < a.rows; ++m) {
+    for (std::int64_t n = 0; n < b.rows; ++n) {
+      BPVEC_CHECK_MSG(
+          cvu_out[static_cast<std::size_t>(m * b.rows + n)] ==
+              reference[static_cast<std::size_t>(n * pixels + m)],
+          "functional probe: CVU datapath deviates on conv: " + probe.name);
+    }
+  }
+}
+
+void probe_fc(const dnn::Layer& probe, const FunctionalConfig& fc, Rng& rng,
+              kernels::KernelStats* stats, double* wall_s) {
+  const dnn::FcParams& p = probe.fc();
+  const auto input = rng.signed_vector(static_cast<std::size_t>(p.in_features),
+                                       probe.x_bits);
+  const auto weights = rng.signed_vector(
+      static_cast<std::size_t>(p.in_features) * p.out_features, probe.w_bits);
+
+  const auto t0 = Clock::now();
+  const auto packed = kernels::packed_fc(input, weights, p, probe.x_bits,
+                                         probe.w_bits, /*pool=*/nullptr, stats);
+  *wall_s += seconds_since(t0);
+
+  const auto reference = dnn::fc_reference(input, weights, p);
+  BPVEC_CHECK_MSG(packed == reference,
+                  "functional probe: packed fc deviates from reference: " +
+                      probe.name);
+
+  dnn::Matrix a{1, p.in_features, input};
+  dnn::Matrix wm{p.out_features, p.in_features, weights};
+  const dnn::Matrix b = head_rows(wm, fc.check_cols);
+  bitslice::Cvu cvu = make_check_cvu();
+  const auto cvu_out = core::execute_gemm(cvu, a, b, probe.x_bits,
+                                          probe.w_bits);
+  for (std::int64_t n = 0; n < b.rows; ++n) {
+    BPVEC_CHECK_MSG(
+        cvu_out[static_cast<std::size_t>(n)] ==
+            reference[static_cast<std::size_t>(n)],
+        "functional probe: CVU datapath deviates on fc: " + probe.name);
+  }
+}
+
+void probe_pool(const dnn::Layer& probe, Rng& rng,
+                kernels::KernelStats* stats, double* wall_s) {
+  const dnn::PoolParams& p = probe.pool();
+  dnn::Tensor input(p.channels, p.in_h, p.in_w);
+  for (auto& v : input.data()) v = rng.signed_value(probe.x_bits);
+
+  const auto t0 = Clock::now();
+  const dnn::Tensor packed =
+      kernels::packed_pool(input, p, /*pool=*/nullptr, stats);
+  *wall_s += seconds_since(t0);
+
+  const dnn::Tensor reference = dnn::pool_reference(input, p);
+  // No MACs, no GEMM — the pool probe is a two-way check (the CVU never
+  // sees pooling; it runs on the post-processing unit in the model too).
+  BPVEC_CHECK_MSG(packed.data() == reference.data(),
+                  "functional probe: packed pool deviates from reference: " +
+                      probe.name);
+}
+
+void probe_recurrent(const dnn::Layer& probe, const FunctionalConfig& fc,
+                     Rng& rng, kernels::KernelStats* stats, double* wall_s) {
+  const dnn::RecurrentParams& p = probe.recurrent();
+  const std::int64_t k = p.input_size + p.hidden_size;
+  const int out_bits = probe.x_bits;
+  // Shift sized to the worst-case accumulator so requantized state lands
+  // back in the activation range without saturating everything to the
+  // clamp rails (saturated state would verify trivially).
+  const int shift = std::max(
+      0, ceil_log2(k) + probe.x_bits + probe.w_bits - 1 - out_bits);
+
+  auto h = rng.signed_vector(static_cast<std::size_t>(p.hidden_size),
+                             probe.x_bits);
+  // One weight matrix per gate; LSTM probes cycle through all four (step
+  // t uses gate t mod gates), so every gate matrix meets a real
+  // reference recurrence.
+  const int gates = p.gates();
+  const std::size_t gate_size =
+      static_cast<std::size_t>(p.hidden_size) * static_cast<std::size_t>(k);
+  const auto all_weights = rng.signed_vector(gates * gate_size, probe.w_bits);
+
+  for (int t = 0; t < p.time_steps; ++t) {
+    const auto x = rng.signed_vector(static_cast<std::size_t>(p.input_size),
+                                     probe.x_bits);
+    const std::size_t off = static_cast<std::size_t>(t % gates) * gate_size;
+    const std::vector<std::int32_t> weights(
+        all_weights.begin() + static_cast<std::ptrdiff_t>(off),
+        all_weights.begin() + static_cast<std::ptrdiff_t>(off + gate_size));
+
+    const auto t0 = Clock::now();
+    const auto packed = kernels::packed_rnn_step(
+        x, h, weights, p.hidden_size, shift, out_bits, probe.x_bits,
+        probe.w_bits, /*pool=*/nullptr, stats);
+    *wall_s += seconds_since(t0);
+
+    const auto reference = dnn::rnn_step_reference(x, h, weights,
+                                                   p.hidden_size, shift,
+                                                   out_bits);
+    BPVEC_CHECK_MSG(
+        packed == reference,
+        "functional probe: packed recurrent step deviates from reference: " +
+            probe.name);
+
+    if (t == p.time_steps - 1) {
+      // CVU datapath on this step's pre-activation accumulators.
+      std::vector<std::int32_t> xh = x;
+      xh.insert(xh.end(), h.begin(), h.end());
+      dnn::Matrix a{1, k, std::move(xh)};
+      dnn::Matrix wm{p.hidden_size, k, weights};
+      const dnn::Matrix b = head_rows(wm, fc.check_cols);
+      bitslice::Cvu cvu = make_check_cvu();
+      const auto cvu_out = core::execute_gemm(cvu, a, b, probe.x_bits,
+                                              probe.w_bits);
+      for (std::int64_t n = 0; n < b.rows; ++n) {
+        BPVEC_CHECK_MSG(
+            dnn::requantize(cvu_out[static_cast<std::size_t>(n)], shift,
+                            out_bits) == packed[static_cast<std::size_t>(n)],
+            "functional probe: CVU datapath deviates on recurrent step: " +
+                probe.name);
+      }
+    }
+    h = packed;
+  }
+}
+
+}  // namespace
+
+FunctionalBackend::FunctionalBackend(FunctionalConfig functional,
+                                     sim::AcceleratorConfig config,
+                                     arch::DramModel memory)
+    : functional_(functional), sim_(std::move(config), std::move(memory)) {
+  BPVEC_CHECK_MSG(functional_.max_side >= 1 && functional_.max_channels >= 1 &&
+                      functional_.max_time_steps >= 1 &&
+                      functional_.check_rows >= 1 && functional_.check_cols >= 1,
+                  "functional probe bounds must be positive");
+}
+
+const std::string& FunctionalBackend::name() const {
+  static const std::string kName = "functional";
+  return kName;
+}
+
+std::uint64_t FunctionalBackend::fingerprint() const {
+  common::ConfigHash f;
+  f.str(name());
+  // The kernel variant cannot change results (integer math is exact in
+  // every variant) but does change measured_wall_s; folding it in keeps
+  // cache entries from one kernel build out of another's runs.
+  f.str(kernels::simd_variant());
+  f.u64(functional_.seed);
+  f.i32(functional_.max_side);
+  f.i32(functional_.max_channels);
+  f.i32(functional_.max_time_steps);
+  f.i32(functional_.check_rows);
+  f.i32(functional_.check_cols);
+  hash_platform(f, sim_.config());
+  hash_memory(f, sim_.dram());
+  return f.h;
+}
+
+dnn::Layer FunctionalBackend::probe_layer(const dnn::Layer& layer) const {
+  dnn::Layer probe = layer;
+  switch (layer.kind) {
+    case dnn::LayerKind::kConv: {
+      dnn::ConvParams p = layer.conv();
+      p.out_c = std::min(p.out_c, functional_.max_channels);
+      // Shrink the input so the output is exactly max_side wide: the
+      // formula inverts out_h() = (in_h + 2·pad − kh)/stride + 1. A
+      // result outside [1, in_h] means the layer is already small (or
+      // pad-dominated) — keep the original extent.
+      const int oh = std::min(p.out_h(), functional_.max_side);
+      const int in_h = (oh - 1) * p.stride + p.kh - 2 * p.pad;
+      if (in_h >= 1 && in_h <= p.in_h) p.in_h = in_h;
+      const int ow = std::min(p.out_w(), functional_.max_side);
+      const int in_w = (ow - 1) * p.stride + p.kw - 2 * p.pad;
+      if (in_w >= 1 && in_w <= p.in_w) p.in_w = in_w;
+      probe.params = p;
+      break;
+    }
+    case dnn::LayerKind::kFullyConnected: {
+      dnn::FcParams p = layer.fc();
+      p.out_features = std::min(p.out_features, functional_.max_channels);
+      probe.params = p;
+      break;
+    }
+    case dnn::LayerKind::kPool: {
+      dnn::PoolParams p = layer.pool();
+      p.channels = std::min(p.channels, functional_.max_channels);
+      const int oh = std::min(p.out_h(), functional_.max_side);
+      p.in_h = std::min(p.in_h, (oh - 1) * p.stride + p.k);
+      const int ow = std::min(p.out_w(), functional_.max_side);
+      p.in_w = std::min(p.in_w, (ow - 1) * p.stride + p.k);
+      probe.params = p;
+      break;
+    }
+    case dnn::LayerKind::kRecurrent: {
+      dnn::RecurrentParams p = layer.recurrent();
+      p.input_size = std::min(p.input_size, functional_.max_channels);
+      p.hidden_size = std::min(p.hidden_size, functional_.max_channels);
+      p.time_steps = std::min(p.time_steps, functional_.max_time_steps);
+      probe.params = p;
+      break;
+    }
+  }
+  return probe;
+}
+
+sim::LayerResult FunctionalBackend::price_layer(const dnn::Layer& layer) const {
+  // Modeled half: the same cycle-level pricing as "bpvec".
+  sim::LayerResult result = sim_.run_layer(layer);
+
+  // Measured half: execute the bounded probe. The Rng stream is forked
+  // off the layer fingerprint, so probe data — and every output but
+  // wall-clock — is a pure function of (seed, layer shape, bitwidths).
+  const dnn::Layer probe = probe_layer(layer);
+  Rng rng = Rng(functional_.seed)
+                .fork(layer_fingerprint(layer, hash_time_chunk()));
+  kernels::KernelStats stats;
+  double wall_s = 0.0;
+  switch (probe.kind) {
+    case dnn::LayerKind::kConv:
+      probe_conv(probe, functional_, rng, &stats, &wall_s);
+      break;
+    case dnn::LayerKind::kFullyConnected:
+      probe_fc(probe, functional_, rng, &stats, &wall_s);
+      break;
+    case dnn::LayerKind::kPool:
+      probe_pool(probe, rng, &stats, &wall_s);
+      break;
+    case dnn::LayerKind::kRecurrent:
+      probe_recurrent(probe, functional_, rng, &stats, &wall_s);
+      break;
+  }
+  result.measured_wall_s = wall_s;
+  result.measured_macs = stats.macs;
+  return result;
+}
+
+sim::RunResult FunctionalBackend::assemble(
+    const dnn::Network& network, std::vector<sim::LayerResult> layers) const {
+  return sim::assemble_run(sim_.config().name, network.name(),
+                           sim_.dram().name, name(), std::move(layers),
+                           sim_.config().frequency_hz);
+}
+
+}  // namespace bpvec::backend

@@ -35,6 +35,14 @@ Value scenario_row(const engine::Scenario& scenario,
   row.set("average_power_w", r.average_power_w);
   row.set("gops_per_s", r.gops_per_s);
   row.set("gops_per_w", r.gops_per_w);
+  // Measured fields exist only for backends that execute (the functional
+  // backend's packed probes); modeled-only rows keep the historical
+  // shape, so reports from manifests without functional scenarios stay
+  // byte-identical across this change (the CI golden gate relies on it).
+  if (r.measured_macs > 0) {
+    row.set("measured_wall_s", r.measured_wall_s);
+    row.set("measured_macs", r.measured_macs);
+  }
   return row;
 }
 
@@ -48,15 +56,30 @@ void write_file(const std::string& path, const std::string& contents) {
 void print_table(std::ostream& out,
                  const std::vector<engine::Scenario>& batch,
                  const std::vector<sim::RunResult>& results) {
+  // The measured column appears only when some backend in the batch
+  // actually executed layers (functional scenarios); modeled-only
+  // batches keep the historical table shape.
+  bool any_measured = false;
+  for (const sim::RunResult& r : results) {
+    if (r.measured_macs > 0) any_measured = true;
+  }
   Table t;
-  t.set_header({"Scenario", "Cycles", "Latency (ms)", "Energy (mJ)",
-                "GOps/s", "GOps/W"});
+  std::vector<std::string> header{"Scenario",    "Cycles", "Latency (ms)",
+                                  "Energy (mJ)", "GOps/s", "GOps/W"};
+  if (any_measured) header.push_back("Measured (ms)");
+  t.set_header(header);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const sim::RunResult& r = results[i];
-    t.add_row({batch[i].id, std::to_string(r.total_cycles),
-               Table::num(r.runtime_s * 1e3, 3),
-               Table::num(r.energy_j * 1e3, 3), Table::num(r.gops_per_s, 0),
-               Table::num(r.gops_per_w, 0)});
+    std::vector<std::string> row{
+        batch[i].id,                       std::to_string(r.total_cycles),
+        Table::num(r.runtime_s * 1e3, 3),  Table::num(r.energy_j * 1e3, 3),
+        Table::num(r.gops_per_s, 0),       Table::num(r.gops_per_w, 0)};
+    if (any_measured) {
+      row.push_back(r.measured_macs > 0
+                        ? Table::num(r.measured_wall_s * 1e3, 3)
+                        : "-");
+    }
+    t.add_row(row);
   }
   out << t.to_string();
 }
@@ -67,7 +90,8 @@ void print_csv(std::ostream& out,
   // Full-precision CSV (the table rounds for humans; this is for
   // plotting scripts).
   out << "id,backend,platform,network,memory,total_cycles,total_macs,"
-         "runtime_s,energy_j,average_power_w,gops_per_s,gops_per_w\n";
+         "runtime_s,energy_j,average_power_w,gops_per_s,gops_per_w,"
+         "measured_wall_s,measured_macs\n";
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const sim::RunResult& r = results[i];
     std::string id = batch[i].id;
@@ -80,7 +104,9 @@ void print_csv(std::ostream& out,
         << common::json::format_double(r.energy_j) << ','
         << common::json::format_double(r.average_power_w) << ','
         << common::json::format_double(r.gops_per_s) << ','
-        << common::json::format_double(r.gops_per_w) << '\n';
+        << common::json::format_double(r.gops_per_w) << ','
+        << common::json::format_double(r.measured_wall_s) << ','
+        << r.measured_macs << '\n';
   }
 }
 

@@ -60,6 +60,8 @@ Value layer_to_json(const sim::LayerResult& l) {
   v.set("energy", energy_to_json(l.energy));
   v.set("memory_bound", l.memory_bound);
   v.set("runtime_s", l.runtime_s);
+  v.set("measured_wall_s", l.measured_wall_s);
+  v.set("measured_macs", l.measured_macs);
   return v;
 }
 
@@ -79,6 +81,8 @@ sim::LayerResult layer_from_json(const Value& v) {
   l.energy = energy_from_json(v.at("energy"));
   l.memory_bound = v.at("memory_bound").as_bool();
   l.runtime_s = v.at("runtime_s").as_double();
+  l.measured_wall_s = v.at("measured_wall_s").as_double();
+  l.measured_macs = v.at("measured_macs").as_int();
   return l;
 }
 
@@ -92,12 +96,13 @@ bool all_finite(const sim::RunResult& r) {
   };
   if (!std::isfinite(r.runtime_s) || !std::isfinite(r.energy_j) ||
       !std::isfinite(r.average_power_w) || !std::isfinite(r.gops_per_s) ||
-      !std::isfinite(r.gops_per_w) || !energy_finite(r.energy)) {
+      !std::isfinite(r.gops_per_w) || !std::isfinite(r.measured_wall_s) ||
+      !energy_finite(r.energy)) {
     return false;
   }
   for (const sim::LayerResult& l : r.layers) {
     if (!std::isfinite(l.utilization) || !std::isfinite(l.runtime_s) ||
-        !energy_finite(l.energy)) {
+        !std::isfinite(l.measured_wall_s) || !energy_finite(l.energy)) {
       return false;
     }
   }
@@ -127,6 +132,8 @@ Value run_result_to_json(const sim::RunResult& r) {
   v.set("average_power_w", r.average_power_w);
   v.set("gops_per_s", r.gops_per_s);
   v.set("gops_per_w", r.gops_per_w);
+  v.set("measured_wall_s", r.measured_wall_s);
+  v.set("measured_macs", r.measured_macs);
   Value layers = Value::array();
   for (const sim::LayerResult& l : r.layers) {
     layers.push_back(layer_to_json(l));
@@ -149,6 +156,8 @@ sim::RunResult run_result_from_json(const Value& v) {
   r.average_power_w = v.at("average_power_w").as_double();
   r.gops_per_s = v.at("gops_per_s").as_double();
   r.gops_per_w = v.at("gops_per_w").as_double();
+  r.measured_wall_s = v.at("measured_wall_s").as_double();
+  r.measured_macs = v.at("measured_macs").as_int();
   for (const Value& l : v.at("layers").as_array()) {
     r.layers.push_back(layer_from_json(l));
   }

@@ -59,7 +59,7 @@ struct DiskCacheStats {
 class DiskCache {
  public:
   /// Bump when the entry schema changes; all older entries are rejected.
-  static constexpr std::int64_t kFormatVersion = 1;
+  static constexpr std::int64_t kFormatVersion = 2;  // v2: measured fields
 
   /// Creates `dir` (and parents) if needed; throws bpvec::Error when the
   /// directory cannot be created.

@@ -1,0 +1,100 @@
+#include "src/kernels/bitplane.h"
+
+#include "src/bitslice/bit_slicing.h"
+#include "src/common/error.h"
+#include "src/kernels/simd.h"
+
+namespace bpvec::kernels {
+
+std::int64_t plane_weight(int p, int bits, bool is_signed) {
+  BPVEC_CHECK(p >= 0 && p < bits);
+  const std::int64_t magnitude = std::int64_t{1} << p;
+  return (is_signed && p == bits - 1) ? -magnitude : magnitude;
+}
+
+namespace {
+
+BitPlanes pack_span(const std::int32_t* values, std::int64_t rows,
+                    std::int64_t cols, int bits, bool is_signed) {
+  BPVEC_CHECK_MSG(bits >= 1 && bits <= 16,
+                  "bit-plane packing supports 1..16-bit operands");
+  BPVEC_CHECK(rows >= 0 && cols >= 0);
+  BitPlanes planes;
+  planes.rows = rows;
+  planes.cols = cols;
+  planes.bits = bits;
+  planes.is_signed = is_signed;
+  planes.words = static_cast<std::size_t>((cols + 63) / 64);
+  planes.data.assign(
+      static_cast<std::size_t>(rows) * bits * planes.words, 0);
+
+  const std::uint32_t mask =
+      bits == 32 ? ~0u : ((std::uint32_t{1} << bits) - 1);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::uint64_t* row_base =
+        planes.data.data() + static_cast<std::size_t>(r) * bits * planes.words;
+    for (std::int64_t k = 0; k < cols; ++k) {
+      const std::int32_t v = values[r * cols + k];
+      if (is_signed) {
+        BPVEC_CHECK_MSG(bitslice::fits_signed(v, bits),
+                        "value does not fit signed operand bitwidth");
+      } else {
+        BPVEC_CHECK_MSG(bitslice::fits_unsigned(v, bits),
+                        "value does not fit unsigned operand bitwidth");
+      }
+      // Two's-complement low `bits` bits; plane_weight() restores the
+      // sign weight at recomposition time.
+      std::uint32_t u = static_cast<std::uint32_t>(v) & mask;
+      const std::size_t word = static_cast<std::size_t>(k >> 6);
+      const std::uint64_t lane = std::uint64_t{1} << (k & 63);
+      for (int p = 0; u != 0; ++p, u >>= 1) {
+        if (u & 1u) row_base[static_cast<std::size_t>(p) * planes.words + word] |= lane;
+      }
+    }
+  }
+  return planes;
+}
+
+}  // namespace
+
+BitPlanes pack_rows(const dnn::Matrix& m, int bits, bool is_signed) {
+  BPVEC_CHECK(static_cast<std::int64_t>(m.data.size()) == m.rows * m.cols);
+  return pack_span(m.data.data(), m.rows, m.cols, bits, is_signed);
+}
+
+BitPlanes pack_vector(const std::vector<std::int32_t>& values, int bits,
+                      bool is_signed) {
+  return pack_span(values.data(), 1,
+                   static_cast<std::int64_t>(values.size()), bits, is_signed);
+}
+
+std::int64_t unpack_element(const BitPlanes& planes, std::int64_t row,
+                            std::int64_t i) {
+  BPVEC_CHECK(row >= 0 && row < planes.rows && i >= 0 && i < planes.cols);
+  const std::size_t word = static_cast<std::size_t>(i >> 6);
+  const int lane = static_cast<int>(i & 63);
+  std::int64_t value = 0;
+  for (int p = 0; p < planes.bits; ++p) {
+    const std::uint64_t bit = (planes.plane(row, p)[word] >> lane) & 1u;
+    if (bit) value += plane_weight(p, planes.bits, planes.is_signed);
+  }
+  return value;
+}
+
+std::int64_t packed_dot(const BitPlanes& a, std::int64_t a_row,
+                        const BitPlanes& b, std::int64_t b_row) {
+  BPVEC_CHECK_MSG(a.cols == b.cols, "packed dot: lane counts disagree");
+  std::int64_t acc = 0;
+  for (int p = 0; p < a.bits; ++p) {
+    const std::uint64_t* ap = a.plane(a_row, p);
+    const std::int64_t wa = plane_weight(p, a.bits, a.is_signed);
+    for (int q = 0; q < b.bits; ++q) {
+      const std::int64_t count =
+          and_popcount(ap, b.plane(b_row, q), a.words);
+      acc += wa * plane_weight(q, b.bits, b.is_signed) * count;
+    }
+  }
+  return acc;
+}
+
+}  // namespace bpvec::kernels

@@ -1,0 +1,182 @@
+#include "src/kernels/packed_kernels.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/common/error.h"
+#include "src/dnn/quantize.h"
+
+namespace bpvec::kernels {
+
+namespace {
+
+/// Runs fn(0..n-1) over the pool (or inline when pool is null), choosing
+/// a grain that amortizes queue overhead when each output is cheap.
+/// Outputs are independent, so any schedule yields identical results.
+void for_each_output(engine::ThreadPool* pool, std::size_t n,
+                     std::int64_t word_ops_per_output,
+                     const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t grain = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(
+                                    1, word_ops_per_output)));
+  pool->parallel_for(n, fn, grain);
+}
+
+}  // namespace
+
+std::vector<std::int64_t> packed_gemm(const BitPlanes& a, const BitPlanes& b,
+                                      engine::ThreadPool* pool,
+                                      KernelStats* stats) {
+  BPVEC_CHECK_MSG(a.cols == b.cols, "packed gemm: K dimensions disagree");
+  const std::size_t total = static_cast<std::size_t>(a.rows * b.rows);
+  std::vector<std::int64_t> out(total, 0);
+  const std::int64_t per_output_words =
+      static_cast<std::int64_t>(a.bits) * b.bits *
+      static_cast<std::int64_t>(a.words);
+  // Flattened (m, n) output index: works for tall GEMMs (conv patches)
+  // and single-row ones (fc / recurrent) alike; every index writes one
+  // disjoint element.
+  for_each_output(pool, total, per_output_words, [&](std::size_t i) {
+    const std::int64_t m = static_cast<std::int64_t>(i) / b.rows;
+    const std::int64_t n = static_cast<std::int64_t>(i) % b.rows;
+    out[i] = packed_dot(a, m, b, n);
+  });
+  if (stats != nullptr) {
+    // Work accounting is a pure function of the shapes — never touched
+    // inside the parallel region, so it cannot race or drift.
+    stats->macs += a.rows * b.rows * a.cols;
+    stats->word_ops += static_cast<std::int64_t>(total) * per_output_words;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> packed_conv(const dnn::Tensor& input,
+                                      const std::vector<std::int32_t>& weights,
+                                      const dnn::ConvParams& p, int x_bits,
+                                      int w_bits, engine::ThreadPool* pool,
+                                      KernelStats* stats) {
+  // Same lowering the systolic model prices: the packed path executes the
+  // exact GEMM view the analytical backends cost.
+  const dnn::Matrix patches = dnn::im2col(input, p);
+  const dnn::Matrix wm = dnn::weights_as_matrix(weights, p);
+  const BitPlanes x = pack_rows(patches, x_bits);
+  const BitPlanes w = pack_rows(wm, w_bits);
+  const std::vector<std::int64_t> gemm = packed_gemm(x, w, pool, stats);
+
+  // gemm[m·out_c + oc] with m = oy·out_w + ox  →  reference order
+  // out[(oc·out_h + oy)·out_w + ox] = out[oc·(out_h·out_w) + m].
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(p.out_h()) * p.out_w();
+  std::vector<std::int64_t> out(gemm.size());
+  for (std::int64_t m = 0; m < pixels; ++m) {
+    for (int oc = 0; oc < p.out_c; ++oc) {
+      out[static_cast<std::size_t>(oc) * pixels + m] =
+          gemm[static_cast<std::size_t>(m) * p.out_c + oc];
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> packed_fc(const std::vector<std::int32_t>& input,
+                                    const std::vector<std::int32_t>& weights,
+                                    const dnn::FcParams& p, int x_bits,
+                                    int w_bits, engine::ThreadPool* pool,
+                                    KernelStats* stats) {
+  BPVEC_CHECK(static_cast<int>(input.size()) == p.in_features);
+  BPVEC_CHECK(static_cast<std::int64_t>(weights.size()) ==
+              static_cast<std::int64_t>(p.in_features) * p.out_features);
+  const BitPlanes x = pack_vector(input, x_bits);
+  dnn::Matrix wm;
+  wm.rows = p.out_features;
+  wm.cols = p.in_features;
+  wm.data = weights;
+  const BitPlanes w = pack_rows(wm, w_bits);
+  // Single-row GEMM: out[n] = Σ_k in[k]·w[n][k], already fc_reference
+  // order.
+  return packed_gemm(x, w, pool, stats);
+}
+
+std::vector<std::int32_t> packed_rnn_step(
+    const std::vector<std::int32_t>& x, const std::vector<std::int32_t>& h,
+    const std::vector<std::int32_t>& weights, int hidden, int shift,
+    int out_bits, int x_bits, int w_bits, engine::ThreadPool* pool,
+    KernelStats* stats) {
+  const std::int64_t k = static_cast<std::int64_t>(x.size() + h.size());
+  BPVEC_CHECK(static_cast<std::int64_t>(weights.size()) ==
+              static_cast<std::int64_t>(hidden) * k);
+  std::vector<std::int32_t> xh;
+  xh.reserve(static_cast<std::size_t>(k));
+  xh.insert(xh.end(), x.begin(), x.end());
+  xh.insert(xh.end(), h.begin(), h.end());
+  const BitPlanes xp = pack_vector(xh, x_bits);
+  dnn::Matrix wm;
+  wm.rows = hidden;
+  wm.cols = k;
+  wm.data = weights;
+  const BitPlanes wp = pack_rows(wm, w_bits);
+  const std::vector<std::int64_t> acc = packed_gemm(xp, wp, pool, stats);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(hidden));
+  for (int n = 0; n < hidden; ++n) {
+    out[static_cast<std::size_t>(n)] =
+        dnn::requantize(acc[static_cast<std::size_t>(n)], shift, out_bits);
+  }
+  return out;
+}
+
+dnn::Tensor packed_pool(const dnn::Tensor& input, const dnn::PoolParams& p,
+                        engine::ThreadPool* pool, KernelStats* stats) {
+  BPVEC_CHECK(input.channels() == p.channels && input.height() == p.in_h &&
+              input.width() == p.in_w);
+  const int oh = p.out_h(), ow = p.out_w();
+  dnn::Tensor out(p.channels, oh, ow);
+  // Clamped window bounds instead of per-element bounds checks — a
+  // structurally different loop from pool_reference that must still
+  // agree bit-for-bit on every element.
+  const std::int64_t per_channel_work =
+      static_cast<std::int64_t>(oh) * ow * p.k * p.k;
+  for_each_output(
+      pool, static_cast<std::size_t>(p.channels), per_channel_work,
+      [&](std::size_t ci) {
+        const int c = static_cast<int>(ci);
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy0 = oy * p.stride;
+          const int iy1 = std::min(iy0 + p.k, p.in_h);
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix0 = ox * p.stride;
+            const int ix1 = std::min(ix0 + p.k, p.in_w);
+            const int count = (iy1 - iy0) * (ix1 - ix0);
+            BPVEC_CHECK(count > 0);
+            if (p.kind == dnn::PoolKind::kMax) {
+              std::int32_t best = INT32_MIN;
+              for (int iy = iy0; iy < iy1; ++iy) {
+                for (int ix = ix0; ix < ix1; ++ix) {
+                  best = std::max(best, input.at(c, iy, ix));
+                }
+              }
+              out.at(c, oy, ox) = best;
+            } else {
+              std::int64_t sum = 0;
+              for (int iy = iy0; iy < iy1; ++iy) {
+                for (int ix = ix0; ix < ix1; ++ix) {
+                  sum += input.at(c, iy, ix);
+                }
+              }
+              const std::int64_t half = count / 2;
+              out.at(c, oy, ox) = static_cast<std::int32_t>(
+                  sum >= 0 ? (sum + half) / count : (sum - half) / count);
+            }
+          }
+        }
+      });
+  if (stats != nullptr) {
+    stats->word_ops +=
+        static_cast<std::int64_t>(p.channels) * per_channel_work;
+  }
+  return out;
+}
+
+}  // namespace bpvec::kernels

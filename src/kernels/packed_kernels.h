@@ -1,0 +1,79 @@
+// Bit-packed layer kernels — the fast functional execution path.
+//
+// Each kernel computes a layer's integer arithmetic exactly, via the
+// bit-plane popcount GEMM (see bitplane.h), and is verified bit-for-bit
+// against dnn/reference_ops (and, through the functional backend,
+// against the scalar CVU executor in core/gemm_executor). Convolutions
+// go through the same im2col lowering the systolic model prices
+// (dnn/gemm_lowering), so the packed path executes precisely the GEMM
+// view the analytical backends cost.
+//
+// Parallelism: kernels take an optional engine::ThreadPool and split the
+// output-row dimension into tiles. Tiles write disjoint output ranges
+// and read shared immutable packed operands, so results are
+// bit-identical at any thread count (integer arithmetic, no reduction
+// reordering across tiles).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dnn/gemm_lowering.h"
+#include "src/dnn/layer.h"
+#include "src/dnn/tensor.h"
+#include "src/engine/thread_pool.h"
+#include "src/kernels/bitplane.h"
+
+namespace bpvec::kernels {
+
+/// Work accounting for one kernel invocation (fills the measured half of
+/// the measured-vs-modeled comparison).
+struct KernelStats {
+  std::int64_t macs = 0;      // multiply-accumulates computed
+  std::int64_t word_ops = 0;  // 64-bit AND+popcount words consumed
+};
+
+/// out[m·b.rows + n] = Σ_k a[m][k]·b[n][k], exact in int64. Output rows
+/// (the M dimension) are tiled over `pool` when given; pass nullptr for
+/// the serial loop.
+std::vector<std::int64_t> packed_gemm(const BitPlanes& a, const BitPlanes& b,
+                                      engine::ThreadPool* pool = nullptr,
+                                      KernelStats* stats = nullptr);
+
+/// Packed convolution: im2col → pack → popcount GEMM. Returns results in
+/// conv2d_reference order (out[(oc·out_h + oy)·out_w + ox]) so the two
+/// are directly comparable.
+std::vector<std::int64_t> packed_conv(const dnn::Tensor& input,
+                                      const std::vector<std::int32_t>& weights,
+                                      const dnn::ConvParams& p, int x_bits,
+                                      int w_bits,
+                                      engine::ThreadPool* pool = nullptr,
+                                      KernelStats* stats = nullptr);
+
+/// Packed fully-connected layer, fc_reference order.
+std::vector<std::int64_t> packed_fc(const std::vector<std::int32_t>& input,
+                                    const std::vector<std::int32_t>& weights,
+                                    const dnn::FcParams& p, int x_bits,
+                                    int w_bits,
+                                    engine::ThreadPool* pool = nullptr,
+                                    KernelStats* stats = nullptr);
+
+/// One packed recurrent step, bit-identical to rnn_step_reference:
+/// h' = requantize(W·[x; h], shift, out_bits). `weights` is
+/// [hidden][x.size() + h.size()] row-major; x and h values must fit
+/// `x_bits` signed.
+std::vector<std::int32_t> packed_rnn_step(
+    const std::vector<std::int32_t>& x, const std::vector<std::int32_t>& h,
+    const std::vector<std::int32_t>& weights, int hidden, int shift,
+    int out_bits, int x_bits, int w_bits,
+    engine::ThreadPool* pool = nullptr, KernelStats* stats = nullptr);
+
+/// Pooling on integer tensors, bit-identical to pool_reference but
+/// structured as an independent window-streaming implementation (the
+/// cross-check would be vacuous if both sides shared one loop). Channels
+/// are tiled over `pool` when given.
+dnn::Tensor packed_pool(const dnn::Tensor& input, const dnn::PoolParams& p,
+                        engine::ThreadPool* pool = nullptr,
+                        KernelStats* stats = nullptr);
+
+}  // namespace bpvec::kernels

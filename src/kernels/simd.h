@@ -1,0 +1,28 @@
+// The one SIMD-variant-specific primitive behind the bit-packed kernels:
+// AND two bit-plane words streams and count the surviving ones.
+//
+// Everything above this call site is portable C++; the variant (AVX2 on
+// x86-64, NEON on aarch64, plain 64-bit scalar otherwise) is chosen at
+// configure time (see the BPVEC_SIMD option in CMakeLists.txt) and
+// compiled into exactly one translation unit, simd_popcount.cpp — the
+// only file built with ISA-specific flags. `simd_variant()` names the
+// compiled-in variant; backend fingerprints fold it in so cache entries
+// produced by one kernel build are never served to another (results are
+// bit-identical across variants, but measured wall-clock is not).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bpvec::kernels {
+
+/// Σ_i popcount(a[i] & b[i]) over `words` 64-bit words. The inner loop of
+/// every packed kernel: one call scores one (activation-plane,
+/// weight-plane) significance pair over 64·words lanes.
+std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words);
+
+/// Compiled-in kernel variant: "avx2", "neon", or "scalar".
+const char* simd_variant();
+
+}  // namespace bpvec::kernels

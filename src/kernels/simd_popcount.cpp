@@ -1,0 +1,86 @@
+// The only translation unit compiled with ISA-specific flags (CMake adds
+// -mavx2 -mpopcnt here when the configure-time probe succeeds). Keep the
+// variant implementations out-of-line so no AVX2 code can leak into TUs
+// compiled for the baseline ISA.
+
+#include "src/kernels/simd.h"
+
+#if defined(BPVEC_SIMD_AVX2)
+#include <immintrin.h>
+#elif defined(BPVEC_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace bpvec::kernels {
+
+namespace {
+
+inline std::int64_t scalar_tail(const std::uint64_t* a,
+                                const std::uint64_t* b, std::size_t words) {
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    count += __builtin_popcountll(a[i] & b[i]);
+  }
+  return count;
+}
+
+}  // namespace
+
+#if defined(BPVEC_SIMD_AVX2)
+
+const char* simd_variant() { return "avx2"; }
+
+std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+  std::int64_t count = 0;
+  std::size_t i = 0;
+  // 4 words per vector AND; hardware POPCNT on the extracted lanes (the
+  // -mpopcnt half of the flag pair). Unaligned loads: planes are packed
+  // back-to-back per (row, significance), not over-aligned.
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_and_si256(va, vb);
+    count += __builtin_popcountll(
+        static_cast<std::uint64_t>(_mm256_extract_epi64(v, 0)));
+    count += __builtin_popcountll(
+        static_cast<std::uint64_t>(_mm256_extract_epi64(v, 1)));
+    count += __builtin_popcountll(
+        static_cast<std::uint64_t>(_mm256_extract_epi64(v, 2)));
+    count += __builtin_popcountll(
+        static_cast<std::uint64_t>(_mm256_extract_epi64(v, 3)));
+  }
+  return count + scalar_tail(a + i, b + i, words - i);
+}
+
+#elif defined(BPVEC_SIMD_NEON)
+
+const char* simd_variant() { return "neon"; }
+
+std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+  std::int64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    const uint8x16_t bits = vcntq_u8(vreinterpretq_u8_u64(vandq_u64(va, vb)));
+    count += vaddvq_u8(bits);
+  }
+  return count + scalar_tail(a + i, b + i, words - i);
+}
+
+#else
+
+const char* simd_variant() { return "scalar"; }
+
+std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t words) {
+  return scalar_tail(a, b, words);
+}
+
+#endif
+
+}  // namespace bpvec::kernels

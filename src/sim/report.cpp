@@ -5,19 +5,40 @@
 namespace bpvec::sim {
 
 Table layer_table(const RunResult& run, bool include_pools) {
+  // Measured columns appear only when the pricing backend executed the
+  // layers (the functional backend's packed probes); modeled-only runs
+  // keep the historical table shape.
+  const bool measured = run.measured_macs > 0;
   Table t(run.network + " on " + run.platform + "/" + run.memory);
-  t.set_header({"Layer", "Bits", "MACs (M)", "Cycles (k)", "Util",
-                "DRAM (KB)", "Energy (uJ)", "Bound"});
+  std::vector<std::string> header{"Layer",     "Bits",        "MACs (M)",
+                                  "Cycles (k)", "Util",       "DRAM (KB)",
+                                  "Energy (uJ)", "Bound"};
+  if (measured) {
+    header.push_back("Meas (us)");
+    header.push_back("Meas MACs (k)");
+  }
+  t.set_header(header);
   for (const auto& l : run.layers) {
     if (!include_pools && l.macs == 0) continue;
-    t.add_row({l.name,
-               std::to_string(l.x_bits) + "/" + std::to_string(l.w_bits),
-               Table::num(static_cast<double>(l.macs) / 1e6, 1),
-               Table::num(static_cast<double>(l.total_cycles) / 1e3, 1),
-               Table::num(l.utilization, 2),
-               Table::num(static_cast<double>(l.dram_bytes) / 1024.0, 0),
-               Table::num(l.energy.total_pj() / 1e6, 1),
-               l.macs == 0 ? "-" : (l.memory_bound ? "memory" : "compute")});
+    std::vector<std::string> row{
+        l.name,
+        std::to_string(l.x_bits) + "/" + std::to_string(l.w_bits),
+        Table::num(static_cast<double>(l.macs) / 1e6, 1),
+        Table::num(static_cast<double>(l.total_cycles) / 1e3, 1),
+        Table::num(l.utilization, 2),
+        Table::num(static_cast<double>(l.dram_bytes) / 1024.0, 0),
+        Table::num(l.energy.total_pj() / 1e6, 1),
+        l.macs == 0 ? "-" : (l.memory_bound ? "memory" : "compute")};
+    if (measured) {
+      row.push_back(l.measured_macs > 0
+                        ? Table::num(l.measured_wall_s * 1e6, 1)
+                        : "-");
+      row.push_back(
+          l.measured_macs > 0
+              ? Table::num(static_cast<double>(l.measured_macs) / 1e3, 1)
+              : "-");
+    }
+    t.add_row(row);
   }
   return t;
 }
@@ -33,14 +54,27 @@ std::string summary_line(const RunResult& run) {
 }
 
 Table comparison_table(const std::vector<RunResult>& runs) {
-  Table t(runs.empty() ? "comparison" : runs.front().network);
-  t.set_header({"Platform", "Memory", "Backend", "Latency (ms)",
-                "Energy (mJ)", "GOps/s", "GOps/W"});
+  bool any_measured = false;
   for (const auto& r : runs) {
-    t.add_row({r.platform, r.memory, r.backend.empty() ? "-" : r.backend,
-               Table::num(r.runtime_s * 1e3, 3),
-               Table::num(r.energy_j * 1e3, 3), Table::num(r.gops_per_s, 0),
-               Table::num(r.gops_per_w, 0)});
+    if (r.measured_macs > 0) any_measured = true;
+  }
+  Table t(runs.empty() ? "comparison" : runs.front().network);
+  std::vector<std::string> header{"Platform",    "Memory", "Backend",
+                                  "Latency (ms)", "Energy (mJ)", "GOps/s",
+                                  "GOps/W"};
+  if (any_measured) header.push_back("Measured (ms)");
+  t.set_header(header);
+  for (const auto& r : runs) {
+    std::vector<std::string> row{
+        r.platform, r.memory, r.backend.empty() ? "-" : r.backend,
+        Table::num(r.runtime_s * 1e3, 3), Table::num(r.energy_j * 1e3, 3),
+        Table::num(r.gops_per_s, 0), Table::num(r.gops_per_w, 0)};
+    if (any_measured) {
+      row.push_back(r.measured_macs > 0
+                        ? Table::num(r.measured_wall_s * 1e3, 3)
+                        : "-");
+    }
+    t.add_row(row);
   }
   return t;
 }
@@ -51,7 +85,7 @@ std::string to_csv(const RunResult& run) {
                 "compute_cycles", "memory_cycles", "total_cycles",
                 "utilization", "dram_bytes", "sram_bytes", "compute_pj",
                 "sram_pj", "dram_pj", "static_pj", "memory_bound",
-                "backend"});
+                "backend", "measured_wall_s", "measured_macs"});
   for (const auto& l : run.layers) {
     t.add_row({l.name, dnn::to_string(l.kind), std::to_string(l.x_bits),
                std::to_string(l.w_bits), std::to_string(l.macs),
@@ -64,7 +98,9 @@ std::string to_csv(const RunResult& run) {
                Table::num(l.energy.dram_pj, 1),
                Table::num(l.energy.static_pj, 1),
                l.memory_bound ? "1" : "0",
-               run.backend.empty() ? "-" : run.backend});
+               run.backend.empty() ? "-" : run.backend,
+               Table::num(l.measured_wall_s, 9),
+               std::to_string(l.measured_macs)});
   }
   return t.to_csv();
 }

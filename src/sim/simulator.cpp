@@ -124,6 +124,8 @@ RunResult assemble_run(std::string platform, std::string network,
     result.total_cycles += lr.total_cycles;
     result.total_macs += lr.macs;
     result.energy += lr.energy;
+    result.measured_wall_s += lr.measured_wall_s;
+    result.measured_macs += lr.measured_macs;
   }
 
   result.runtime_s = static_cast<double>(result.total_cycles) / frequency_hz;

@@ -38,6 +38,17 @@ struct LayerResult {
   /// from total_cycles; time-based models (the GPU roofline) set it
   /// directly and round total_cycles for reporting.
   double runtime_s = 0.0;
+
+  /// Measured execution, filled only by backends that actually run the
+  /// layer (the functional backend's bit-packed probe). measured_macs is
+  /// a pure function of the layer (deterministic — the probe's MAC
+  /// count); measured_wall_s is host wall clock of the packed kernels —
+  /// the one field that varies run to run. Cached copies replay both
+  /// verbatim, so reassembled runs stay bit-identical to the run that
+  /// produced them. Zero measured_macs ⇒ modeled-only (every other
+  /// backend), and reports omit the measured columns.
+  double measured_wall_s = 0.0;
+  std::int64_t measured_macs = 0;
 };
 
 struct RunResult {
@@ -61,6 +72,10 @@ struct RunResult {
   double gops_per_s = 0.0;
   /// GOps per watt — the Fig. 9 metric.
   double gops_per_w = 0.0;
+
+  /// Sums of the per-layer measured fields (zero for modeled-only runs).
+  double measured_wall_s = 0.0;
+  std::int64_t measured_macs = 0;
 };
 
 /// Assembles per-layer results into a RunResult for a cycle-based cost

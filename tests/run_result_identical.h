@@ -10,8 +10,13 @@
 
 namespace bpvec {
 
+/// When `ignore_wall` is set the measured_wall_s fields are skipped:
+/// wall clock is the one field two *separate executions* of the
+/// functional backend legitimately disagree on (cached replays must
+/// still match exactly — compare those with ignore_wall = false).
 inline void expect_bit_identical(const sim::RunResult& a,
-                                 const sim::RunResult& b) {
+                                 const sim::RunResult& b,
+                                 bool ignore_wall = false) {
   EXPECT_EQ(a.platform, b.platform);
   EXPECT_EQ(a.network, b.network);
   EXPECT_EQ(a.memory, b.memory);
@@ -27,6 +32,10 @@ inline void expect_bit_identical(const sim::RunResult& a,
   EXPECT_EQ(a.average_power_w, b.average_power_w);
   EXPECT_EQ(a.gops_per_s, b.gops_per_s);
   EXPECT_EQ(a.gops_per_w, b.gops_per_w);
+  EXPECT_EQ(a.measured_macs, b.measured_macs);
+  if (!ignore_wall) {
+    EXPECT_EQ(a.measured_wall_s, b.measured_wall_s);
+  }
   ASSERT_EQ(a.layers.size(), b.layers.size());
   for (std::size_t i = 0; i < a.layers.size(); ++i) {
     const sim::LayerResult& la = a.layers[i];
@@ -48,6 +57,10 @@ inline void expect_bit_identical(const sim::RunResult& a,
     EXPECT_EQ(la.energy.static_pj, lb.energy.static_pj);
     EXPECT_EQ(la.memory_bound, lb.memory_bound);
     EXPECT_EQ(la.runtime_s, lb.runtime_s);
+    EXPECT_EQ(la.measured_macs, lb.measured_macs);
+    if (!ignore_wall) {
+      EXPECT_EQ(la.measured_wall_s, lb.measured_wall_s);
+    }
   }
 }
 

@@ -78,6 +78,69 @@ TEST(SliceVector, LayoutIsSliceMajor) {
   }
 }
 
+TEST(SliceSigned, SingleSliceOperandIsTheValueItself) {
+  // operand_bits == slice_bits: exactly one slice, and it IS the value —
+  // signed interpretation applies because the only slice is the top one.
+  for (const int bits : {1, 2, 4, 8, 16}) {
+    const std::int32_t lo = -(std::int32_t{1} << (bits - 1));
+    const std::int32_t hi = (std::int32_t{1} << (bits - 1)) - 1;
+    for (const std::int32_t v : {lo, std::int32_t{0}, hi}) {
+      const auto s = slice_signed(v, bits, bits);
+      ASSERT_EQ(s.size(), 1u) << "bits=" << bits;
+      EXPECT_EQ(s[0], v) << "bits=" << bits;
+      EXPECT_EQ(recompose(s, bits), v) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(SliceSigned, SignedRangeBoundariesSliceExactly) {
+  // The extreme values of each width are where a sign-handling bug shows
+  // first: -2^(n-1) has only the sign bit set, 2^(n-1)-1 everything else.
+  for (const int bits : {2, 4, 6, 8, 12, 16}) {
+    const std::int32_t min_v = -(std::int32_t{1} << (bits - 1));
+    const std::int32_t max_v = (std::int32_t{1} << (bits - 1)) - 1;
+    for (const int alpha : {1, 2, 4}) {
+      const auto s_min = slice_signed(min_v, bits, alpha);
+      const auto s_max = slice_signed(max_v, bits, alpha);
+      EXPECT_EQ(recompose(s_min, alpha), min_v)
+          << "bits=" << bits << " a=" << alpha;
+      EXPECT_EQ(recompose(s_max, alpha), max_v)
+          << "bits=" << bits << " a=" << alpha;
+      // min = 100…0: every lower slice zero, top slice = -2^(α-1) when
+      // the width divides evenly (the sign bit tops its slice).
+      if (bits % alpha == 0) {
+        for (std::size_t j = 0; j + 1 < s_min.size(); ++j) {
+          EXPECT_EQ(s_min[j], 0);
+        }
+        EXPECT_EQ(s_min.back(), -(std::int32_t{1} << (alpha - 1)));
+      }
+    }
+  }
+}
+
+TEST(SliceUnsigned, TopSliceStaysUnsignedWhereSignedWouldGoNegative) {
+  // 0xF in the top slice: signed slicing reads it as -1, unsigned must
+  // keep +15. This is the unsigned-activation path of Eq. 3.
+  const auto u = slice_unsigned(0xF3u, 8, 4);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u[1], 0xF);
+  EXPECT_EQ(recompose(u, 4), 0xF3);
+  const auto s = slice_signed(-13, 8, 4);  // same bit pattern 0xF3
+  EXPECT_EQ(s[1], -1);
+  EXPECT_EQ(recompose(s, 4), -13);
+
+  // Full-range unsigned max: every slice saturated at 2^α - 1.
+  const auto m = slice_unsigned(0xFFFFu, 16, 4);
+  for (const auto slice : m) EXPECT_EQ(slice, 0xF);
+  EXPECT_EQ(recompose(m, 4), 0xFFFF);
+
+  // Single-slice unsigned operand: the value itself, never sign-read.
+  const auto one = slice_unsigned(255u, 8, 8);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 255);
+  EXPECT_EQ(recompose(one, 8), 255);
+}
+
 // ---- Property: slice → recompose is the identity over full sweeps ----
 
 class SliceRoundTrip

@@ -1,0 +1,285 @@
+// FunctionalBackend: the backend that executes what the others model.
+//
+// The load-bearing property is three-way exactness — packed SIMD kernels
+// == reference operators == scalar CVU datapath — enforced inside
+// price_layer itself (a mismatch throws). These tests drive that check
+// across every unique layer of the whole model zoo in both bitwidth
+// modes, pin the thread-count independence of the packed kernels on the
+// same probe shapes, and verify the engine-facing contracts: determinism
+// of everything but wall-clock, cache replay bit-identity, and
+// fingerprint separation.
+#include "src/backend/functional_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/backend/backend_registry.h"
+#include "src/common/rng.h"
+#include "src/dnn/model_zoo.h"
+#include "src/dnn/reference_ops.h"
+#include "src/engine/scenario.h"
+#include "src/engine/sim_engine.h"
+#include "src/engine/thread_pool.h"
+#include "src/kernels/packed_kernels.h"
+#include "tests/run_result_identical.h"
+
+namespace bpvec::backend {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Tight probe bounds keep the exhaustive zoo sweep fast under
+/// sanitizers; the accumulation depth K stays FULL regardless (that is a
+/// property of probe_layer, pinned below).
+FunctionalConfig small_probes() {
+  FunctionalConfig c;
+  c.max_side = 2;
+  c.max_channels = 12;
+  c.max_time_steps = 2;
+  c.check_cols = 4;
+  return c;
+}
+
+/// Runs the packed kernel for `probe` twice — serial and through `pool`
+/// — on freshly generated data and checks both against the reference
+/// operator. Thread-count independence on real zoo shapes.
+void expect_threaded_matches_reference(const dnn::Layer& probe,
+                                       engine::ThreadPool& pool, Rng& rng) {
+  switch (probe.kind) {
+    case dnn::LayerKind::kConv: {
+      const auto& p = probe.conv();
+      dnn::Tensor input(p.in_c, p.in_h, p.in_w);
+      for (auto& v : input.data()) v = rng.signed_value(probe.x_bits);
+      const auto weights = rng.signed_vector(
+          static_cast<std::size_t>(p.out_c) * p.in_c * p.kh * p.kw,
+          probe.w_bits);
+      const auto expected = dnn::conv2d_reference(input, weights, p);
+      EXPECT_EQ(kernels::packed_conv(input, weights, p, probe.x_bits,
+                                     probe.w_bits),
+                expected)
+          << probe.name;
+      EXPECT_EQ(kernels::packed_conv(input, weights, p, probe.x_bits,
+                                     probe.w_bits, &pool),
+                expected)
+          << probe.name;
+      break;
+    }
+    case dnn::LayerKind::kFullyConnected: {
+      const auto& p = probe.fc();
+      const auto input = rng.signed_vector(
+          static_cast<std::size_t>(p.in_features), probe.x_bits);
+      const auto weights = rng.signed_vector(
+          static_cast<std::size_t>(p.in_features) * p.out_features,
+          probe.w_bits);
+      const auto expected = dnn::fc_reference(input, weights, p);
+      EXPECT_EQ(kernels::packed_fc(input, weights, p, probe.x_bits,
+                                   probe.w_bits),
+                expected)
+          << probe.name;
+      EXPECT_EQ(kernels::packed_fc(input, weights, p, probe.x_bits,
+                                   probe.w_bits, &pool),
+                expected)
+          << probe.name;
+      break;
+    }
+    case dnn::LayerKind::kPool: {
+      const auto& p = probe.pool();
+      dnn::Tensor input(p.channels, p.in_h, p.in_w);
+      for (auto& v : input.data()) v = rng.signed_value(probe.x_bits);
+      const dnn::Tensor expected = dnn::pool_reference(input, p);
+      EXPECT_EQ(kernels::packed_pool(input, p).data(), expected.data())
+          << probe.name;
+      EXPECT_EQ(kernels::packed_pool(input, p, &pool).data(),
+                expected.data())
+          << probe.name;
+      break;
+    }
+    case dnn::LayerKind::kRecurrent: {
+      const auto& p = probe.recurrent();
+      const int k = p.input_size + p.hidden_size;
+      const auto x = rng.signed_vector(
+          static_cast<std::size_t>(p.input_size), probe.x_bits);
+      const auto h = rng.signed_vector(
+          static_cast<std::size_t>(p.hidden_size), probe.x_bits);
+      const auto weights = rng.signed_vector(
+          static_cast<std::size_t>(p.hidden_size) * k, probe.w_bits);
+      const auto expected = dnn::rnn_step_reference(x, h, weights,
+                                                    p.hidden_size, 6, 8);
+      EXPECT_EQ(kernels::packed_rnn_step(x, h, weights, p.hidden_size, 6, 8,
+                                         probe.x_bits, probe.w_bits),
+                expected)
+          << probe.name;
+      EXPECT_EQ(kernels::packed_rnn_step(x, h, weights, p.hidden_size, 6, 8,
+                                         probe.x_bits, probe.w_bits, &pool),
+                expected)
+          << probe.name;
+      break;
+    }
+  }
+}
+
+TEST(FunctionalBackend, EveryUniqueZooLayerVerifiesInBothBitwidthModes) {
+  // price_layer runs the three-way check internally and throws on any
+  // mismatch, so simply pricing every unique layer of all six networks
+  // in both modes IS the exactness proof — exhaustive, not sampled.
+  // Layers are deduped by fingerprint (ResNet's repeated blocks, shared
+  // shapes across modes) to keep the sweep tractable under sanitizers.
+  const FunctionalBackend be(small_probes(), sim::bpvec_accelerator(),
+                             arch::ddr4());
+  engine::ThreadPool pool(4);
+  Rng rng(97);
+  std::set<std::uint64_t> seen;
+  int priced = 0;
+  for (const auto mode : {dnn::BitwidthMode::kHomogeneous8b,
+                          dnn::BitwidthMode::kHeterogeneous}) {
+    for (const auto& net : dnn::all_models(mode)) {
+      for (const dnn::Layer& layer : net.layers()) {
+        const std::uint64_t fp =
+            layer_fingerprint(layer, sim::bpvec_accelerator().time_chunk);
+        if (!seen.insert(fp).second) continue;
+        const sim::LayerResult r = be.price_layer(layer);
+        ++priced;
+        if (layer.is_compute()) {
+          EXPECT_GT(r.measured_macs, 0) << layer.name;
+          EXPECT_GE(r.measured_wall_s, 0.0) << layer.name;
+        } else {
+          EXPECT_EQ(r.measured_macs, 0) << layer.name;
+        }
+        // And the packed kernels are thread-count independent on the
+        // exact probe shapes the backend executes.
+        expect_threaded_matches_reference(be.probe_layer(layer), pool, rng);
+      }
+    }
+  }
+  // The zoo must actually exercise the sweep: every kind, many shapes.
+  EXPECT_GT(priced, 50);
+}
+
+TEST(FunctionalBackend, ProbeKeepsFullDepthAndCapsOutputs) {
+  const FunctionalBackend be(FunctionalConfig{}, sim::bpvec_accelerator(),
+                             arch::ddr4());
+  // ResNet-style deep conv: K = 512·3·3 must survive untouched; the
+  // output extents collapse to the caps.
+  dnn::Layer conv = dnn::make_conv("c", {512, 28, 28, 512, 3, 3, 1, 1});
+  const dnn::Layer probe = be.probe_layer(conv);
+  const auto& p = probe.conv();
+  EXPECT_EQ(p.in_c, 512);                    // full K depth
+  EXPECT_EQ(p.kh, 3);
+  EXPECT_EQ(p.out_c, 64);                    // capped N
+  EXPECT_EQ(p.out_h(), 4);                   // capped M side
+  EXPECT_EQ(p.out_w(), 4);
+  EXPECT_EQ(probe.x_bits, conv.x_bits);
+
+  // LSTM: gate depth input+hidden preserved, steps capped.
+  dnn::Layer lstm = dnn::make_recurrent(
+      "l", {dnn::RecurrentCellKind::kLstm, 2048, 1024, 512});
+  const auto& rp = be.probe_layer(lstm).recurrent();
+  EXPECT_EQ(rp.input_size, 64);
+  EXPECT_EQ(rp.hidden_size, 64);
+  EXPECT_EQ(rp.time_steps, 4);
+
+  // A layer already under the caps is untouched.
+  dnn::Layer tiny = dnn::make_conv("t", {3, 4, 4, 8, 3, 3, 1, 1});
+  const auto& tp = be.probe_layer(tiny).conv();
+  EXPECT_EQ(tp.in_h, 4);
+  EXPECT_EQ(tp.out_c, 8);
+}
+
+TEST(FunctionalBackend, EverythingButWallClockIsDeterministic) {
+  const dnn::Layer layer =
+      dnn::make_conv("conv", {64, 14, 14, 96, 3, 3, 1, 1});
+  const FunctionalBackend a(small_probes(), sim::tpu_like_baseline(),
+                            arch::ddr4());
+  const FunctionalBackend b(small_probes(), sim::tpu_like_baseline(),
+                            arch::ddr4());
+  const sim::LayerResult ra = a.price_layer(layer);
+  const sim::LayerResult rb = b.price_layer(layer);
+  // Distinct instances, distinct executions: identical measured_macs and
+  // modeled metrics (wall-clock is the only field allowed to move).
+  EXPECT_EQ(ra.measured_macs, rb.measured_macs);
+  EXPECT_EQ(ra.total_cycles, rb.total_cycles);
+  EXPECT_EQ(ra.energy.total_pj(), rb.energy.total_pj());
+  EXPECT_GT(ra.measured_macs, 0);
+}
+
+TEST(FunctionalBackend, RunSumsMeasuredFieldsAcrossLayers) {
+  const FunctionalBackend be(small_probes(), sim::bpvec_accelerator(),
+                             arch::hbm2());
+  const auto r = be.run(dnn::make_alexnet(dnn::BitwidthMode::kHeterogeneous));
+  EXPECT_EQ(r.backend, "functional");
+  double wall = 0.0;
+  std::int64_t macs = 0;
+  for (const auto& l : r.layers) {
+    wall += l.measured_wall_s;
+    macs += l.measured_macs;
+  }
+  EXPECT_EQ(r.measured_wall_s, wall);
+  EXPECT_EQ(r.measured_macs, macs);
+  EXPECT_GT(r.measured_macs, 0);
+  // Modeled cycles ride along unchanged next to the measured numbers.
+  EXPECT_GT(r.total_cycles, 0);
+}
+
+TEST(FunctionalBackend, FingerprintSeparatesProbeConfigsAndBackends) {
+  const auto platform = sim::bpvec_accelerator();
+  const FunctionalBackend base(FunctionalConfig{}, platform, arch::ddr4());
+
+  FunctionalConfig reseeded;
+  reseeded.seed ^= 1;
+  EXPECT_NE(base.fingerprint(),
+            FunctionalBackend(reseeded, platform, arch::ddr4()).fingerprint());
+
+  FunctionalConfig wider;
+  wider.max_channels *= 2;
+  EXPECT_NE(base.fingerprint(),
+            FunctionalBackend(wider, platform, arch::ddr4()).fingerprint());
+
+  EXPECT_NE(base.fingerprint(),
+            FunctionalBackend(FunctionalConfig{}, platform, arch::hbm2())
+                .fingerprint());
+
+  // Same platform/memory as the bpvec backend, different pricing model:
+  // the two must never share cache entries.
+  const auto bpvec = BackendRegistry::instance().create("bpvec", platform,
+                                                        arch::ddr4());
+  EXPECT_NE(base.fingerprint(), bpvec->fingerprint());
+}
+
+TEST(FunctionalBackend, WarmEngineRunReplaysMeasuredValuesAndPricesNothing) {
+  const std::string dir = "functional_backend_cache_test";
+  fs::remove_all(dir);
+
+  std::vector<engine::Scenario> batch;
+  batch.push_back(engine::make_scenario(
+      "functional", engine::Platform::kBpvec, core::Memory::kHbm2,
+      dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b)));
+
+  engine::EngineOptions opts;
+  opts.num_threads = 2;
+  opts.disk_cache_dir = dir;
+
+  engine::SimEngine cold(opts);
+  const auto cold_results = cold.run_batch(batch);
+  EXPECT_EQ(cold.stats().simulations_run, batch.size());
+  ASSERT_EQ(cold_results.size(), 1u);
+  EXPECT_GT(cold_results[0].measured_macs, 0);
+
+  // Fresh engine, same directory: the functional scenario is served from
+  // disk — zero layers execute, and the replay is bit-identical
+  // INCLUDING wall-clock (cached copies are exact).
+  engine::SimEngine warm(opts);
+  const auto warm_results = warm.run_batch(batch);
+  EXPECT_EQ(warm.stats().simulations_run, 0u);
+  EXPECT_EQ(warm.stats().layers_priced, 0u);
+  EXPECT_EQ(warm.stats().disk_hits, batch.size());
+  expect_bit_identical(cold_results[0], warm_results[0]);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bpvec::backend

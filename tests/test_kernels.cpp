@@ -1,0 +1,217 @@
+// Bit-plane packing and the packed popcount kernels: pack/unpack is the
+// identity, the SIMD and_popcount primitive agrees with a scalar fold,
+// and every layer kernel is bit-identical to its reference operator —
+// serially and through a thread pool.
+#include "src/kernels/packed_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/dnn/quantize.h"
+#include "src/dnn/reference_ops.h"
+#include "src/kernels/simd.h"
+
+namespace bpvec::kernels {
+namespace {
+
+TEST(Simd, VariantIsOneOfTheKnownStrings) {
+  const std::string v = simd_variant();
+  EXPECT_TRUE(v == "avx2" || v == "neon" || v == "scalar") << v;
+}
+
+TEST(Simd, AndPopcountMatchesScalarFoldAcrossLengths) {
+  Rng rng(7);
+  // Cover the vector body and every tail length (AVX2 consumes 4 words
+  // per iteration, NEON 2; words % 4 exercises all remainders).
+  for (std::size_t words : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 31u, 64u, 129u}) {
+    std::vector<std::uint64_t> a(words), b(words);
+    for (auto& w : a) w = rng.next_u64();
+    for (auto& w : b) w = rng.next_u64();
+    std::int64_t expected = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+      expected += __builtin_popcountll(a[i] & b[i]);
+    }
+    EXPECT_EQ(and_popcount(a.data(), b.data(), words), expected) << words;
+  }
+}
+
+TEST(BitPlanes, PlaneWeightCarriesTheSignOnTheTopPlane) {
+  EXPECT_EQ(plane_weight(0, 8, true), 1);
+  EXPECT_EQ(plane_weight(6, 8, true), 64);
+  EXPECT_EQ(plane_weight(7, 8, true), -128);
+  EXPECT_EQ(plane_weight(7, 8, false), 128);
+  EXPECT_EQ(plane_weight(0, 1, true), -1);  // 1-bit signed: {-1, 0}
+  EXPECT_EQ(plane_weight(0, 1, false), 1);
+}
+
+TEST(BitPlanes, PackUnpackIsTheIdentityAcrossBitwidths) {
+  Rng rng(11);
+  for (int bits = 1; bits <= 16; ++bits) {
+    // 70 lanes: crosses the 64-lane word boundary, leaving tail lanes.
+    const auto values = rng.signed_vector(70, bits);
+    const BitPlanes planes = pack_vector(values, bits);
+    EXPECT_EQ(planes.words, 2u);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(unpack_element(planes, 0, static_cast<std::int64_t>(i)),
+                values[i])
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+  // Unsigned interpretation: the top plane carries +2^(b-1).
+  std::vector<std::int32_t> u(65);
+  for (auto& v : u) v = static_cast<std::int32_t>(rng.unsigned_value(6));
+  const BitPlanes planes = pack_vector(u, 6, /*is_signed=*/false);
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    EXPECT_EQ(unpack_element(planes, 0, static_cast<std::int64_t>(i)), u[i]);
+  }
+}
+
+TEST(BitPlanes, PackRejectsOutOfRangeValues) {
+  EXPECT_THROW(pack_vector({128}, 8), Error);             // > int8 max
+  EXPECT_THROW(pack_vector({-129}, 8), Error);            // < int8 min
+  EXPECT_THROW(pack_vector({-1}, 8, /*signed=*/false), Error);
+  EXPECT_NO_THROW(pack_vector({-128, 127}, 8));
+  EXPECT_NO_THROW(pack_vector({255}, 8, /*signed=*/false));
+}
+
+TEST(BitPlanes, PackedDotMatchesDirectDotAtMixedBitwidths) {
+  Rng rng(13);
+  for (const auto& [xb, wb] : {std::pair{8, 8}, {4, 8}, {1, 8}, {3, 5},
+                               {16, 2}, {12, 12}}) {
+    const auto x = rng.signed_vector(150, xb);
+    const auto w = rng.signed_vector(150, wb);
+    std::int64_t expected = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      expected += std::int64_t{x[i]} * w[i];
+    }
+    const BitPlanes xp = pack_vector(x, xb);
+    const BitPlanes wp = pack_vector(w, wb);
+    EXPECT_EQ(packed_dot(xp, 0, wp, 0), expected)
+        << "x_bits=" << xb << " w_bits=" << wb;
+  }
+}
+
+TEST(PackedGemm, MatchesGemmReferenceSeriallyAndThreaded) {
+  Rng rng(17);
+  dnn::Matrix a{13, 90, {}};
+  dnn::Matrix b{9, 90, {}};
+  a.data = rng.signed_vector(static_cast<std::size_t>(a.rows * a.cols), 7);
+  b.data = rng.signed_vector(static_cast<std::size_t>(b.rows * b.cols), 5);
+  const auto expected = dnn::gemm_reference(a, b);
+
+  const BitPlanes ap = pack_rows(a, 7);
+  const BitPlanes bp = pack_rows(b, 5);
+  KernelStats stats;
+  EXPECT_EQ(packed_gemm(ap, bp, nullptr, &stats), expected);
+  EXPECT_EQ(stats.macs, a.rows * b.rows * a.cols);
+  EXPECT_GT(stats.word_ops, 0);
+
+  engine::ThreadPool pool(4);
+  EXPECT_EQ(packed_gemm(ap, bp, &pool), expected);
+}
+
+TEST(PackedConv, MatchesConvReferenceSeriallyAndThreaded) {
+  Rng rng(19);
+  const dnn::ConvParams p{/*in_c=*/3, /*in_h=*/8, /*in_w=*/8, /*out_c=*/4,
+                          /*kh=*/3, /*kw=*/3, /*stride=*/1, /*pad=*/1};
+  dnn::Tensor input(p.in_c, p.in_h, p.in_w);
+  for (auto& v : input.data()) v = rng.signed_value(4);
+  const auto weights = rng.signed_vector(
+      static_cast<std::size_t>(p.out_c) * p.in_c * p.kh * p.kw, 4);
+  const auto expected = dnn::conv2d_reference(input, weights, p);
+
+  KernelStats stats;
+  EXPECT_EQ(packed_conv(input, weights, p, 4, 4, nullptr, &stats), expected);
+  EXPECT_EQ(stats.macs, static_cast<std::int64_t>(p.out_h()) * p.out_w() *
+                            p.out_c * p.in_c * p.kh * p.kw);
+
+  engine::ThreadPool pool(4);
+  EXPECT_EQ(packed_conv(input, weights, p, 4, 4, &pool), expected);
+}
+
+TEST(PackedConv, StridedUnpaddedConvMatchesReference) {
+  Rng rng(23);
+  const dnn::ConvParams p{2, 11, 11, 3, 5, 5, 2, 0};
+  dnn::Tensor input(p.in_c, p.in_h, p.in_w);
+  for (auto& v : input.data()) v = rng.signed_value(8);
+  const auto weights = rng.signed_vector(
+      static_cast<std::size_t>(p.out_c) * p.in_c * p.kh * p.kw, 3);
+  EXPECT_EQ(packed_conv(input, weights, p, 8, 3),
+            dnn::conv2d_reference(input, weights, p));
+}
+
+TEST(PackedFc, MatchesFcReferenceSeriallyAndThreaded) {
+  Rng rng(29);
+  const dnn::FcParams p{/*in_features=*/200, /*out_features=*/17};
+  const auto input = rng.signed_vector(static_cast<std::size_t>(p.in_features), 6);
+  const auto weights = rng.signed_vector(
+      static_cast<std::size_t>(p.in_features) * p.out_features, 8);
+  const auto expected = dnn::fc_reference(input, weights, p);
+
+  KernelStats stats;
+  EXPECT_EQ(packed_fc(input, weights, p, 6, 8, nullptr, &stats), expected);
+  EXPECT_EQ(stats.macs,
+            static_cast<std::int64_t>(p.in_features) * p.out_features);
+
+  engine::ThreadPool pool(4);
+  EXPECT_EQ(packed_fc(input, weights, p, 6, 8, &pool), expected);
+}
+
+TEST(PackedRnnStep, MatchesRnnStepReferenceOverAChainedRecurrence) {
+  Rng rng(31);
+  const int input = 24, hidden = 12, shift = 6, out_bits = 8;
+  const auto weights = rng.signed_vector(
+      static_cast<std::size_t>(hidden) * (input + hidden), 4);
+  auto h_packed = rng.signed_vector(static_cast<std::size_t>(hidden), 8);
+  auto h_ref = h_packed;
+  engine::ThreadPool pool(4);
+  for (int t = 0; t < 5; ++t) {
+    const auto x = rng.signed_vector(static_cast<std::size_t>(input), 8);
+    // Chained: step t's output feeds step t+1, so one wrong bit anywhere
+    // cascades instead of averaging out.
+    h_packed = packed_rnn_step(x, h_packed, weights, hidden, shift, out_bits,
+                               8, 4, t % 2 == 0 ? nullptr : &pool);
+    h_ref = dnn::rnn_step_reference(x, h_ref, weights, hidden, shift,
+                                    out_bits);
+    EXPECT_EQ(h_packed, h_ref) << "t=" << t;
+  }
+}
+
+TEST(PackedPool, MatchesPoolReferenceForMaxAndAverage) {
+  Rng rng(37);
+  for (const auto kind : {dnn::PoolKind::kMax, dnn::PoolKind::kAverage}) {
+    // k=3, stride=2 over 9×9: windows whose spans hit the right/bottom
+    // edges exactly, plus interior overlap.
+    dnn::PoolParams p{/*channels=*/5, /*in_h=*/9, /*in_w=*/9, /*k=*/3,
+                      /*stride=*/2, kind};
+    dnn::Tensor input(p.channels, p.in_h, p.in_w);
+    for (auto& v : input.data()) v = rng.signed_value(8);
+    const dnn::Tensor expected = dnn::pool_reference(input, p);
+
+    EXPECT_EQ(packed_pool(input, p).data(), expected.data());
+    engine::ThreadPool pool(4);
+    EXPECT_EQ(packed_pool(input, p, &pool).data(), expected.data());
+  }
+}
+
+TEST(PackedGemm, ThreadedResultIsBitIdenticalAtAnyPoolSize) {
+  Rng rng(41);
+  dnn::Matrix a{6, 300, {}};
+  dnn::Matrix b{5, 300, {}};
+  a.data = rng.signed_vector(static_cast<std::size_t>(a.rows * a.cols), 8);
+  b.data = rng.signed_vector(static_cast<std::size_t>(b.rows * b.cols), 8);
+  const BitPlanes ap = pack_rows(a, 8);
+  const BitPlanes bp = pack_rows(b, 8);
+  const auto serial = packed_gemm(ap, bp);
+  for (int threads : {1, 2, 4}) {
+    engine::ThreadPool pool(threads);
+    EXPECT_EQ(packed_gemm(ap, bp, &pool), serial) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace bpvec::kernels

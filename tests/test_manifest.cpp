@@ -66,6 +66,20 @@ TEST(Manifest, ExpansionCountsAreTheCrossProduct) {
   EXPECT_EQ(expand(m).size(), 54u);
 }
 
+TEST(Manifest, FunctionalBackendTokenExpands) {
+  // The functional backend must be a first-class backends-axis token:
+  // picked up from the registry, validated, and stamped into scenarios.
+  const Manifest m = from_text(R"({
+    "name": "functional_axis",
+    "grids": [{"backends": ["functional"], "platforms": ["bpvec"],
+               "memories": ["hbm2"], "networks": ["alexnet"],
+               "bitwidth_modes": ["homogeneous8b"]}]
+  })");
+  const auto scenarios = expand(m);
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].backend, "functional");
+}
+
 TEST(Manifest, ExpansionMatchesHandWrittenFig5Batch) {
   // The manifest expansion must reproduce the fig5 bench's batch exactly
   // (same scenarios, same order, same ids → same fingerprints).
@@ -841,8 +855,8 @@ TEST(CliList, PrintsEveryVocabulary) {
   ASSERT_EQ(main_cli(2, argv, out, err), 0) << err.str();
   const std::string text = out.str();
   for (const char* needle :
-       {"backends:", "bpvec", "platforms:", "tpu_like", "memories:",
-        "ddr4", "bitwidth_modes:", "networks:", "alexnet",
+       {"backends:", "bpvec", "functional", "platforms:", "tpu_like",
+        "memories:", "ddr4", "bitwidth_modes:", "networks:", "alexnet",
         "workload_generators:", "mlp_family", "search_knobs:",
         "net_depth", "metrics:", "cycles", "strategies:", "hill_climb"}) {
     EXPECT_NE(text.find(needle), std::string::npos) << needle;
