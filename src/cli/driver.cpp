@@ -1,50 +1,19 @@
 #include "src/cli/driver.h"
 
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
-#include <sstream>
 #include <utility>
 
-#include "src/backend/backend_registry.h"
 #include "src/common/error.h"
 #include "src/common/table.h"
-#include "src/workload/generators.h"
-#include "src/workload/network_registry.h"
-#include "src/workload/schema.h"
+#include "src/serve/session.h"
 
 namespace bpvec::cli {
 
 using common::json::Value;
 
 namespace {
-
-Value scenario_row(const engine::Scenario& scenario,
-                   const sim::RunResult& r) {
-  Value row = Value::object();
-  row.set("id", scenario.id);
-  row.set("backend", r.backend);
-  row.set("platform", r.platform);
-  row.set("network", r.network);
-  row.set("memory", r.memory);
-  row.set("total_cycles", r.total_cycles);
-  row.set("total_macs", r.total_macs);
-  row.set("runtime_s", r.runtime_s);
-  row.set("energy_j", r.energy_j);
-  row.set("average_power_w", r.average_power_w);
-  row.set("gops_per_s", r.gops_per_s);
-  row.set("gops_per_w", r.gops_per_w);
-  // Measured fields exist only for backends that execute (the functional
-  // backend's packed probes); modeled-only rows keep the historical
-  // shape, so reports from manifests without functional scenarios stay
-  // byte-identical across this change (the CI golden gate relies on it).
-  if (r.measured_macs > 0) {
-    row.set("measured_wall_s", r.measured_wall_s);
-    row.set("measured_macs", r.measured_macs);
-  }
-  return row;
-}
 
 void write_file(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -118,40 +87,6 @@ std::string metric_cell(double v) {
   return buf;
 }
 
-/// Typed knob map for one candidate (integer knobs as JSON ints).
-Value knobs_json(const dse::ParamSpace& space, const dse::Candidate& c) {
-  Value knobs = Value::object();
-  for (std::size_t a = 0; a < space.num_axes(); ++a) {
-    const dse::Knob knob = space.axes()[a].knob;
-    const double v = space.value(c, a);
-    if (dse::knob_is_integer(knob)) {
-      knobs.set(dse::to_string(knob),
-                static_cast<std::int64_t>(std::llround(v)));
-    } else {
-      knobs.set(dse::to_string(knob), v);
-    }
-  }
-  return knobs;
-}
-
-Value metrics_json(const dse::Evaluation& e) {
-  BPVEC_CHECK(e.result != nullptr);
-  const sim::RunResult& r = *e.result;
-  Value m = Value::object();
-  m.set("total_cycles", r.total_cycles);
-  m.set("total_macs", r.total_macs);
-  m.set("runtime_s", r.runtime_s);
-  m.set("energy_j", r.energy_j);
-  m.set("average_power_w", r.average_power_w);
-  m.set("gops_per_s", r.gops_per_s);
-  m.set("gops_per_w", r.gops_per_w);
-  m.set("mac_power", e.design.cost.power_total());
-  m.set("mac_area", e.design.cost.area_total());
-  m.set("utilization", e.design.mix_utilization);
-  m.set("core_area_um2", e.core_area_um2);
-  return m;
-}
-
 void print_frontier_table(std::ostream& out, const dse::ParamSpace& space,
                           const dse::SearchOutcome& outcome) {
   Table t;
@@ -206,127 +141,30 @@ void print_search_csv(std::ostream& out, const dse::ParamSpace& space,
   }
 }
 
-}  // namespace
-
-Value build_report(const std::string& manifest_name,
-                   const std::vector<engine::Scenario>& batch,
-                   const std::vector<sim::RunResult>& results,
-                   const engine::EngineStats& stats, bool include_stats) {
-  BPVEC_CHECK(batch.size() == results.size());
-  Value report = Value::object();
-  report.set("manifest", manifest_name);
-  report.set("scenario_count", batch.size());
-  Value scenarios = Value::array();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    scenarios.push_back(scenario_row(batch[i], results[i]));
-  }
-  report.set("scenarios", std::move(scenarios));
-  if (include_stats) report.set("stats", engine::to_json(stats));
-  return report;
-}
-
-Value build_search_report(const std::string& manifest_name,
-                          const SearchSpec& spec,
-                          const dse::ParamSpace& space,
-                          const dse::SearchOutcome& outcome,
-                          const engine::EngineStats& stats,
-                          bool include_stats) {
-  Value report = Value::object();
-  report.set("manifest", manifest_name);
-  report.set("mode", "search");
-  report.set("search", to_json(spec));
-  report.set("space_size", space.size());
-  report.set("candidates", outcome.candidates);
-  report.set("unique_candidates", outcome.unique_candidates);
-  report.set("infeasible", outcome.infeasible);
-  report.set("frontier_size", outcome.frontier.size());
-  Value frontier = Value::array();
-  for (const dse::Evaluation& e : outcome.frontier.sorted()) {
-    Value entry = Value::object();
-    entry.set("id", e.id);
-    entry.set("knobs", knobs_json(space, e.candidate));
-    Value objectives = Value::object();
-    for (std::size_t i = 0; i < outcome.objectives.size(); ++i) {
-      objectives.set(dse::to_string(outcome.objectives[i].metric),
-                     e.objectives[i]);
-    }
-    entry.set("objectives", std::move(objectives));
-    entry.set("metrics", metrics_json(e));
-    frontier.push_back(std::move(entry));
-  }
-  report.set("frontier", std::move(frontier));
-  // Per-strategy provenance: how the non-exhaustive strategies were
-  // driven, so a report is reproducible without the manifest file. Grid
-  // has none (the space itself is the full provenance), which also keeps
-  // pre-existing grid-search reports byte-stable.
-  if (spec.strategy != "grid") {
-    Value sb = Value::object();
-    sb.set("name", spec.strategy);
-    sb.set("seed", static_cast<std::int64_t>(spec.seed));
-    if (spec.budget > 0) {
-      sb.set("budget", static_cast<std::int64_t>(spec.budget));
-    }
-    sb.set("budget_consumed", outcome.candidates);
-    if (spec.strategy == "hill_climb" || spec.strategy == "annealing") {
-      sb.set("restarts", static_cast<std::int64_t>(spec.restarts));
-    }
-    if (spec.strategy == "genetic") {
-      sb.set("population", static_cast<std::int64_t>(spec.population));
-    }
-    report.set("strategy", std::move(sb));
-  }
-  if (include_stats) report.set("stats", engine::to_json(stats));
-  return report;
-}
-
-namespace {
-
 /// The search subcommand's pipeline, after the manifest is loaded.
-void run_search_mode(const DriverOptions& options, std::ostream& out,
-                     DriverResult& result) {
+void run_search_mode(const DriverOptions& options, serve::Session& session,
+                     std::ostream& out, DriverResult& result) {
   BPVEC_CHECK(result.manifest.search.has_value());
-  // Declared workloads may be the search's base network.
-  (void)register_workloads(result.manifest);
-  const SearchSpec& spec = *result.manifest.search;
-  const dse::ParamSpace space = search_space(spec);
-  engine::Scenario base = search_base_scenario(spec);
 
-  if (options.validate_only) {
-    out << "Manifest: " << result.manifest.name << " (search)\n"
-        << "space: " << space.size() << " candidates over "
-        << space.num_axes() << " axes\nstrategy: " << spec.strategy;
-    if (spec.budget > 0) out << ", budget " << spec.budget;
-    if (spec.strategy == "hill_climb" || spec.strategy == "annealing") {
-      out << ", restarts " << spec.restarts;
-    }
-    if (spec.strategy == "genetic") {
-      out << ", population " << spec.population;
-    }
-    out << "\nbase scenario: " << base.id << "\nmanifest OK\n";
+  if (options.command == Command::kValidateSearch) {
+    serve::ValidateRequest request;
+    request.manifest = result.manifest;
+    request.search = true;
+    out << session.validate(request).text;
     return;
   }
 
-  engine::EngineOptions engine_options;
-  engine_options.num_threads = options.threads;
-  engine_options.disk_cache_dir = options.cache_dir;
-  engine::SimEngine engine(engine_options);
-
-  dse::StrategyOptions strategy_options;
-  strategy_options.budget = spec.budget;
-  strategy_options.restarts = spec.restarts;
-  strategy_options.population = spec.population;
-  strategy_options.seed = spec.seed;
-  strategy_options.objectives = spec.objectives;
-  auto strategy = dse::make_strategy(spec.strategy, space,
-                                     std::move(strategy_options));
-  dse::ScenarioEvaluator evaluator(engine, space, std::move(base),
-                                   spec.objectives, spec.mix,
-                                   spec.constraints, spec.workload);
-  dse::SearchOptions search_options;
-  search_options.budget = spec.budget;
-  result.search = dse::run_search(*strategy, evaluator, spec.objectives,
-                                  search_options);
-  result.stats = engine.stats();
+  serve::SearchRequest request;
+  request.manifest = result.manifest;
+  request.deterministic_report = options.deterministic_report;
+  serve::Response response = session.search(request);
+  // The session is fresh, so the per-request delta equals the engine's
+  // totals — the numbers this driver always reported.
+  result.stats = response.delta;
+  result.search = std::move(response.search);
+  result.report = std::move(response.report);
+  const SearchSpec& spec = *result.manifest.search;
+  const dse::ParamSpace space = search_space(spec);
   const dse::SearchOutcome& outcome = *result.search;
 
   if (options.print_table) {
@@ -346,9 +184,6 @@ void run_search_mode(const DriverOptions& options, std::ostream& out,
   }
   if (options.print_csv) print_search_csv(out, space, outcome);
 
-  result.report =
-      build_search_report(result.manifest.name, spec, space, outcome,
-                          result.stats, !options.deterministic_report);
   if (options.write_report) {
     const std::string path =
         options.report_path.empty()
@@ -365,58 +200,36 @@ void run_search_mode(const DriverOptions& options, std::ostream& out,
   }
 }
 
-/// The `list` subcommand: every canonical token vocabulary, one line
-/// per axis — what manifests, overrides, and search blocks accept.
-void run_list(std::ostream& out) {
-  auto line = [&](const char* what, const std::vector<std::string>& tokens) {
-    out << what;
-    for (std::size_t i = 0; i < tokens.size(); ++i) {
-      out << (i == 0 ? "" : ", ") << tokens[i];
-    }
-    out << "\n";
-  };
-  line("backends:            ", backend::BackendRegistry::instance().keys());
-  line("platforms:           ", platform_tokens());
-  line("memories:            ", memory_tokens());
-  line("bitwidth_modes:      ", bitwidth_mode_tokens());
-  line("networks:            ",
-       workload::NetworkRegistry::instance().tokens());
-  line("workload_generators: ", workload::generator_tokens());
-  line("search_knobs:        ", dse::knob_tokens());
-  line("metrics:             ", dse::metric_tokens());
-  line("strategies:          ", dse::strategy_tokens());
-  out << "\nNetwork/platform/memory/mode tokens match case- and "
-         "separator-insensitively;\nbackend keys are exact registry "
-         "strings. A grid's \"networks\" axis also accepts\nthe meta "
-         "tokens \"all\" (the six Table I models) and \"workloads\" "
-         "(every network\nthe manifest's \"workloads\" block declares).\n";
-}
-
 }  // namespace
 
 DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
   DriverResult result;
+  // One fresh Session per invocation — batch semantics (cold memo
+  // caches; the disk cache still persists across runs). The daemon
+  // keeps a Session alive instead; both run the same request path.
+  serve::SessionOptions session_options;
+  session_options.threads = options.threads;
+  session_options.cache_dir = options.cache_dir;
+  serve::Session session(session_options);
   // Extra networks first: their tokens must be valid when the manifest
   // parses. Registration is idempotent for identical files.
   for (const std::string& file : options.network_files) {
-    dnn::Network net = workload::load_network(file);
-    std::string key = net.name();
-    workload::NetworkRegistry::instance().register_network(std::move(key),
-                                                           std::move(net));
+    session.register_network_file(file);
   }
-  if (options.list_mode) {
-    run_list(out);
+  if (options.command == Command::kList) {
+    out << session.list().text;
     return result;
   }
   result.manifest = load_manifest(options.manifest_path);
 
-  if (options.search_mode) {
+  if (options.command == Command::kSearch ||
+      options.command == Command::kValidateSearch) {
     if (!result.manifest.search) {
       throw Error(options.manifest_path +
                   ": manifest has no \"search\" block (omit the search "
                   "subcommand to run its grids)");
     }
-    run_search_mode(options, out, result);
+    run_search_mode(options, session, out, result);
     return result;
   }
 
@@ -425,22 +238,25 @@ DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
                 ": manifest has no grids (use `bpvec_run search` for its "
                 "\"search\" block)");
   }
-  result.scenarios = expand(result.manifest);
 
-  if (options.validate_only) {
-    out << "Manifest: " << result.manifest.name << "\n"
-        << result.manifest.grids.size() << " grids, "
-        << result.scenarios.size() << " scenarios\nmanifest OK\n";
+  if (options.command == Command::kValidate) {
+    serve::ValidateRequest request;
+    request.manifest = result.manifest;
+    serve::Response response = session.validate(request);
+    result.scenarios = std::move(response.scenarios);
+    out << response.text;
     return result;
   }
 
-  engine::EngineOptions engine_options;
-  engine_options.num_threads = options.threads;
-  engine_options.disk_cache_dir = options.cache_dir;
-  engine::SimEngine engine(engine_options);
-
-  result.results = engine.run_batch(result.scenarios);
-  result.stats = engine.stats();
+  serve::PriceRequest request;
+  request.manifest = result.manifest;
+  request.deterministic_report = options.deterministic_report;
+  serve::Response response = session.price(request);
+  result.scenarios = std::move(response.scenarios);
+  result.results = std::move(response.results);
+  // Fresh session: the per-request delta equals the engine's totals.
+  result.stats = response.delta;
+  result.report = std::move(response.report);
 
   if (options.print_table) {
     out << "Manifest: " << result.manifest.name;
@@ -457,9 +273,6 @@ DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
     print_csv(out, result.scenarios, result.results);
   }
 
-  result.report =
-      build_report(result.manifest.name, result.scenarios, result.results,
-                   result.stats, !options.deterministic_report);
   if (options.write_report) {
     const std::string path =
         options.report_path.empty()
@@ -515,12 +328,18 @@ std::string usage() {
       "  --threads N        worker threads (default: hardware concurrency)\n"
       "  --csv              print a full-precision scenario CSV to stdout\n"
       "  --no-table         skip the human-readable table\n"
+      "  --version          print build identity (SIMD variant, disk-cache\n"
+      "                     format, compiler) as JSON and exit\n"
       "  --help             this text\n";
 }
 
 int main_cli(int argc, const char* const* argv, std::ostream& out,
              std::ostream& err) {
   DriverOptions options;
+  // Parse-time subcommand state, resolved into the one Command below.
+  bool search_sub = false;
+  bool list_sub = false;
+  bool validate = false;
   auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
       throw Error(std::string(flag) + " requires a value");
@@ -533,24 +352,27 @@ int main_cli(int argc, const char* const* argv, std::ostream& out,
       if (arg == "--help" || arg == "-h") {
         out << usage();
         return 0;
+      } else if (arg == "--version") {
+        out << version_json().dump(1) << "\n";
+        return 0;
       } else if (arg == "search" && options.manifest_path.empty() &&
-                 !options.search_mode) {
-        if (options.list_mode) {
+                 !search_sub) {
+        if (list_sub) {
           throw Error("`list` and `search` are mutually exclusive "
                       "subcommands");
         }
-        options.search_mode = true;
+        search_sub = true;
       } else if (arg == "list" && options.manifest_path.empty() &&
-                 !options.list_mode) {
-        if (options.search_mode) {
+                 !list_sub) {
+        if (search_sub) {
           throw Error("`list` and `search` are mutually exclusive "
                       "subcommands");
         }
-        options.list_mode = true;
+        list_sub = true;
       } else if (arg == "--network-file") {
         options.network_files.push_back(need_value(i, "--network-file"));
       } else if (arg == "--validate") {
-        options.validate_only = true;
+        validate = true;
       } else if (arg == "--cache-dir") {
         options.cache_dir = need_value(i, "--cache-dir");
       } else if (arg == "--report") {
@@ -575,12 +397,22 @@ int main_cli(int argc, const char* const* argv, std::ostream& out,
         throw Error("more than one manifest given: " + arg);
       }
     }
-    if (options.manifest_path.empty() && !options.list_mode) {
+    if (options.manifest_path.empty() && !list_sub) {
       err << usage();
       return 2;
     }
-    if (options.list_mode && !options.manifest_path.empty()) {
+    if (list_sub && !options.manifest_path.empty()) {
       throw Error("`list` takes no manifest");
+    }
+    // Resolve subcommand + --validate into the single typed Command
+    // (`list --validate` stays a plain list, as it always was).
+    if (list_sub) {
+      options.command = Command::kList;
+    } else if (search_sub) {
+      options.command =
+          validate ? Command::kValidateSearch : Command::kSearch;
+    } else {
+      options.command = validate ? Command::kValidate : Command::kPrice;
     }
     (void)run_manifest(options, out);
     return 0;

@@ -1,11 +1,17 @@
 // The bpvec_run driver: manifest in, priced scenarios + reports out.
 //
-// Pipeline: load_manifest → expand → SimEngine::run_batch (optionally
-// with the persistent disk cache) → human-readable comparison table /
-// CSV on stdout + a machine-readable JSON report on disk.
+// Since the serve layer landed, the driver is a thin front end over
+// serve::Session — the same Request/Session code path the resident
+// daemon (bpvec_serve) multiplexes. A batch invocation constructs a
+// fresh Session (cold memo caches; the disk cache still persists),
+// runs exactly one typed request, and prints: human-readable comparison
+// table / CSV on stdout + a machine-readable JSON report on disk. That
+// shared path is what makes the serve determinism contract enforceable:
+// a served request and a CLI run are the same computation, so their
+// report bytes must match.
 //
 // The JSON report is what CI diffs and gates on, so its contract
-// matters:
+// matters (builders live in src/cli/report.h):
 //   * The "scenarios" array is a pure function of the manifest — same
 //     manifest, same build ⇒ byte-identical bytes, whatever the thread
 //     count or cache state (the engine's bit-identity guarantee plus
@@ -41,6 +47,7 @@
 #include <vector>
 
 #include "src/cli/manifest.h"
+#include "src/cli/report.h"
 #include "src/common/json.h"
 #include "src/dse/search.h"
 #include "src/engine/sim_engine.h"
@@ -48,19 +55,27 @@
 
 namespace bpvec::cli {
 
+/// What one bpvec_run invocation does — resolved from the subcommand
+/// and --validate at parse time (main_cli), replacing the old
+/// search_mode/list_mode/validate_only boolean soup. Exactly one per
+/// invocation; flag behavior and usage text are unchanged.
+enum class Command {
+  kPrice,           // default: price the manifest's grids
+  kSearch,          // `search`: run the manifest's "search" block
+  kList,            // `list`: print the token vocabularies
+  kValidate,        // --validate: dry-run the grids
+  kValidateSearch,  // `search --validate`: dry-run the search block
+};
+
 struct DriverOptions {
   std::string manifest_path;
-  /// Run the manifest's "search" block (the `search` subcommand).
-  bool search_mode = false;
-  /// Print the canonical token vocabularies and exit (the `list`
-  /// subcommand — no manifest involved).
-  bool list_mode = false;
+  /// What to do (see Command). main_cli resolves the `search`/`list`
+  /// subcommands and --validate into this single field.
+  Command command = Command::kPrice;
   /// Workload-schema files registered into the NetworkRegistry before
   /// anything runs (--network-file, repeatable) — their names become
   /// valid manifest network tokens for this invocation.
   std::vector<std::string> network_files;
-  /// Parse and expand only: print counts, price nothing, write nothing.
-  bool validate_only = false;
   /// Persistent result-cache directory (engine disk cache); empty = off.
   std::string cache_dir;
   /// Report output path; empty = "REPORT_<manifest name>.json" in the
@@ -87,28 +102,8 @@ struct DriverResult {
   std::optional<dse::SearchOutcome> search;
 };
 
-/// Builds the report document for a priced batch. Scenario rows carry
-/// id/backend/platform/network/memory plus the exact cycles, MACs,
-/// runtime, energy, and throughput numbers (doubles %.17g — values
-/// round-trip bit-exactly through any JSON parser).
-common::json::Value build_report(const std::string& manifest_name,
-                                 const std::vector<engine::Scenario>& batch,
-                                 const std::vector<sim::RunResult>& results,
-                                 const engine::EngineStats& stats,
-                                 bool include_stats);
-
-/// Search-mode report: strategy/space echo, candidate counters, and the
-/// Pareto frontier in canonical order with full-precision knob, objective
-/// and metric values. Deterministic except the optional "stats" block.
-common::json::Value build_search_report(const std::string& manifest_name,
-                                        const SearchSpec& spec,
-                                        const dse::ParamSpace& space,
-                                        const dse::SearchOutcome& outcome,
-                                        const engine::EngineStats& stats,
-                                        bool include_stats);
-
-/// Runs a manifest end to end (grid or search mode per
-/// DriverOptions::search_mode). `out` receives the table/CSV output.
+/// Runs a manifest end to end (per DriverOptions::command) through a
+/// fresh serve::Session. `out` receives the table/CSV output.
 DriverResult run_manifest(const DriverOptions& options, std::ostream& out);
 
 /// Parses bpvec_run's argv (argv[0] is skipped) and runs. Usage errors

@@ -201,6 +201,7 @@ SearchOutcome run_search(SearchStrategy& strategy, Evaluator& evaluator,
   const std::size_t cap =
       options.batch_size > 0 ? options.batch_size : kDefaultBatch;
   while (options.budget == 0 || outcome.candidates < options.budget) {
+    if (options.should_stop && options.should_stop()) break;
     std::size_t max_batch = cap;
     if (options.budget > 0) {
       max_batch = std::min(cap, options.budget - outcome.candidates);

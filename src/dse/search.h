@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -127,6 +128,14 @@ struct SearchOptions {
   /// Candidates per propose/evaluate round; 0 = 256 (one big parallel
   /// batch for grid/random; hill_climb rounds are naturally smaller).
   std::size_t batch_size = 0;
+  /// Cooperative cancellation hook: checked before every
+  /// propose/evaluate round. Returning true stops the search early; the
+  /// outcome carries whatever was evaluated up to that point. Unset (the
+  /// default) never stops, so existing searches are byte-identical. This
+  /// is how a serving Session cancels an in-flight SearchRequest between
+  /// engine batches without poisoning the shared engine's caches —
+  /// everything already evaluated was priced normally and stays valid.
+  std::function<bool()> should_stop;
 };
 
 struct SearchOutcome {

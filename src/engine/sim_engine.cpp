@@ -43,6 +43,26 @@ common::json::Value to_json(const EngineStats& stats) {
   return v;
 }
 
+EngineStats operator-(const EngineStats& after, const EngineStats& before) {
+  EngineStats d;
+  d.scenarios_submitted = after.scenarios_submitted - before.scenarios_submitted;
+  d.simulations_run = after.simulations_run - before.simulations_run;
+  d.cache_hits = after.cache_hits - before.cache_hits;
+  d.layers_priced = after.layers_priced - before.layers_priced;
+  d.layer_cache_hits = after.layer_cache_hits - before.layer_cache_hits;
+  d.delta_scenarios = after.delta_scenarios - before.delta_scenarios;
+  d.disk_hits = after.disk_hits - before.disk_hits;
+  d.disk_misses = after.disk_misses - before.disk_misses;
+  d.disk_rejected = after.disk_rejected - before.disk_rejected;
+  d.disk_stores = after.disk_stores - before.disk_stores;
+  d.construct_s = after.construct_s - before.construct_s;
+  d.hash_s = after.hash_s - before.hash_s;
+  d.plan_s = after.plan_s - before.plan_s;
+  d.price_s = after.price_s - before.price_s;
+  d.assemble_s = after.assemble_s - before.assemble_s;
+  return d;
+}
+
 SimEngine::SimEngine(EngineOptions options)
     : pool_(options.num_threads),
       cache_enabled_(options.cache_enabled),

@@ -107,6 +107,17 @@ struct EngineStats {
 /// the CLI report's "stats" block share this shape).
 common::json::Value to_json(const EngineStats& stats);
 
+/// Field-wise difference of two snapshots of one engine: the work done
+/// between them. This is how a serving Session attributes engine work to
+/// a single request on a shared warm engine (snapshot before, snapshot
+/// after, subtract). All counters are monotone, so with serial requests
+/// the delta is exact; concurrent requests' deltas overlap (each request
+/// sees every counter tick that landed between its two snapshots). The
+/// phase timers subtract too — exact when `before` is the zero state
+/// (the batch CLI's fresh-engine case), approximate otherwise (floating
+/// accumulation).
+EngineStats operator-(const EngineStats& after, const EngineStats& before);
+
 struct EngineOptions {
   int num_threads = 0;              // <= 0: hardware concurrency
   bool cache_enabled = true;        // scenario-level result memoization

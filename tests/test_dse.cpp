@@ -468,7 +468,7 @@ TEST_F(SearchCliTest, ColdAndWarmReportsAreByteIdentical) {
   // The warm run priced nothing: every scenario came from disk.
   cli::DriverOptions options;
   options.manifest_path = manifest_path_;
-  options.search_mode = true;
+  options.command = cli::Command::kSearch;
   options.cache_dir = cache;
   options.write_report = false;
   options.print_table = false;
