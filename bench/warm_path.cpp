@@ -1,0 +1,323 @@
+// Warm-path throughput: what a repeated grid replay costs under the v3
+// disk-cache format and the striped memo caches.
+//
+// Four measurements over the ci_gate manifest (the CI regression grid),
+// emitted as BENCH_warm_path.json:
+//
+//   1. Cold vs warm replay — the grid priced on a fresh engine with a
+//      fresh cache dir (cold), then on a second fresh engine over the
+//      same dir (warm disk), then again on that engine (warm memo).
+//      The warm disk pass must price ZERO simulations and open at most
+//      2 cache files (the batch seals ONE shard; v2 opened one JSON
+//      file per scenario — 43 on this grid). Results must be
+//      byte-identical across all three passes. CI asserts
+//      warm_simulations == 0 and warm_disk_file_opens <= 2.
+//
+//   2. v2 vs v3 load path — every cold result is written both as v2
+//      one-JSON-file-per-entry and as one v3 shard, then each format is
+//      load-looped (open+parse per entry vs pread+checksum+decode).
+//      v3_vs_v2_speedup is the warm replay's format win measured in the
+//      same run; CI asserts it is >= 1.
+//
+//   3. Lock-contention proxy — the warm-memo replay at 1 thread and at
+//      hardware concurrency, with the engine's serial plan_s phase (the
+//      only phase that holds shard locks) reported for both. With
+//      striped caches plan_s must not grow with the thread count.
+//
+//   4. parallel_for grain — the warm replay timed at explicit grains of
+//      1/2/4/8/16 stealable tasks per worker. EngineOptions::grain = 0
+//      (auto) resolves to 4 tasks per worker, the setting this
+//      micro-measurement picks; the bench reports the sweep so a future
+//      machine where that stops being true shows up in the artifacts.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/cli/manifest.h"
+#include "src/engine/disk_cache.h"
+
+namespace {
+
+using namespace bpvec;
+
+/// The ci_gate manifest, from argv[1] or the usual run directories
+/// (repo root, build/, build/bench/).
+std::string find_manifest(int argc, char** argv) {
+  if (argc > 1) return argv[1];
+  const char* candidates[] = {
+      "bench/manifests/ci_gate.json",
+      "../bench/manifests/ci_gate.json",
+      "../../bench/manifests/ci_gate.json",
+  };
+  for (const char* path : candidates) {
+    if (std::filesystem::exists(path)) return path;
+  }
+  throw Error(
+      "cannot find bench/manifests/ci_gate.json (pass the path as argv[1])");
+}
+
+/// Serialized form used for the byte-identity self-check across passes.
+std::string result_bytes(const std::vector<sim::RunResult>& results) {
+  std::string all;
+  for (const sim::RunResult& r : results) {
+    all += engine::run_result_to_json(r).dump(0);
+    all += '\n';
+  }
+  return all;
+}
+
+/// Wall seconds of one warm run_batch on a fresh engine over `dir`.
+double warm_replay_s(const std::vector<engine::Scenario>& scenarios,
+                     const std::string& dir, int threads, std::size_t grain,
+                     engine::EngineStats* stats_out = nullptr) {
+  engine::EngineOptions options;
+  options.num_threads = threads;
+  options.disk_cache_dir = dir;
+  options.grain = grain;
+  engine::SimEngine eng(options);
+  const double wall_s =
+      bench::time_s([&] { (void)eng.run_batch(scenarios); });
+  if (stats_out != nullptr) *stats_out = eng.stats();
+  return wall_s;
+}
+
+/// Loads/sec of `pass` (which performs `loads_per_pass` cache loads),
+/// repeated until at least ~0.2 s of wall clock has accumulated so the
+/// v2-vs-v3 comparison is not a single-pass fluke.
+template <typename Fn>
+double loads_per_s(std::size_t loads_per_pass, Fn&& pass) {
+  double total_s = 0.0;
+  std::size_t passes = 0;
+  while (total_s < 0.2 || passes < 3) {
+    total_s += bench::time_s(pass);
+    ++passes;
+  }
+  const double loads = static_cast<double>(loads_per_pass * passes);
+  return total_s > 0 ? loads / total_s : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bpvec;
+  using namespace bpvec::bench;
+  namespace fs = std::filesystem;
+
+  BenchJson json("warm_path");
+  bool ok = true;
+
+  const cli::Manifest manifest = cli::load_manifest(find_manifest(argc, argv));
+  const std::vector<engine::Scenario> scenarios = cli::expand(manifest);
+  const double n = static_cast<double>(scenarios.size());
+  std::printf("warm path: %zu ci_gate scenarios\n", scenarios.size());
+
+  // Scratch dirs under the working directory; removed on every exit path
+  // below (the bench reruns cleanly either way: cold passes use fresh
+  // subdirectories).
+  const fs::path scratch = "bench_warm_path.tmp";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  const std::string v3_dir = (scratch / "v3").string();
+  const std::string v2_dir = (scratch / "v2").string();
+
+  // ----- 1. cold vs warm replay ---------------------------------------
+  engine::EngineStats cold;
+  std::vector<sim::RunResult> cold_results;
+  const double cold_s = [&] {
+    engine::EngineOptions options;
+    options.disk_cache_dir = v3_dir;
+    engine::SimEngine eng(options);
+    const double s =
+        time_s([&] { cold_results = eng.run_batch(scenarios); });
+    cold = eng.stats();
+    return s;
+  }();
+
+  engine::EngineStats warm;
+  std::vector<sim::RunResult> warm_results;
+  double warm_memo_s = 0.0;
+  engine::EngineStats warm_memo;
+  const double warm_s = [&] {
+    engine::EngineOptions options;
+    options.disk_cache_dir = v3_dir;
+    engine::SimEngine eng(options);
+    const double s = time_s([&] { warm_results = eng.run_batch(scenarios); });
+    warm = eng.stats();
+    warm_memo_s = time_s([&] { (void)eng.run_batch(scenarios); });
+    warm_memo = eng.stats();
+    return s;
+  }();
+
+  const std::size_t warm_sims = warm.simulations_run;
+  const std::size_t warm_opens = warm.disk_file_opens;
+  const std::size_t memo_sims = warm_memo.simulations_run - warm_sims;
+  const bool identical = result_bytes(cold_results) ==
+                         result_bytes(warm_results);
+  if (warm_sims != 0) {
+    std::printf("ERROR: warm disk replay priced %zu simulations "
+                "(expected 0)\n",
+                warm_sims);
+    ok = false;
+  }
+  if (warm_opens > 2) {
+    std::printf("ERROR: warm disk replay opened %zu cache files "
+                "(expected <= 2; v2 opened %zu)\n",
+                warm_opens, scenarios.size());
+    ok = false;
+  }
+  if (memo_sims != 0) {
+    std::printf("ERROR: warm memo replay priced %zu simulations\n", memo_sims);
+    ok = false;
+  }
+  if (!identical) {
+    std::printf("ERROR: warm results are not byte-identical to cold\n");
+    ok = false;
+  }
+
+  json.add_metric("scenarios", n);
+  json.add_metric("cold_wall_s", cold_s);
+  json.add_metric("warm_disk_wall_s", warm_s);
+  json.add_metric("warm_memo_wall_s", warm_memo_s);
+  json.add_metric("cold_scenarios_per_s", cold_s > 0 ? n / cold_s : 0.0);
+  json.add_metric("warm_disk_scenarios_per_s", warm_s > 0 ? n / warm_s : 0.0);
+  json.add_metric("warm_memo_scenarios_per_s",
+                  warm_memo_s > 0 ? n / warm_memo_s : 0.0);
+  json.add_metric("warm_simulations", static_cast<double>(warm_sims));
+  json.add_metric("warm_disk_file_opens", static_cast<double>(warm_opens));
+  json.add_metric("cold_disk_file_opens",
+                  static_cast<double>(cold.disk_file_opens));
+  json.add_metric("warm_disk_hits", static_cast<double>(warm.disk_hits));
+  json.add_metric("disk_store_failures",
+                  static_cast<double>(cold.disk_store_failures +
+                                      warm.disk_store_failures));
+  json.add_metric("results_byte_identical", identical ? 1.0 : 0.0);
+  json.set_engine_stats(warm);
+
+  Table t1("ci_gate replay (" + std::to_string(scenarios.size()) +
+           " scenarios)");
+  t1.set_header({"Pass", "Wall s", "Scen/s", "Simulated", "File opens"});
+  t1.add_row({"cold", Table::num(cold_s, 3),
+              Table::num(cold_s > 0 ? n / cold_s : 0.0, 0),
+              std::to_string(cold.simulations_run),
+              std::to_string(cold.disk_file_opens)});
+  t1.add_row({"warm disk", Table::num(warm_s, 3),
+              Table::num(warm_s > 0 ? n / warm_s : 0.0, 0),
+              std::to_string(warm_sims), std::to_string(warm_opens)});
+  t1.add_row({"warm memo", Table::num(warm_memo_s, 3),
+              Table::num(warm_memo_s > 0 ? n / warm_memo_s : 0.0, 0),
+              std::to_string(memo_sims), "0"});
+  t1.print();
+
+  // ----- 2. v2 vs v3 load path ----------------------------------------
+  // Same records in both formats, loaded entry-by-entry: v2 is one
+  // open + JSON parse per entry (what every warm replay used to pay per
+  // scenario), v3 is one pread + checksum + fixed-width decode against
+  // the already-open shard.
+  fs::create_directories(v2_dir);
+  std::vector<std::string> v2_paths;
+  v2_paths.reserve(cold_results.size());
+  for (std::size_t i = 0; i < cold_results.size(); ++i) {
+    v2_paths.push_back(engine::write_v2_entry(
+        v2_dir, static_cast<std::uint64_t>(i), 0, cold_results[i]));
+  }
+  const std::string v3_load_dir = (scratch / "v3_load").string();
+  engine::DiskCache v3_cache(v3_load_dir);
+  {
+    std::vector<engine::DiskCache::PendingStore> pending;
+    pending.reserve(cold_results.size());
+    for (std::size_t i = 0; i < cold_results.size(); ++i) {
+      pending.push_back({static_cast<std::uint64_t>(i), 0, &cold_results[i]});
+    }
+    if (v3_cache.store_batch(pending) != cold_results.size()) {
+      std::printf("ERROR: v3 baseline store_batch did not store %zu "
+                  "records\n",
+                  cold_results.size());
+      ok = false;
+    }
+  }
+  const double v2_lps = loads_per_s(v2_paths.size(), [&] {
+    for (const std::string& path : v2_paths) {
+      (void)engine::load_v2_entry(path);
+    }
+  });
+  const double v3_lps = loads_per_s(cold_results.size(), [&] {
+    for (std::size_t i = 0; i < cold_results.size(); ++i) {
+      if (v3_cache.load(static_cast<std::uint64_t>(i), 0) == nullptr) {
+        throw Error("v3 load-loop miss (key " + std::to_string(i) + ")");
+      }
+    }
+  });
+  const double v3_speedup = v2_lps > 0 ? v3_lps / v2_lps : 0.0;
+  if (v3_speedup < 1.0) {
+    std::printf("ERROR: v3 load path (%.0f loads/s) is not faster than v2 "
+                "(%.0f loads/s)\n",
+                v3_lps, v2_lps);
+    ok = false;
+  }
+  json.add_metric("v2_loads_per_s", v2_lps);
+  json.add_metric("v3_loads_per_s", v3_lps);
+  json.add_metric("v3_vs_v2_speedup", v3_speedup);
+
+  Table t2("disk-cache load path, same records in both formats");
+  t2.set_header({"Format", "Loads/s", "Files"});
+  t2.add_row({"v2 (JSON per entry)", Table::num(v2_lps, 0),
+              std::to_string(v2_paths.size())});
+  t2.add_row({"v3 (packed shard)", Table::num(v3_lps, 0), "1"});
+  t2.print();
+
+  // ----- 3. lock-contention proxy -------------------------------------
+  // plan_s is the only phase that takes shard locks serially; with the
+  // striped caches it must stay flat as threads scale (it used to sit
+  // behind one global mutex).
+  engine::EngineStats warm_1t;
+  const double warm_1t_s = warm_replay_s(scenarios, v3_dir, 1, 0, &warm_1t);
+  engine::EngineStats warm_nt;
+  const double warm_nt_s = warm_replay_s(scenarios, v3_dir, 0, 0, &warm_nt);
+  const int hw_threads = engine::SimEngine({/*num_threads=*/0}).num_threads();
+  json.add_metric("warm_wall_s_1thread", warm_1t_s);
+  json.add_metric("warm_wall_s_nthreads", warm_nt_s);
+  json.add_metric("threads", static_cast<double>(hw_threads));
+  json.add_metric("plan_s_1thread", warm_1t.plan_s);
+  json.add_metric("plan_s_nthreads", warm_nt.plan_s);
+  std::printf("contention proxy: plan %.6fs at 1 thread, %.6fs at %d\n",
+              warm_1t.plan_s, warm_nt.plan_s, hw_threads);
+
+  // ----- 4. parallel_for grain ----------------------------------------
+  // Warm replays at explicit grains. auto (grain = 0) resolves to
+  // jobs / (threads * 4); the sweep shows where that sits.
+  double best_s = warm_nt_s;
+  std::size_t best_tpw = 0;  // 0 = auto
+  for (const std::size_t tpw : {1u, 2u, 4u, 8u, 16u}) {
+    const std::size_t grain = std::max<std::size_t>(
+        1, scenarios.size() /
+               (static_cast<std::size_t>(hw_threads) * tpw));
+    const double s = warm_replay_s(scenarios, v3_dir, 0, grain);
+    json.add_metric("warm_wall_s_grain_tpw" + std::to_string(tpw), s);
+    if (s < best_s) {
+      best_s = s;
+      best_tpw = tpw;
+    }
+  }
+  json.add_metric("grain_best_tasks_per_worker",
+                  static_cast<double>(best_tpw));
+  const std::string best_label =
+      best_tpw == 0 ? std::string("auto")
+                    : std::to_string(best_tpw) + " tasks/worker";
+  std::printf("grain sweep: best %s (auto resolves to 4 tasks/worker)\n",
+              best_label.c_str());
+
+  json.add_metric("ok", ok ? 1.0 : 0.0);
+  json.write();
+  fs::remove_all(scratch);
+
+  if (ok) {
+    std::printf("cold %.0f scen/s, warm disk %.0f scen/s (%zu file opens), "
+                "warm memo %.0f scen/s, v3 load %.1fx v2\n",
+                cold_s > 0 ? n / cold_s : 0.0,
+                warm_s > 0 ? n / warm_s : 0.0, warm_opens,
+                warm_memo_s > 0 ? n / warm_memo_s : 0.0, v3_speedup);
+  }
+  return ok ? 0 : 1;
+}

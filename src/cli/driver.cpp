@@ -22,6 +22,22 @@ void write_file(const std::string& path, const std::string& contents) {
   if (!out.good()) throw Error("cannot write file: " + path);
 }
 
+/// Disk-cache trouble counters for the summary line. Empty in the normal
+/// case — rejected entries (corrupt/stale cache contents re-priced) and
+/// store failures (results that could not be persisted) only ever appear
+/// when there is something for an operator to look at.
+std::string disk_trouble_summary(const engine::EngineStats& stats) {
+  std::string out;
+  if (stats.disk_rejected > 0) {
+    out += ", " + std::to_string(stats.disk_rejected) + " disk rejects";
+  }
+  if (stats.disk_store_failures > 0) {
+    out += ", " + std::to_string(stats.disk_store_failures) +
+           " store failures";
+  }
+  return out;
+}
+
 void print_table(std::ostream& out,
                  const std::vector<engine::Scenario>& batch,
                  const std::vector<sim::RunResult>& results) {
@@ -177,7 +193,8 @@ void run_search_mode(const DriverOptions& options, serve::Session& session,
         << outcome.unique_candidates << " unique, " << outcome.infeasible
         << " infeasible, " << result.stats.simulations_run << " simulated, "
         << result.stats.cache_hits << " memo hits, "
-        << result.stats.disk_hits << " disk hits)\n"
+        << result.stats.disk_hits << " disk hits"
+        << disk_trouble_summary(result.stats) << ")\n"
         << "Pareto frontier: " << outcome.frontier.size()
         << " non-dominated candidates\n\n";
     print_frontier_table(out, space, outcome);
@@ -266,7 +283,8 @@ DriverResult run_manifest(const DriverOptions& options, std::ostream& out) {
     out << "\n" << result.scenarios.size() << " scenarios ("
         << result.stats.simulations_run << " simulated, "
         << result.stats.cache_hits << " memo hits, "
-        << result.stats.disk_hits << " disk hits)\n\n";
+        << result.stats.disk_hits << " disk hits"
+        << disk_trouble_summary(result.stats) << ")\n\n";
     print_table(out, result.scenarios, result.results);
   }
   if (options.print_csv) {

@@ -1,0 +1,36 @@
+#include "src/common/binio.h"
+
+namespace bpvec::common::binio {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x42505633434b5355ull;  // "BPV3CKSU"
+
+std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t checksum(const char* data, std::size_t size) {
+  std::uint64_t h = kSeed ^ (0x100000001B3ull * size);
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    h = mix(h ^ word) * 0x100000001B3ull;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t j = 0; i + j < size; ++j) {
+    tail |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[i + j]))
+            << (8 * j);
+  }
+  if (i < size) h = mix(h ^ tail) * 0x100000001B3ull;
+  return mix(h);
+}
+
+}  // namespace bpvec::common::binio

@@ -1,0 +1,40 @@
+#include "src/engine/cache_shards.h"
+
+namespace bpvec::engine {
+
+std::array<ScenarioShardCounters, kCacheShards>
+ScenarioCacheShards::per_shard() const {
+  std::array<ScenarioShardCounters, kCacheShards> out;
+  for (std::size_t s = 0; s < kCacheShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    out[s] = shards_[s].counters;
+  }
+  return out;
+}
+
+ScenarioShardCounters ScenarioCacheShards::totals() const {
+  ScenarioShardCounters t;
+  for (const ScenarioShardCounters& c : per_shard()) {
+    t.scenarios_submitted += c.scenarios_submitted;
+    t.cache_hits += c.cache_hits;
+    t.simulations_run += c.simulations_run;
+    t.delta_scenarios += c.delta_scenarios;
+  }
+  return t;
+}
+
+void ScenarioCacheShards::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
+
+void LayerCacheShards::clear() {
+  for (Shard& s : shards_) {
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
+
+}  // namespace bpvec::engine

@@ -1,0 +1,113 @@
+// Lock-striped shard containers for SimEngine's in-memory memo caches.
+//
+// PR 8's serving layer put one warm engine behind concurrent sessions,
+// which turned the engine's two global locks (one mutex in front of the
+// scenario cache, one shared_mutex in front of the layer cache) into the
+// warm path's only serialization point: every probe from every pool
+// thread of every concurrent run_batch funneled through them. Striping
+// splits each cache into kCacheShards independent shards addressed by
+// fingerprint bits, so probes of different shards never touch the same
+// lock.
+//
+// Counter contract: the scenario counters move into the shards too —
+// every counter tick for a scenario lands on the shard its fingerprint
+// addresses (shard 0 when the cache is disabled and no fingerprints are
+// computed), and scenarios_submitted is incremented under the same shard
+// lock before any hit/simulation tick for those scenarios. Each shard
+// therefore independently satisfies
+//
+//   scenarios_submitted >= cache_hits + simulations_run
+//
+// at every instant, and because any single scenario's ticks all live on
+// one shard, the inequality also holds for any sum of per-shard
+// snapshots — stats() reads shards one lock at a time and still reports
+// a sum that obeys the engine invariant (simulations_run + cache_hits +
+// disk_hits == scenarios_submitted once all batches have returned).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "src/sim/simulator.h"
+
+namespace bpvec::engine {
+
+/// Shard count for both striped caches. A power of two (shard selection
+/// is a mask); 16 keeps the footprint trivial while giving 4× headroom
+/// over the largest pools we run in CI.
+inline constexpr std::size_t kCacheShards = 16;
+static_assert((kCacheShards & (kCacheShards - 1)) == 0,
+              "shard selection masks fingerprint bits");
+
+constexpr std::size_t cache_shard_of(std::uint64_t fingerprint) {
+  return static_cast<std::size_t>(fingerprint) & (kCacheShards - 1);
+}
+
+/// Scenario-cache counters, tallied per shard and summed by
+/// SimEngine::stats(). Invariant per shard (and any sum of shards):
+/// scenarios_submitted >= cache_hits + simulations_run.
+struct ScenarioShardCounters {
+  std::size_t scenarios_submitted = 0;
+  std::size_t cache_hits = 0;
+  std::size_t simulations_run = 0;
+  std::size_t delta_scenarios = 0;
+};
+
+/// The striped scenario cache: fingerprint → shared RunResult, plus the
+/// per-shard counter tallies. Callers lock shard(i).mu themselves (the
+/// engine batches a whole run_batch's probes per shard under one
+/// acquisition).
+class ScenarioCacheShards {
+ public:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const sim::RunResult>>
+        map;
+    ScenarioShardCounters counters;
+  };
+
+  Shard& shard(std::size_t idx) { return shards_[idx]; }
+  const Shard& shard(std::size_t idx) const { return shards_[idx]; }
+
+  /// Per-shard counter snapshot (each shard read under its own lock).
+  std::array<ScenarioShardCounters, kCacheShards> per_shard() const;
+
+  /// Sum of per_shard() — the engine-level scenario counters.
+  ScenarioShardCounters totals() const;
+
+  /// Drops every shard's entries; counters are preserved (they describe
+  /// work done, not cache contents).
+  void clear();
+
+ private:
+  std::array<Shard, kCacheShards> shards_;
+};
+
+/// The striped layer cache: layer key → LayerResult by value (the hot
+/// path is copy-on-hit under a reader lock). Hit/priced counters stay
+/// relaxed atomics on the engine — they never participated in the
+/// consistent-snapshot contract.
+class LayerCacheShards {
+ public:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, sim::LayerResult> map;
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    return shards_[cache_shard_of(key)];
+  }
+  Shard& shard(std::size_t idx) { return shards_[idx]; }
+
+  void clear();
+
+ private:
+  std::array<Shard, kCacheShards> shards_;
+};
+
+}  // namespace bpvec::engine

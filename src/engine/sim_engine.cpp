@@ -1,6 +1,7 @@
 #include "src/engine/sim_engine.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <shared_mutex>
 #include <string>
@@ -35,6 +36,8 @@ common::json::Value to_json(const EngineStats& stats) {
   v.set("disk_misses", stats.disk_misses);
   v.set("disk_rejected", stats.disk_rejected);
   v.set("disk_stores", stats.disk_stores);
+  v.set("disk_store_failures", stats.disk_store_failures);
+  v.set("disk_file_opens", stats.disk_file_opens);
   v.set("construct_s", stats.construct_s);
   v.set("hash_s", stats.hash_s);
   v.set("plan_s", stats.plan_s);
@@ -55,6 +58,8 @@ EngineStats operator-(const EngineStats& after, const EngineStats& before) {
   d.disk_misses = after.disk_misses - before.disk_misses;
   d.disk_rejected = after.disk_rejected - before.disk_rejected;
   d.disk_stores = after.disk_stores - before.disk_stores;
+  d.disk_store_failures = after.disk_store_failures - before.disk_store_failures;
+  d.disk_file_opens = after.disk_file_opens - before.disk_file_opens;
   d.construct_s = after.construct_s - before.construct_s;
   d.hash_s = after.hash_s - before.hash_s;
   d.plan_s = after.plan_s - before.plan_s;
@@ -67,13 +72,16 @@ SimEngine::SimEngine(EngineOptions options)
     : pool_(options.num_threads),
       cache_enabled_(options.cache_enabled),
       layer_cache_enabled_(options.layer_cache_enabled),
+      grain_(options.grain),
       disk_(options.disk_cache_dir.empty()
                 ? nullptr
                 : std::make_unique<DiskCache>(options.disk_cache_dir)) {}
 
 std::size_t SimEngine::batch_grain(std::size_t jobs) const {
-  // Aim for ~4 stealable tasks per worker so micro-scale jobs amortize
-  // queue overhead while load balancing still has slack.
+  if (grain_ > 0) return grain_;
+  // Auto: aim for ~4 stealable tasks per worker so micro-scale jobs
+  // amortize queue overhead while load balancing still has slack (the
+  // winning setting in bench/warm_path.cpp's grain micro-measurement).
   const std::size_t lanes = static_cast<std::size_t>(pool_.num_threads()) * 4;
   return std::max<std::size_t>(1, jobs / std::max<std::size_t>(1, lanes));
 }
@@ -92,8 +100,8 @@ void SimEngine::for_each(std::size_t n,
 }
 
 void SimEngine::record_construct_seconds(double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.construct_s += seconds;
+  std::lock_guard<std::mutex> lock(timer_mu_);
+  timers_.construct_s += seconds;
 }
 
 std::vector<sim::RunResult> SimEngine::run_batch(
@@ -155,30 +163,64 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   std::vector<std::shared_ptr<const sim::RunResult>> hits(batch.size());
 
   t_phase = SteadyClock::now();
-  {
-    std::unordered_map<std::uint64_t, std::size_t> first_job;
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.scenarios_submitted += batch.size();
+  if (!cache_enabled_) {
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (!cache_enabled_) {
-        slots[i].job = jobs.size();
-        jobs.push_back(i);
-        continue;
+      slots[i].job = jobs.size();
+      jobs.push_back(i);
+    }
+    // No fingerprints to stripe on — all counter ticks land on shard 0
+    // (cache_shards.h counter contract).
+    auto& sh = scenario_cache_.shard(0);
+    std::lock_guard<std::mutex> lock(sh.mu);
+    sh.counters.scenarios_submitted += batch.size();
+  } else {
+    // Probe shard by shard: bucket the batch by fingerprint shard and
+    // take each touched shard's lock exactly once, counting submissions
+    // and hits under it (submitted before hits — the per-shard counter
+    // invariant). Concurrent batches touching disjoint shards never
+    // contend.
+    std::array<std::vector<std::size_t>, kCacheShards> by_shard;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      by_shard[cache_shard_of(prints[i])].push_back(i);
+    }
+    std::vector<char> found(batch.size(), 0);
+    for (std::size_t s = 0; s < kCacheShards; ++s) {
+      if (by_shard[s].empty()) continue;
+      auto& sh = scenario_cache_.shard(s);
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.counters.scenarios_submitted += by_shard[s].size();
+      for (const std::size_t i : by_shard[s]) {
+        if (auto it = sh.map.find(prints[i]); it != sh.map.end()) {
+          hits[i] = it->second;
+          found[i] = 1;
+          ++sh.counters.cache_hits;
+        }
       }
-      if (auto it = cache_.find(prints[i]); it != cache_.end()) {
+    }
+    // Serial in-input-order dedup of the misses; an in-batch duplicate
+    // is a cache hit on its fingerprint's shard (applied in one more
+    // locking round below so the dedup itself stays lock-free).
+    std::array<std::size_t, kCacheShards> dup_hits{};
+    std::unordered_map<std::uint64_t, std::size_t> first_job;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (found[i]) {
         slots[i].cached = true;
-        hits[i] = it->second;
-        ++stats_.cache_hits;
         continue;
       }
       if (auto it = first_job.find(prints[i]); it != first_job.end()) {
         slots[i].job = it->second;  // duplicate within this batch
-        ++stats_.cache_hits;
+        ++dup_hits[cache_shard_of(prints[i])];
         continue;
       }
       first_job.emplace(prints[i], jobs.size());
       slots[i].job = jobs.size();
       jobs.push_back(i);
+    }
+    for (std::size_t s = 0; s < kCacheShards; ++s) {
+      if (dup_hits[s] == 0) continue;
+      auto& sh = scenario_cache_.shard(s);
+      std::lock_guard<std::mutex> lock(sh.mu);
+      sh.counters.cache_hits += dup_hits[s];
     }
   }
   plan_s += seconds_since(t_phase);
@@ -194,6 +236,7 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   struct JobState {
     std::unique_ptr<backend::CostBackend> be;
     bool disk_served = false;
+    bool delta = false;  // assembled with at least one cached layer
     std::uint64_t disk_key = 0;
     std::vector<std::uint64_t> keys;       // per-layer cache keys
     std::vector<sim::LayerResult> layers;  // assembled per-layer results
@@ -203,7 +246,6 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   std::vector<JobState> state(jobs.size());
   std::vector<std::shared_ptr<const sim::RunResult>> fresh(
       cache_enabled_ ? jobs.size() : 0);
-  std::atomic<std::size_t> disk_served{0};
   std::atomic<std::size_t> probe_hits{0};
 
   // Phase 1 — per job: construct the backend, probe the disk cache, and
@@ -226,7 +268,6 @@ std::vector<sim::RunResult> SimEngine::run_batch(
       if (auto cached = disk_->load(js.disk_key, generations[i])) {
         results[i] = *cached;
         js.disk_served = true;
-        disk_served.fetch_add(1, std::memory_order_relaxed);
         // Reuse the loaded copy as the memo cache's shared entry —
         // no second deep copy of the layer vector per warm scenario.
         if (cache_enabled_) fresh[j] = std::move(cached);
@@ -241,19 +282,19 @@ std::vector<sim::RunResult> SimEngine::run_batch(
     for (std::size_t k = 0; k < net_layers.size(); ++k) {
       js.keys[k] = js.be->layer_key(be_print, net_layers[k]);
     }
-    {
-      std::shared_lock<std::shared_mutex> lock(layer_mu_);
-      for (std::size_t k = 0; k < net_layers.size(); ++k) {
-        if (auto it = layer_cache_.find(js.keys[k]);
-            it != layer_cache_.end()) {
-          js.layers[k] = it->second;
-          // The fingerprint deliberately ignores names so ResNet's
-          // repeated blocks share an entry; restore this layer's own.
-          js.layers[k].name = net_layers[k].name;
-          continue;
-        }
-        js.need.emplace_back(k, 0);
+    for (std::size_t k = 0; k < net_layers.size(); ++k) {
+      // One reader lock per key, on the key's own shard — concurrent
+      // jobs probing different shards never serialize.
+      auto& sh = layer_cache_.shard_for(js.keys[k]);
+      std::shared_lock<std::shared_mutex> lock(sh.mu);
+      if (auto it = sh.map.find(js.keys[k]); it != sh.map.end()) {
+        js.layers[k] = it->second;
+        // The fingerprint deliberately ignores names so ResNet's
+        // repeated blocks share an entry; restore this layer's own.
+        js.layers[k].name = net_layers[k].name;
+        continue;
       }
+      js.need.emplace_back(k, 0);
     }
     probe_hits.fetch_add(net_layers.size() - js.need.size(),
                          std::memory_order_relaxed);
@@ -273,7 +314,6 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   std::vector<MissRef> unique;
   std::vector<std::uint64_t> unique_keys;
   std::size_t aliased = 0;
-  std::size_t delta_jobs = 0;
   if (layer_cache_enabled_) {
     std::unordered_map<std::uint64_t, std::size_t> owner;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
@@ -295,7 +335,7 @@ std::vector<sim::RunResult> SimEngine::run_batch(
       }
       // Fewer layers priced here than the network has = a delta
       // assembly (the rest came from the cache or a batch sibling).
-      if (owned < js.keys.size()) ++delta_jobs;
+      js.delta = owned < js.keys.size();
     }
   }
   plan_s += seconds_since(t_phase);
@@ -316,9 +356,19 @@ std::vector<sim::RunResult> SimEngine::run_batch(
           state[ref.job].be->price_layer(s.network.layers()[ref.layer]);
     });
     layers_priced_.fetch_add(unique.size(), std::memory_order_relaxed);
-    std::unique_lock<std::shared_mutex> lock(layer_mu_);
+    // Publish shard by shard: bucket the fresh keys and take each
+    // touched shard's writer lock exactly once per batch.
+    std::array<std::vector<std::size_t>, kCacheShards> publish;
     for (std::size_t u = 0; u < unique.size(); ++u) {
-      layer_cache_.emplace(unique_keys[u], priced[u]);
+      publish[cache_shard_of(unique_keys[u])].push_back(u);
+    }
+    for (std::size_t s = 0; s < kCacheShards; ++s) {
+      if (publish[s].empty()) continue;
+      auto& sh = layer_cache_.shard(s);
+      std::unique_lock<std::shared_mutex> lock(sh.mu);
+      for (const std::size_t u : publish[s]) {
+        sh.map.emplace(unique_keys[u], priced[u]);
+      }
     }
   }
   layer_cache_hits_.fetch_add(
@@ -327,8 +377,10 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   price_s += seconds_since(t_phase);
 
   // Phase 4 — assemble each job from its cached + freshly priced layers
-  // (or fully price it when the layer cache is disabled), persist to
-  // disk, and make the scenario cache's shared copy.
+  // (or fully price it when the layer cache is disabled) and make the
+  // scenario cache's shared copy. Fresh results are persisted in one
+  // store_batch afterwards: the whole batch seals a single new shard
+  // file instead of writing one file per scenario.
   t_phase = SteadyClock::now();
   for_each(jobs.size(), [&](std::size_t j) {
     const std::size_t i = jobs[j];
@@ -347,13 +399,22 @@ std::vector<sim::RunResult> SimEngine::run_batch(
       }
       results[i] = js.be->assemble(s.network, std::move(js.layers));
     }
-    if (disk_ != nullptr) {
-      disk_->store(js.disk_key, generations[i], results[i]);
-    }
     if (cache_enabled_) {
       fresh[j] = std::make_shared<const sim::RunResult>(results[i]);
     }
   });
+  if (disk_ != nullptr) {
+    std::vector<DiskCache::PendingStore> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (state[j].disk_served) continue;
+      // `results` is sized once up front, so the pointers stay stable
+      // for the duration of the call.
+      pending.push_back(DiskCache::PendingStore{
+          state[j].disk_key, generations[jobs[j]], &results[jobs[j]]});
+    }
+    if (!pending.empty()) disk_->store_batch(pending);
+  }
 
   // Fan cached/duplicate slots out from the shared copies (usually few).
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -382,27 +443,41 @@ std::vector<sim::RunResult> SimEngine::run_batch(
   const double assemble_s = seconds_since(t_phase);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
     // Accounted after the fact so disk-served jobs don't inflate
     // simulations_run; the mid-batch invariant simulations_run +
-    // cache_hits <= scenarios_submitted still holds (counters lag work).
-    stats_.simulations_run +=
-        jobs.size() - disk_served.load(std::memory_order_relaxed);
-    stats_.delta_scenarios += delta_jobs;
-    stats_.hash_s += hash_s;
-    stats_.plan_s += plan_s;
+    // cache_hits <= scenarios_submitted still holds per shard (counters
+    // lag work, and each job ticks the shard its fingerprint was
+    // submitted on — shard 0 when the cache is disabled).
+    std::array<std::vector<std::size_t>, kCacheShards> by_shard;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const std::size_t s =
+          cache_enabled_ ? cache_shard_of(prints[jobs[j]]) : 0;
+      by_shard[s].push_back(j);
+    }
+    for (std::size_t s = 0; s < kCacheShards; ++s) {
+      if (by_shard[s].empty()) continue;
+      auto& sh = scenario_cache_.shard(s);
+      std::lock_guard<std::mutex> lock(sh.mu);
+      for (const std::size_t j : by_shard[s]) {
+        if (!state[j].disk_served) ++sh.counters.simulations_run;
+        if (state[j].delta) ++sh.counters.delta_scenarios;
+        if (cache_enabled_) {
+          sh.map.emplace(prints[jobs[j]], std::move(fresh[j]));
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    timers_.hash_s += hash_s;
+    timers_.plan_s += plan_s;
     // With the layer cache off, phase 4 is full pricing, not reassembly
     // — attribute its wall time accordingly.
     if (layer_cache_enabled_) {
-      stats_.price_s += price_s;
-      stats_.assemble_s += assemble_s;
+      timers_.price_s += price_s;
+      timers_.assemble_s += assemble_s;
     } else {
-      stats_.price_s += price_s + assemble_s;
-    }
-    if (cache_enabled_) {
-      for (std::size_t j = 0; j < jobs.size(); ++j) {
-        cache_.emplace(prints[jobs[j]], std::move(fresh[j]));
-      }
+      timers_.price_s += price_s + assemble_s;
     }
   }
   return results;
@@ -443,28 +518,46 @@ std::vector<core::DesignPoint> SimEngine::explore_design_space(
 
 EngineStats SimEngine::stats() const {
   EngineStats s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s = stats_;
-  }
-  s.layers_priced = layers_priced_.load(std::memory_order_relaxed);
-  s.layer_cache_hits = layer_cache_hits_.load(std::memory_order_relaxed);
+  // Disk counters read BEFORE the scenario tallies: a scenario's submit
+  // tick precedes its disk probe, so any disk hit in this snapshot has
+  // its submit included in the (later-read) shard totals — keeping the
+  // mid-flight invariant scenarios_submitted >= cache_hits +
+  // simulations_run + disk_hits. The reverse order could catch a probe
+  // whose submit the totals missed.
   if (disk_ != nullptr) {
     const DiskCacheStats d = disk_->stats();
     s.disk_hits = d.hits;
     s.disk_misses = d.misses;
     s.disk_rejected = d.rejected;
     s.disk_stores = d.stores;
+    s.disk_store_failures = d.store_failures;
+    s.disk_file_opens = d.file_opens;
   }
+  const ScenarioShardCounters t = scenario_cache_.totals();
+  s.scenarios_submitted = t.scenarios_submitted;
+  s.simulations_run = t.simulations_run;
+  s.cache_hits = t.cache_hits;
+  s.delta_scenarios = t.delta_scenarios;
+  {
+    std::lock_guard<std::mutex> lock(timer_mu_);
+    s.construct_s = timers_.construct_s;
+    s.hash_s = timers_.hash_s;
+    s.plan_s = timers_.plan_s;
+    s.price_s = timers_.price_s;
+    s.assemble_s = timers_.assemble_s;
+  }
+  s.layers_priced = layers_priced_.load(std::memory_order_relaxed);
+  s.layer_cache_hits = layer_cache_hits_.load(std::memory_order_relaxed);
   return s;
 }
 
+std::array<ScenarioShardCounters, kCacheShards>
+SimEngine::scenario_shard_counters() const {
+  return scenario_cache_.per_shard();
+}
+
 void SimEngine::clear_cache() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    cache_.clear();
-  }
-  std::unique_lock<std::shared_mutex> lock(layer_mu_);
+  scenario_cache_.clear();
   layer_cache_.clear();
 }
 

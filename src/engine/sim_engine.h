@@ -46,12 +46,15 @@
 //     per-point pricing function over the identical grid).
 //
 // Thread safety: concurrent run_batch/stats/clear_cache calls on one
-// engine are safe (see tests/test_sim_engine.cpp racing test). The
-// scenario cache and its counters live under one mutex, so a stats()
-// snapshot of the scenario counters is internally consistent; the
-// layer cache uses a shared_mutex (the warm path — probe + copy — runs
-// under a reader lock so pool threads don't serialize) with relaxed
-// atomic counters.
+// engine are safe (see tests/test_sim_engine.cpp racing test and
+// tests/test_cache_shards.cpp stress test). Both memo caches are
+// lock-striped into kCacheShards shards keyed by fingerprint bits
+// (src/engine/cache_shards.h), so concurrent sessions and the parallel
+// probe phases stop contending on global locks. The scenario counters
+// are tallied per shard under the same shard locks and summed by
+// stats(); each scenario's ticks land on one shard, so the summed
+// snapshot still satisfies the engine invariant (see cache_shards.h for
+// the counter contract). Layer counters stay relaxed atomics.
 #pragma once
 
 #include <atomic>
@@ -66,6 +69,7 @@
 #include "src/backend/cost_backend.h"
 #include "src/common/json.h"
 #include "src/core/design_space.h"
+#include "src/engine/cache_shards.h"
 #include "src/engine/disk_cache.h"
 #include "src/engine/scenario.h"
 #include "src/engine/thread_pool.h"
@@ -90,6 +94,8 @@ struct EngineStats {
   std::size_t disk_misses = 0;      // probed but absent
   std::size_t disk_rejected = 0;    // corrupt or stale entries skipped
   std::size_t disk_stores = 0;      // fresh results persisted
+  std::size_t disk_store_failures = 0;  // refused/failed persists
+  std::size_t disk_file_opens = 0;  // shard files opened (scan + seals)
   // Phase timers (seconds of wall clock, accumulated per batch): where a
   // search actually spends its time. construct_s is fed by callers that
   // build Scenarios for the engine (ScenarioEvaluator's materialize
@@ -125,6 +131,13 @@ struct EngineOptions {
   /// Non-empty: persist scenario results under this directory and serve
   /// repeats from it across processes (created on demand).
   std::string disk_cache_dir{};
+  /// Indices per ThreadPool::parallel_for task in the batch phases.
+  /// 0 = auto: jobs / (threads × 4) — ~4 stealable tasks per worker,
+  /// the setting bench/warm_path.cpp's grain micro-measurement picks on
+  /// every machine we've measured (queue overhead amortized, stealing
+  /// slack kept). Set explicitly to trade steal balance against task
+  /// overhead for unusual batch shapes.
+  std::size_t grain = 0;
 };
 
 class SimEngine {
@@ -154,9 +167,17 @@ class SimEngine {
       const std::vector<int>& slice_widths, const std::vector<int>& lanes,
       int max_bits, const std::vector<core::BitwidthMixEntry>& mix);
 
-  /// Consistent snapshot of the counters (single lock; safe to call
-  /// concurrently with run_batch).
+  /// Counter snapshot, safe to call concurrently with run_batch. Shard
+  /// tallies are read one shard lock at a time; every scenario's ticks
+  /// live on a single shard, so the summed counters still satisfy the
+  /// engine invariant (see cache_shards.h).
   EngineStats stats() const;
+
+  /// Per-shard scenario-counter snapshot (exposed for the shard stress
+  /// test, which asserts the counter invariant per shard, not just in
+  /// aggregate).
+  std::array<ScenarioShardCounters, kCacheShards> scenario_shard_counters()
+      const;
 
   /// Drops both in-memory caches (scenario and layer). The disk cache is
   /// untouched — it belongs to the directory, not the engine; delete the
@@ -186,18 +207,31 @@ class SimEngine {
   ThreadPool pool_;
   bool cache_enabled_;
   bool layer_cache_enabled_;
+  std::size_t grain_;                // 0 = auto (see EngineOptions::grain)
   std::unique_ptr<DiskCache> disk_;  // null when not configured
 
-  mutable std::mutex mu_;  // guards cache_ and the scenario counters
-  std::unordered_map<std::uint64_t, std::shared_ptr<const sim::RunResult>>
-      cache_;
-  EngineStats stats_;  // scenario counters only; layer counters below
+  // Striped scenario cache + per-shard counter tallies (cache_shards.h).
+  // When the scenario cache is disabled no fingerprints exist, so all
+  // counter ticks land on shard 0.
+  ScenarioCacheShards scenario_cache_;
 
-  // Layer cache: reader-writer locked (hits only probe + copy), stored
-  // by value — LayerResults are small (a RunResult is bulky and stays
-  // behind a shared_ptr above), and the hot path is copy-on-hit.
-  mutable std::shared_mutex layer_mu_;
-  std::unordered_map<std::uint64_t, sim::LayerResult> layer_cache_;
+  // Phase timers accumulate under their own lock — they are batch-scoped
+  // wall-clock sums, not per-scenario ticks, so they never belonged to a
+  // fingerprint shard.
+  struct PhaseTimers {
+    double construct_s = 0.0;
+    double hash_s = 0.0;
+    double plan_s = 0.0;
+    double price_s = 0.0;
+    double assemble_s = 0.0;
+  };
+  mutable std::mutex timer_mu_;
+  PhaseTimers timers_;
+
+  // Striped layer cache: reader-writer locked per shard (hits only probe
+  // + copy), stored by value — LayerResults are small (a RunResult is
+  // bulky and stays behind a shared_ptr above).
+  LayerCacheShards layer_cache_;
   std::atomic<std::size_t> layers_priced_{0};
   std::atomic<std::size_t> layer_cache_hits_{0};
 };

@@ -87,8 +87,19 @@ Server::Server(ServerOptions options)
 
 Server::~Server() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  for (std::thread& t : connections_) {
-    if (t.joinable()) t.join();
+  for (Connection& c : connections_) {
+    if (c.thread.joinable()) c.thread.join();
+  }
+}
+
+void Server::reap_connections() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -223,7 +234,7 @@ Value Server::run_streaming(int fd, const CancelToken& token,
   }
 }
 
-void Server::serve_connection(int fd) {
+void Server::serve_connection(int fd, Connection* conn) {
   std::string buffer;
   char chunk[4096];
   bool open = true;
@@ -276,6 +287,8 @@ void Server::serve_connection(int fd) {
     }
   }
   ::close(fd);
+  // Last: after this store the accept loop may join and erase the entry.
+  conn->done.store(true, std::memory_order_release);
 }
 
 void Server::run() {
@@ -315,6 +328,10 @@ void Server::run() {
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;
     const int ready = ::poll(&pfd, 1, 200);
+    // Reap closed connections every loop turn (each poll timeout or
+    // accept) so a long-lived daemon under heavy traffic holds entries
+    // only for connections that are actually open.
+    reap_connections();
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
@@ -322,15 +339,16 @@ void Server::run() {
     if (ready == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    connections_.emplace_back(&Server::serve_connection, this, fd);
+    Connection& conn = connections_.emplace_back();
+    conn.thread = std::thread(&Server::serve_connection, this, fd, &conn);
   }
 
   // Drain: no new connections; in-flight requests run to completion.
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
-  for (std::thread& t : connections_) {
-    if (t.joinable()) t.join();
+  for (Connection& c : connections_) {
+    if (c.thread.joinable()) c.thread.join();
   }
   connections_.clear();
 }

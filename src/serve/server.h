@@ -52,6 +52,7 @@
 #pragma once
 
 #include <atomic>
+#include <list>
 #include <string>
 #include <thread>
 #include <vector>
@@ -110,8 +111,24 @@ class Server {
   Session& session() { return session_; }
 
  private:
-  /// One connection's request/response loop (own thread).
-  void serve_connection(int fd);
+  /// One live connection thread. `done` is the thread's own completion
+  /// flag: the accept loop joins and erases finished entries as it
+  /// iterates, so a long-lived daemon's connection list tracks the open
+  /// connections instead of growing by one entry per connection ever
+  /// accepted. std::list keeps each entry's address stable for the
+  /// thread that flags it.
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// One connection's request/response loop (own thread). Sets
+  /// `conn->done` on exit.
+  void serve_connection(int fd, Connection* conn);
+
+  /// Joins and erases finished connection entries. Only the accept-loop
+  /// thread (and run()'s drain, after the loop exits) touches the list.
+  void reap_connections();
 
   /// The dispatch core behind handle(): envelope -> final response,
   /// throwing bpvec::Error on anything malformed. The token reaches the
@@ -130,7 +147,7 @@ class Server {
   Session session_;
   std::atomic<bool> stop_{false};
   int listen_fd_ = -1;
-  std::vector<std::thread> connections_;
+  std::list<Connection> connections_;
 };
 
 }  // namespace bpvec::serve

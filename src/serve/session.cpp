@@ -34,6 +34,7 @@ engine::SimEngine& Session::engine() {
     engine::EngineOptions engine_options;
     engine_options.num_threads = options_.threads;
     engine_options.disk_cache_dir = options_.cache_dir;
+    engine_options.grain = options_.grain;
     engine_ = std::make_unique<engine::SimEngine>(engine_options);
   }
   return *engine_;
@@ -281,6 +282,27 @@ common::json::Value Session::stats_json() {
                  fleet.layer_cache_hits + fleet.layers_priced));
   rates.set("disk", rate(fleet.disk_hits, fleet.disk_hits + fleet.disk_misses));
   v.set("cache_hit_rates", std::move(rates));
+  // Disk-cache shard/size gauges (operator visibility: how many shard
+  // files the warm path rides, whether a compaction is due, whether
+  // stores are failing). Present only once the engine has a disk cache.
+  const engine::DiskCache* disk = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (engine_ != nullptr) disk = engine_->disk_cache();
+  }
+  if (disk != nullptr) {
+    const engine::DiskCacheStats d = disk->stats();
+    Value dc = Value::object();
+    dc.set("shards", d.shards);
+    dc.set("records", d.records);
+    dc.set("file_opens", d.file_opens);
+    dc.set("hits", d.hits);
+    dc.set("misses", d.misses);
+    dc.set("rejected", d.rejected);
+    dc.set("stores", d.stores);
+    dc.set("store_failures", d.store_failures);
+    v.set("disk_cache", std::move(dc));
+  }
   return v;
 }
 

@@ -63,6 +63,8 @@ struct SessionOptions {
   /// Default scenarios per engine batch for price requests — the
   /// cancellation granularity. Counters and results are chunk-invariant.
   std::size_t price_chunk = 256;
+  /// Engine parallel_for grain (EngineOptions::grain); 0 = auto.
+  std::size_t grain = 0;
 };
 
 class Session {

@@ -1,0 +1,246 @@
+// Striped-cache stress tests (run under TSan in CI — see the tsan job's
+// binary list). The lock-striped scenario cache moved the engine's
+// counters from one mutex into per-shard tallies; these tests hammer
+// run_batch / clear_cache / stats from concurrent threads and assert the
+// counter contract cache_shards.h promises:
+//
+//   per shard, at any instant:
+//     scenarios_submitted >= cache_hits + simulations_run
+//   in aggregate, once every batch has returned (disk cache off):
+//     scenarios_submitted == cache_hits + simulations_run
+//
+// The per-shard inequality is the load-bearing one — it is what makes a
+// summed one-shard-lock-at-a-time stats() snapshot meaningful while
+// batches are in flight.
+#include "src/engine/cache_shards.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/scenario.h"
+#include "src/engine/sim_engine.h"
+#include "src/workload/generators.h"
+
+namespace bpvec::engine {
+namespace {
+
+TEST(CacheShardsTest, ShardOfIsMaskedFingerprintBits) {
+  static_assert(kCacheShards > 0 && (kCacheShards & (kCacheShards - 1)) == 0,
+                "shard count must be a power of two");
+  for (const std::uint64_t fp :
+       {0ull, 1ull, 15ull, 16ull, 0xDEADBEEFCAFEF00Dull,
+        ~0ull}) {
+    EXPECT_EQ(cache_shard_of(fp), fp & (kCacheShards - 1));
+    EXPECT_LT(cache_shard_of(fp), kCacheShards);
+  }
+}
+
+/// A cheap batch of distinct scenarios (tiny generated MLPs at several
+/// widths × both memories) whose fingerprints spread across shards.
+std::vector<Scenario> tiny_batch() {
+  std::vector<Scenario> batch;
+  for (const int width : {8, 12, 16, 24}) {
+    workload::GeneratorSpec spec;
+    spec.family = "mlp_family";
+    spec.depth = 2;
+    spec.width = width;
+    const dnn::Network net = workload::generate(spec);
+    batch.push_back(make_scenario(Platform::kBpvec, core::Memory::kDdr4, net));
+    batch.push_back(make_scenario(Platform::kBpvec, core::Memory::kHbm2, net));
+  }
+  return batch;
+}
+
+TEST(CacheShardsTest, PerShardCountersSumToStats) {
+  const std::vector<Scenario> batch = tiny_batch();
+  SimEngine eng({/*num_threads=*/2});
+  (void)eng.run_batch(batch);  // all simulate
+  (void)eng.run_batch(batch);  // all hit
+
+  const EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.scenarios_submitted, 2 * batch.size());
+  EXPECT_EQ(stats.cache_hits, batch.size());
+  EXPECT_EQ(stats.simulations_run, batch.size());
+
+  const auto shards = eng.scenario_shard_counters();
+  ScenarioShardCounters sum;
+  std::size_t populated = 0;
+  for (const ScenarioShardCounters& c : shards) {
+    // Per-shard instance of the engine invariant.
+    EXPECT_GE(c.scenarios_submitted, c.cache_hits + c.simulations_run);
+    // Quiescent, no disk: per shard it is an equality.
+    EXPECT_EQ(c.scenarios_submitted, c.cache_hits + c.simulations_run);
+    sum.scenarios_submitted += c.scenarios_submitted;
+    sum.cache_hits += c.cache_hits;
+    sum.simulations_run += c.simulations_run;
+    sum.delta_scenarios += c.delta_scenarios;
+    if (c.scenarios_submitted > 0) ++populated;
+  }
+  EXPECT_EQ(sum.scenarios_submitted, stats.scenarios_submitted);
+  EXPECT_EQ(sum.cache_hits, stats.cache_hits);
+  EXPECT_EQ(sum.simulations_run, stats.simulations_run);
+  EXPECT_EQ(sum.delta_scenarios, stats.delta_scenarios);
+  // The batch was built to spread: more than one shard carries ticks
+  // (otherwise the striping would be decorative).
+  EXPECT_GT(populated, 1u);
+}
+
+TEST(CacheShardsTest, CacheDisabledTicksLandOnShardZero) {
+  const std::vector<Scenario> batch = tiny_batch();
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.cache_enabled = false;
+  SimEngine eng(opts);
+  (void)eng.run_batch(batch);
+  const auto shards = eng.scenario_shard_counters();
+  EXPECT_EQ(shards[0].scenarios_submitted, batch.size());
+  EXPECT_EQ(shards[0].simulations_run, batch.size());
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].scenarios_submitted, 0u) << "shard " << i;
+  }
+}
+
+TEST(CacheShardsTest, ClearCachePreservesCounters) {
+  const std::vector<Scenario> batch = tiny_batch();
+  SimEngine eng({/*num_threads=*/2});
+  (void)eng.run_batch(batch);
+  const EngineStats before = eng.stats();
+  eng.clear_cache();
+  const EngineStats after = eng.stats();
+  EXPECT_EQ(after.scenarios_submitted, before.scenarios_submitted);
+  EXPECT_EQ(after.simulations_run, before.simulations_run);
+  EXPECT_EQ(after.cache_hits, before.cache_hits);
+  // The entries are gone: the same batch re-simulates.
+  (void)eng.run_batch(batch);
+  EXPECT_EQ(eng.stats().simulations_run, 2 * batch.size());
+}
+
+// The TSan centerpiece: concurrent run_batch + clear_cache + stats +
+// per-shard snapshots on one engine. Any missing lock in the striped
+// maps or counter tallies shows up as a TSan report; any counter-order
+// bug shows up as a violated per-shard inequality.
+TEST(CacheShardsTest, ConcurrentBatchesClearsAndStatsKeepInvariants) {
+  const std::vector<Scenario> batch = tiny_batch();
+  SimEngine eng({/*num_threads=*/2});
+
+  constexpr int kRunners = 3;
+  constexpr int kRounds = 12;
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> runners;
+  for (int t = 0; t < kRunners; ++t) {
+    runners.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        const auto results = eng.run_batch(batch);
+        if (results.size() != batch.size()) failed.store(true);
+      }
+    });
+  }
+  std::thread clearer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      eng.clear_cache();
+      std::this_thread::yield();
+    }
+  });
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      // Mid-flight snapshots must satisfy the per-shard inequality and
+      // its aggregate consequence at every instant.
+      const auto shards = eng.scenario_shard_counters();
+      for (const ScenarioShardCounters& c : shards) {
+        if (c.scenarios_submitted < c.cache_hits + c.simulations_run) {
+          failed.store(true);
+        }
+      }
+      const EngineStats s = eng.stats();
+      if (s.scenarios_submitted < s.cache_hits + s.simulations_run) {
+        failed.store(true);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : runners) t.join();
+  done.store(true, std::memory_order_release);
+  clearer.join();
+  observer.join();
+  EXPECT_FALSE(failed.load());
+
+  // Quiescent, no disk cache: exact aggregate accounting, in total and
+  // per shard.
+  const EngineStats s = eng.stats();
+  EXPECT_EQ(s.scenarios_submitted,
+            static_cast<std::size_t>(kRunners) * kRounds * batch.size());
+  EXPECT_EQ(s.scenarios_submitted, s.cache_hits + s.simulations_run);
+  ScenarioShardCounters sum;
+  for (const ScenarioShardCounters& c : eng.scenario_shard_counters()) {
+    EXPECT_EQ(c.scenarios_submitted, c.cache_hits + c.simulations_run);
+    sum.scenarios_submitted += c.scenarios_submitted;
+    sum.cache_hits += c.cache_hits;
+    sum.simulations_run += c.simulations_run;
+  }
+  EXPECT_EQ(sum.scenarios_submitted, s.scenarios_submitted);
+  EXPECT_EQ(sum.cache_hits, s.cache_hits);
+  EXPECT_EQ(sum.simulations_run, s.simulations_run);
+}
+
+// Same stress with the disk cache in the loop: the sealed-shard store
+// path and pread load path join the race, and the invariant gains the
+// disk term. Results must stay correct throughout.
+TEST(CacheShardsTest, ConcurrentStressWithDiskCache) {
+  const std::vector<Scenario> batch = tiny_batch();
+  const std::string dir = "cache_shards_stress_disk";
+  std::filesystem::remove_all(dir);
+  {
+    EngineOptions opts;
+    opts.num_threads = 2;
+    opts.disk_cache_dir = dir;
+    SimEngine eng(opts);
+
+    constexpr int kRunners = 3;
+    constexpr int kRounds = 8;
+    std::atomic<bool> done{false};
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> runners;
+    for (int t = 0; t < kRunners; ++t) {
+      runners.emplace_back([&] {
+        for (int round = 0; round < kRounds; ++round) {
+          const auto results = eng.run_batch(batch);
+          if (results.size() != batch.size()) failed.store(true);
+        }
+      });
+    }
+    std::thread clearer([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        eng.clear_cache();
+        const EngineStats s = eng.stats();
+        if (s.scenarios_submitted <
+            s.cache_hits + s.simulations_run + s.disk_hits) {
+          failed.store(true);
+        }
+        std::this_thread::yield();
+      }
+    });
+    for (auto& t : runners) t.join();
+    done.store(true, std::memory_order_release);
+    clearer.join();
+    EXPECT_FALSE(failed.load());
+
+    const EngineStats s = eng.stats();
+    EXPECT_EQ(s.scenarios_submitted,
+              s.cache_hits + s.simulations_run + s.disk_hits);
+    EXPECT_EQ(s.disk_store_failures, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace bpvec::engine
