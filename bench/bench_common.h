@@ -83,6 +83,11 @@ class BenchJson {
     metrics_.set(key, value);
   }
 
+  /// String-valued metric (e.g. the runtime-selected SIMD variant).
+  void add_metric(const std::string& key, const std::string& value) {
+    metrics_.set(key, value);
+  }
+
   void set_batch_timing(double batch_wall_s, double sequential_wall_s,
                         int threads) {
     batch_wall_s_ = batch_wall_s;

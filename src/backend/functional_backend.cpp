@@ -6,6 +6,7 @@
 
 #include "src/bitslice/cvu.h"
 #include "src/common/error.h"
+#include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/core/gemm_executor.h"
 #include "src/dnn/gemm_lowering.h"
@@ -13,6 +14,7 @@
 #include "src/dnn/reference_ops.h"
 #include "src/kernels/packed_kernels.h"
 #include "src/kernels/simd.h"
+#include "src/kernels/weight_cache.h"
 
 namespace bpvec::backend {
 
@@ -45,18 +47,35 @@ dnn::Matrix head_rows(const dnn::Matrix& m, std::int64_t n) {
 /// [1, 8] range.
 bitslice::Cvu make_check_cvu() { return bitslice::Cvu({2, 16, 16}); }
 
-void probe_conv(const dnn::Layer& probe, const FunctionalConfig& fc, Rng& rng,
+kernels::WeightPlaneCache& weight_cache() {
+  return kernels::WeightPlaneCache::instance();
+}
+
+void probe_conv(const dnn::Layer& probe, const FunctionalConfig& fc,
+                Rng& input_rng, Rng& weight_rng, std::uint64_t weight_key,
                 kernels::KernelStats* stats, double* wall_s) {
   const dnn::ConvParams& p = probe.conv();
+  const std::int64_t k = static_cast<std::int64_t>(p.in_c) * p.kh * p.kw;
   dnn::Tensor input(p.in_c, p.in_h, p.in_w);
-  for (auto& v : input.data()) v = rng.signed_value(probe.x_bits);
-  const auto weights = rng.signed_vector(
-      static_cast<std::size_t>(p.out_c) * p.in_c * p.kh * p.kw, probe.w_bits);
+  for (auto& v : input.data()) v = input_rng.signed_value(probe.x_bits);
+  // Weight draw + pack, once per (probe config, layer) key — repeat
+  // probes hit the cache and skip both. The draw rides its own Rng
+  // stream, so skipping it never perturbs the input stream above.
+  const auto entry = weight_cache().get_or_pack(weight_key, [&] {
+    kernels::PackedWeights pw;
+    pw.values = weight_rng.signed_vector(
+        static_cast<std::size_t>(p.out_c) * p.in_c * p.kh * p.kw,
+        probe.w_bits);
+    pw.planes.push_back(
+        kernels::pack_values(pw.values.data(), p.out_c, k, probe.w_bits));
+    return pw;
+  });
+  const std::vector<std::int32_t>& weights = entry->values;
 
   const auto t0 = Clock::now();
-  const auto packed =
-      kernels::packed_conv(input, weights, p, probe.x_bits, probe.w_bits,
-                           /*pool=*/nullptr, stats);
+  const auto packed = kernels::packed_conv(input, entry->planes[0], p,
+                                           probe.x_bits,
+                                           /*pool=*/nullptr, stats);
   *wall_s += seconds_since(t0);
 
   const auto reference = dnn::conv2d_reference(input, weights, p);
@@ -83,17 +102,27 @@ void probe_conv(const dnn::Layer& probe, const FunctionalConfig& fc, Rng& rng,
   }
 }
 
-void probe_fc(const dnn::Layer& probe, const FunctionalConfig& fc, Rng& rng,
+void probe_fc(const dnn::Layer& probe, const FunctionalConfig& fc,
+              Rng& input_rng, Rng& weight_rng, std::uint64_t weight_key,
               kernels::KernelStats* stats, double* wall_s) {
   const dnn::FcParams& p = probe.fc();
-  const auto input = rng.signed_vector(static_cast<std::size_t>(p.in_features),
-                                       probe.x_bits);
-  const auto weights = rng.signed_vector(
-      static_cast<std::size_t>(p.in_features) * p.out_features, probe.w_bits);
+  const auto input = input_rng.signed_vector(
+      static_cast<std::size_t>(p.in_features), probe.x_bits);
+  const auto entry = weight_cache().get_or_pack(weight_key, [&] {
+    kernels::PackedWeights pw;
+    pw.values = weight_rng.signed_vector(
+        static_cast<std::size_t>(p.in_features) * p.out_features,
+        probe.w_bits);
+    pw.planes.push_back(kernels::pack_values(pw.values.data(), p.out_features,
+                                             p.in_features, probe.w_bits));
+    return pw;
+  });
+  const std::vector<std::int32_t>& weights = entry->values;
 
   const auto t0 = Clock::now();
-  const auto packed = kernels::packed_fc(input, weights, p, probe.x_bits,
-                                         probe.w_bits, /*pool=*/nullptr, stats);
+  const auto packed = kernels::packed_fc(input, entry->planes[0], p,
+                                         probe.x_bits, /*pool=*/nullptr,
+                                         stats);
   *wall_s += seconds_since(t0);
 
   const auto reference = dnn::fc_reference(input, weights, p);
@@ -115,11 +144,11 @@ void probe_fc(const dnn::Layer& probe, const FunctionalConfig& fc, Rng& rng,
   }
 }
 
-void probe_pool(const dnn::Layer& probe, Rng& rng,
+void probe_pool(const dnn::Layer& probe, Rng& input_rng,
                 kernels::KernelStats* stats, double* wall_s) {
   const dnn::PoolParams& p = probe.pool();
   dnn::Tensor input(p.channels, p.in_h, p.in_w);
-  for (auto& v : input.data()) v = rng.signed_value(probe.x_bits);
+  for (auto& v : input.data()) v = input_rng.signed_value(probe.x_bits);
 
   const auto t0 = Clock::now();
   const dnn::Tensor packed =
@@ -135,7 +164,9 @@ void probe_pool(const dnn::Layer& probe, Rng& rng,
 }
 
 void probe_recurrent(const dnn::Layer& probe, const FunctionalConfig& fc,
-                     Rng& rng, kernels::KernelStats* stats, double* wall_s) {
+                     Rng& input_rng, Rng& weight_rng,
+                     std::uint64_t weight_key, kernels::KernelStats* stats,
+                     double* wall_s) {
   const dnn::RecurrentParams& p = probe.recurrent();
   const std::int64_t k = p.input_size + p.hidden_size;
   const int out_bits = probe.x_bits;
@@ -145,28 +176,39 @@ void probe_recurrent(const dnn::Layer& probe, const FunctionalConfig& fc,
   const int shift = std::max(
       0, ceil_log2(k) + probe.x_bits + probe.w_bits - 1 - out_bits);
 
-  auto h = rng.signed_vector(static_cast<std::size_t>(p.hidden_size),
-                             probe.x_bits);
+  auto h = input_rng.signed_vector(static_cast<std::size_t>(p.hidden_size),
+                                   probe.x_bits);
   // One weight matrix per gate; LSTM probes cycle through all four (step
   // t uses gate t mod gates), so every gate matrix meets a real
-  // reference recurrence.
+  // reference recurrence. The cache entry carries one packed BitPlanes
+  // per gate.
   const int gates = p.gates();
   const std::size_t gate_size =
       static_cast<std::size_t>(p.hidden_size) * static_cast<std::size_t>(k);
-  const auto all_weights = rng.signed_vector(gates * gate_size, probe.w_bits);
+  const auto entry = weight_cache().get_or_pack(weight_key, [&] {
+    kernels::PackedWeights pw;
+    pw.values = weight_rng.signed_vector(gates * gate_size, probe.w_bits);
+    for (int g = 0; g < gates; ++g) {
+      pw.planes.push_back(kernels::pack_values(
+          pw.values.data() + static_cast<std::size_t>(g) * gate_size,
+          p.hidden_size, k, probe.w_bits));
+    }
+    return pw;
+  });
 
   for (int t = 0; t < p.time_steps; ++t) {
-    const auto x = rng.signed_vector(static_cast<std::size_t>(p.input_size),
-                                     probe.x_bits);
-    const std::size_t off = static_cast<std::size_t>(t % gates) * gate_size;
+    const auto x = input_rng.signed_vector(
+        static_cast<std::size_t>(p.input_size), probe.x_bits);
+    const int gate = t % gates;
+    const std::size_t off = static_cast<std::size_t>(gate) * gate_size;
     const std::vector<std::int32_t> weights(
-        all_weights.begin() + static_cast<std::ptrdiff_t>(off),
-        all_weights.begin() + static_cast<std::ptrdiff_t>(off + gate_size));
+        entry->values.begin() + static_cast<std::ptrdiff_t>(off),
+        entry->values.begin() + static_cast<std::ptrdiff_t>(off + gate_size));
 
     const auto t0 = Clock::now();
     const auto packed = kernels::packed_rnn_step(
-        x, h, weights, p.hidden_size, shift, out_bits, probe.x_bits,
-        probe.w_bits, /*pool=*/nullptr, stats);
+        x, h, entry->planes[static_cast<std::size_t>(gate)], p.hidden_size,
+        shift, out_bits, probe.x_bits, /*pool=*/nullptr, stats);
     *wall_s += seconds_since(t0);
 
     const auto reference = dnn::rnn_step_reference(x, h, weights,
@@ -220,8 +262,10 @@ std::uint64_t FunctionalBackend::fingerprint() const {
   common::ConfigHash f;
   f.str(name());
   // The kernel variant cannot change results (integer math is exact in
-  // every variant) but does change measured_wall_s; folding it in keeps
-  // cache entries from one kernel build out of another's runs.
+  // every variant) but does change measured_wall_s; folding the
+  // runtime-SELECTED variant in keeps cache entries from one dispatch
+  // out of another's runs (and re-keys the caches if a test forces a
+  // different variant mid-process).
   f.str(kernels::simd_variant());
   f.u64(functional_.seed);
   f.i32(functional_.max_side);
@@ -231,6 +275,17 @@ std::uint64_t FunctionalBackend::fingerprint() const {
   f.i32(functional_.check_cols);
   hash_platform(f, sim_.config());
   hash_memory(f, sim_.dram());
+  return f.h;
+}
+
+std::uint64_t FunctionalBackend::weight_key(const dnn::Layer& layer) const {
+  common::ConfigHash f;
+  f.str("functional-weight-planes");
+  f.u64(functional_.seed);
+  f.i32(functional_.max_side);
+  f.i32(functional_.max_channels);
+  f.i32(functional_.max_time_steps);
+  f.u64(layer_fingerprint(layer, hash_time_chunk()));
   return f.h;
 }
 
@@ -286,25 +341,34 @@ sim::LayerResult FunctionalBackend::price_layer(const dnn::Layer& layer) const {
   sim::LayerResult result = sim_.run_layer(layer);
 
   // Measured half: execute the bounded probe. The Rng stream is forked
-  // off the layer fingerprint, so probe data — and every output but
-  // wall-clock — is a pure function of (seed, layer shape, bitwidths).
+  // off the layer fingerprint and split into independent activation
+  // (fork 0) and weight (fork 1) streams: probe data — and every output
+  // but wall-clock — is a pure function of (seed, layer shape,
+  // bitwidths), and a weight-cache hit can skip the weight draw without
+  // disturbing the activations.
   const dnn::Layer probe = probe_layer(layer);
-  Rng rng = Rng(functional_.seed)
-                .fork(layer_fingerprint(layer, hash_time_chunk()));
+  const Rng base = Rng(functional_.seed)
+                       .fork(layer_fingerprint(layer, hash_time_chunk()));
+  Rng input_rng = base.fork(0);
+  Rng weight_rng = base.fork(1);
+  const std::uint64_t wkey = weight_key(layer);
   kernels::KernelStats stats;
   double wall_s = 0.0;
   switch (probe.kind) {
     case dnn::LayerKind::kConv:
-      probe_conv(probe, functional_, rng, &stats, &wall_s);
+      probe_conv(probe, functional_, input_rng, weight_rng, wkey, &stats,
+                 &wall_s);
       break;
     case dnn::LayerKind::kFullyConnected:
-      probe_fc(probe, functional_, rng, &stats, &wall_s);
+      probe_fc(probe, functional_, input_rng, weight_rng, wkey, &stats,
+               &wall_s);
       break;
     case dnn::LayerKind::kPool:
-      probe_pool(probe, rng, &stats, &wall_s);
+      probe_pool(probe, input_rng, &stats, &wall_s);
       break;
     case dnn::LayerKind::kRecurrent:
-      probe_recurrent(probe, functional_, rng, &stats, &wall_s);
+      probe_recurrent(probe, functional_, input_rng, weight_rng, wkey, &stats,
+                      &wall_s);
       break;
   }
   result.measured_wall_s = wall_s;

@@ -15,13 +15,19 @@
 // reports a measured-vs-modeled column.
 //
 // Determinism contract: probe operands come from
-// Rng(seed).fork(layer_fingerprint(layer)), so the data — and every
-// output except wall-clock — depends only on the layer's shape and
-// bitwidths, never on its name, thread count, or invocation order.
-// Because assemble is the same pure fold the other cycle backends use,
-// functional runs ride the engine's scenario/layer/disk caches
-// unchanged: a warm run replays the measured numbers verbatim and
-// executes zero layers.
+// Rng(seed).fork(layer_fingerprint(layer)), split into two independent
+// child streams — fork(0) for activations, fork(1) for weights — so the
+// data, and every output except wall-clock, depends only on the layer's
+// shape and bitwidths, never on its name, thread count, or invocation
+// order. The weight stream feeds the process-wide WeightPlaneCache
+// (kernels/weight_cache.h): the first probe of a layer draws and packs
+// its weight planes, every later probe of the same (probe config, layer)
+// key — zoo sweeps, DSE candidates, warm serve requests — reuses them
+// without re-drawing or re-packing; the separate input stream is what
+// makes skipping the draw safe. Because assemble is the same pure fold
+// the other cycle backends use, functional runs ride the engine's
+// scenario/layer/disk caches unchanged: a warm run replays the measured
+// numbers verbatim and executes zero layers.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +70,13 @@ class FunctionalBackend : public CostBackend {
   /// The deterministically downscaled layer price_layer actually
   /// executes (exposed so tests can pin the probe shapes).
   dnn::Layer probe_layer(const dnn::Layer& layer) const;
+
+  /// WeightPlaneCache key for `layer`'s probe weights: folds the
+  /// functional seed, the probe bounds, and the layer fingerprint —
+  /// everything the deterministic weight draw depends on. The SIMD
+  /// variant is deliberately absent (packing is variant-independent).
+  /// Exposed so tests can assert cache keying directly.
+  std::uint64_t weight_key(const dnn::Layer& layer) const;
 
  protected:
   int hash_time_chunk() const override { return sim_.config().time_chunk; }

@@ -11,6 +11,7 @@
 #include "src/common/error.h"
 #include "src/common/hash.h"
 #include "src/dse/search.h"
+#include "src/kernels/weight_cache.h"
 
 namespace bpvec::engine {
 
@@ -38,6 +39,8 @@ common::json::Value to_json(const EngineStats& stats) {
   v.set("disk_stores", stats.disk_stores);
   v.set("disk_store_failures", stats.disk_store_failures);
   v.set("disk_file_opens", stats.disk_file_opens);
+  v.set("weight_cache_hits", stats.weight_cache_hits);
+  v.set("weight_cache_misses", stats.weight_cache_misses);
   v.set("construct_s", stats.construct_s);
   v.set("hash_s", stats.hash_s);
   v.set("plan_s", stats.plan_s);
@@ -60,6 +63,8 @@ EngineStats operator-(const EngineStats& after, const EngineStats& before) {
   d.disk_stores = after.disk_stores - before.disk_stores;
   d.disk_store_failures = after.disk_store_failures - before.disk_store_failures;
   d.disk_file_opens = after.disk_file_opens - before.disk_file_opens;
+  d.weight_cache_hits = after.weight_cache_hits - before.weight_cache_hits;
+  d.weight_cache_misses = after.weight_cache_misses - before.weight_cache_misses;
   d.construct_s = after.construct_s - before.construct_s;
   d.hash_s = after.hash_s - before.hash_s;
   d.plan_s = after.plan_s - before.plan_s;
@@ -548,6 +553,8 @@ EngineStats SimEngine::stats() const {
   }
   s.layers_priced = layers_priced_.load(std::memory_order_relaxed);
   s.layer_cache_hits = layer_cache_hits_.load(std::memory_order_relaxed);
+  s.weight_cache_hits = kernels::WeightPlaneCache::instance().hits();
+  s.weight_cache_misses = kernels::WeightPlaneCache::instance().misses();
   return s;
 }
 

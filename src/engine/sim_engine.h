@@ -96,6 +96,14 @@ struct EngineStats {
   std::size_t disk_stores = 0;      // fresh results persisted
   std::size_t disk_store_failures = 0;  // refused/failed persists
   std::size_t disk_file_opens = 0;  // shard files opened (scan + seals)
+  // Packed weight-plane cache counters (kernels::WeightPlaneCache — the
+  // functional backend's persistent probe-weight memo). The cache is
+  // process-wide, so these are process totals snapshotted per engine;
+  // they are monotone like every other counter, which keeps the serve
+  // layer's before/after delta semantics exact. Zero unless functional
+  // scenarios have been priced.
+  std::size_t weight_cache_hits = 0;
+  std::size_t weight_cache_misses = 0;
   // Phase timers (seconds of wall clock, accumulated per batch): where a
   // search actually spends its time. construct_s is fed by callers that
   // build Scenarios for the engine (ScenarioEvaluator's materialize

@@ -12,10 +12,8 @@ std::int64_t plane_weight(int p, int bits, bool is_signed) {
   return (is_signed && p == bits - 1) ? -magnitude : magnitude;
 }
 
-namespace {
-
-BitPlanes pack_span(const std::int32_t* values, std::int64_t rows,
-                    std::int64_t cols, int bits, bool is_signed) {
+BitPlanes pack_values(const std::int32_t* values, std::int64_t rows,
+                      std::int64_t cols, int bits, bool is_signed) {
   BPVEC_CHECK_MSG(bits >= 1 && bits <= 16,
                   "bit-plane packing supports 1..16-bit operands");
   BPVEC_CHECK(rows >= 0 && cols >= 0);
@@ -55,17 +53,16 @@ BitPlanes pack_span(const std::int32_t* values, std::int64_t rows,
   return planes;
 }
 
-}  // namespace
-
 BitPlanes pack_rows(const dnn::Matrix& m, int bits, bool is_signed) {
   BPVEC_CHECK(static_cast<std::int64_t>(m.data.size()) == m.rows * m.cols);
-  return pack_span(m.data.data(), m.rows, m.cols, bits, is_signed);
+  return pack_values(m.data.data(), m.rows, m.cols, bits, is_signed);
 }
 
 BitPlanes pack_vector(const std::vector<std::int32_t>& values, int bits,
                       bool is_signed) {
-  return pack_span(values.data(), 1,
-                   static_cast<std::int64_t>(values.size()), bits, is_signed);
+  return pack_values(values.data(), 1,
+                     static_cast<std::int64_t>(values.size()), bits,
+                     is_signed);
 }
 
 std::int64_t unpack_element(const BitPlanes& planes, std::int64_t row,

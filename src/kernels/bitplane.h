@@ -51,9 +51,16 @@ struct BitPlanes {
 /// signed top-slice convention at α = 1).
 std::int64_t plane_weight(int p, int bits, bool is_signed);
 
-/// Packs every row of `m` into bit-planes. Each value must be
-/// representable in `bits` (signed two's-complement or unsigned,
+/// Packs a row-major span of `rows`×`cols` values into bit-planes —
+/// the primitive behind every other packer, exported so callers with
+/// contiguous data (a raw weight vector, a gate slice, a scratch window
+/// tile) can pack WITHOUT first copying into a dnn::Matrix. Each value
+/// must be representable in `bits` (signed two's-complement or unsigned,
 /// matching `is_signed`); out-of-range values throw.
+BitPlanes pack_values(const std::int32_t* values, std::int64_t rows,
+                      std::int64_t cols, int bits, bool is_signed = true);
+
+/// Packs every row of `m` into bit-planes (pack_values over m.data).
 BitPlanes pack_rows(const dnn::Matrix& m, int bits, bool is_signed = true);
 
 /// Packs a single vector (one-row convenience).

@@ -5,6 +5,7 @@
 
 #include "src/common/error.h"
 #include "src/dnn/quantize.h"
+#include "src/kernels/simd.h"
 
 namespace bpvec::kernels {
 
@@ -26,31 +27,200 @@ void for_each_output(engine::ThreadPool* pool, std::size_t n,
   pool->parallel_for(n, fn, grain);
 }
 
+/// Concurrent lanes a kernel's transient allocations can occupy:
+/// parallel_for is caller-participating, so a k-thread pool runs k+1
+/// tasks at once. Part of the analytic peak_bytes model — a pure
+/// function of the pool, never a sampled high-water mark.
+std::int64_t workers(engine::ThreadPool* pool) {
+  return pool == nullptr ? 1 : pool->num_threads() + 1;
+}
+
+/// Storage footprint of a BitPlanes over rows×cols values at `bits`.
+std::int64_t planes_bytes(std::int64_t rows, std::int64_t cols, int bits) {
+  return rows * bits * ((cols + 63) / 64) * 8;
+}
+
+void note_peak(KernelStats* stats, std::int64_t bytes) {
+  if (stats != nullptr) stats->peak_bytes = std::max(stats->peak_bytes, bytes);
+}
+
+void add_gemm_work(KernelStats* stats, const BitPlanes& a,
+                   const BitPlanes& b) {
+  if (stats == nullptr) return;
+  // Work accounting is a pure function of the shapes — never touched
+  // inside the parallel region, so it cannot race or drift.
+  stats->macs += a.rows * b.rows * a.cols;
+  stats->word_ops += a.rows * b.rows * static_cast<std::int64_t>(a.bits) *
+                     b.bits * static_cast<std::int64_t>(a.words);
+}
+
 }  // namespace
 
 std::vector<std::int64_t> packed_gemm(const BitPlanes& a, const BitPlanes& b,
                                       engine::ThreadPool* pool,
-                                      KernelStats* stats) {
+                                      KernelStats* stats,
+                                      const GemmBlocking& blocking) {
+  BPVEC_CHECK_MSG(a.cols == b.cols, "packed gemm: K dimensions disagree");
+  BPVEC_CHECK_MSG(
+      blocking.m_rows >= 1 && blocking.n_rows >= 1 && blocking.words >= 1,
+      "packed gemm: block sizes must be positive");
+  const std::int64_t m_blocks =
+      (a.rows + blocking.m_rows - 1) / blocking.m_rows;
+  const std::int64_t n_blocks =
+      (b.rows + blocking.n_rows - 1) / blocking.n_rows;
+  const std::size_t tiles = static_cast<std::size_t>(m_blocks * n_blocks);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(a.rows * b.rows), 0);
+  const std::int64_t per_tile_words = blocking.m_rows * blocking.n_rows *
+                                      a.bits * b.bits *
+                                      static_cast<std::int64_t>(a.words);
+  // Hoisted out of the tile loops: the resolved fused plane-pair dot —
+  // ONE indirect call per (m, n, chunk) covers all bits² significance
+  // pairs, reusing each loaded A-vector across B-planes inside the SIMD
+  // kernel — and the per-(p, q) significance products it consumes.
+  const PlanesDotFn dot = simd_planes_dot_fn();
+  std::vector<std::int64_t> plane_products(
+      static_cast<std::size_t>(a.bits) * b.bits);
+  for (int p = 0; p < a.bits; ++p) {
+    for (int q = 0; q < b.bits; ++q) {
+      plane_products[static_cast<std::size_t>(p) * b.bits + q] =
+          plane_weight(p, a.bits, a.is_signed) *
+          plane_weight(q, b.bits, b.is_signed);
+    }
+  }
+  // One task per (m-block, n-block) output tile: disjoint writes, shared
+  // immutable operands. Inside a tile, K is consumed in chunks of
+  // blocking.words so the tile's plane segments stay cache-resident
+  // across its bits² plane-pair passes; per (m, n) the chunk/plane sums
+  // are int64 additions, so every order — and every block geometry —
+  // yields bit-identical results.
+  for_each_output(pool, tiles, per_tile_words, [&](std::size_t ti) {
+    const std::int64_t m0 =
+        (static_cast<std::int64_t>(ti) / n_blocks) * blocking.m_rows;
+    const std::int64_t n0 =
+        (static_cast<std::int64_t>(ti) % n_blocks) * blocking.n_rows;
+    const std::int64_t m1 = std::min(a.rows, m0 + blocking.m_rows);
+    const std::int64_t n1 = std::min(b.rows, n0 + blocking.n_rows);
+    const std::int64_t tn = n1 - n0;
+    std::vector<std::int64_t> acc(static_cast<std::size_t>((m1 - m0) * tn), 0);
+    for (std::size_t w0 = 0; w0 < a.words; w0 += blocking.words) {
+      const std::size_t chunk = std::min(blocking.words, a.words - w0);
+      for (std::int64_t m = m0; m < m1; ++m) {
+        std::int64_t* acc_row =
+            acc.data() + static_cast<std::size_t>(m - m0) * tn;
+        for (std::int64_t n = n0; n < n1; ++n) {
+          // All bits² plane pairs of this (m, n, chunk) in one fused
+          // call; acc is touched once per (m, n, chunk), not once per
+          // plane pair.
+          acc_row[n - n0] +=
+              dot(a.plane(m, 0) + w0, a.words, a.bits, b.plane(n, 0) + w0,
+                  b.words, b.bits, chunk, plane_products.data());
+        }
+      }
+    }
+    for (std::int64_t m = m0; m < m1; ++m) {
+      for (std::int64_t n = n0; n < n1; ++n) {
+        out[static_cast<std::size_t>(m * b.rows + n)] =
+            acc[static_cast<std::size_t>((m - m0) * tn + (n - n0))];
+      }
+    }
+  });
+  add_gemm_work(stats, a, b);
+  // Transients: one tile accumulator per concurrent task.
+  note_peak(stats,
+            workers(pool) * blocking.m_rows * blocking.n_rows *
+                static_cast<std::int64_t>(sizeof(std::int64_t)));
+  return out;
+}
+
+std::vector<std::int64_t> packed_gemm_unblocked(const BitPlanes& a,
+                                                const BitPlanes& b,
+                                                engine::ThreadPool* pool,
+                                                KernelStats* stats) {
   BPVEC_CHECK_MSG(a.cols == b.cols, "packed gemm: K dimensions disagree");
   const std::size_t total = static_cast<std::size_t>(a.rows * b.rows);
   std::vector<std::int64_t> out(total, 0);
   const std::int64_t per_output_words =
       static_cast<std::int64_t>(a.bits) * b.bits *
       static_cast<std::int64_t>(a.words);
-  // Flattened (m, n) output index: works for tall GEMMs (conv patches)
-  // and single-row ones (fc / recurrent) alike; every index writes one
-  // disjoint element.
+  // Flattened (m, n) output index: every index writes one disjoint
+  // element, each consuming its full-length planes in one pass.
   for_each_output(pool, total, per_output_words, [&](std::size_t i) {
     const std::int64_t m = static_cast<std::int64_t>(i) / b.rows;
     const std::int64_t n = static_cast<std::int64_t>(i) % b.rows;
     out[i] = packed_dot(a, m, b, n);
   });
+  add_gemm_work(stats, a, b);
+  return out;
+}
+
+std::vector<std::int64_t> packed_conv(const dnn::Tensor& input,
+                                      const BitPlanes& w,
+                                      const dnn::ConvParams& p, int x_bits,
+                                      engine::ThreadPool* pool,
+                                      KernelStats* stats) {
+  const std::int64_t k = static_cast<std::int64_t>(p.in_c) * p.kh * p.kw;
+  BPVEC_CHECK_MSG(w.rows == p.out_c && w.cols == k,
+                  "packed conv: filter planes do not match the conv shape");
+  BPVEC_CHECK(input.channels() == p.in_c && input.height() == p.in_h &&
+              input.width() == p.in_w);
+  const std::int64_t pixels =
+      static_cast<std::int64_t>(p.out_h()) * p.out_w();
+  std::vector<std::int64_t> out(
+      static_cast<std::size_t>(p.out_c) * pixels, 0);
+  const std::int64_t tile_rows = std::min(kConvPixelTile, std::max<std::int64_t>(pixels, 1));
+  const std::size_t tiles =
+      static_cast<std::size_t>((pixels + kConvPixelTile - 1) / kConvPixelTile);
+  const std::int64_t per_tile_words = tile_rows * p.out_c * x_bits * w.bits *
+                                      static_cast<std::int64_t>(w.words);
+  // Each task gathers ≤ kConvPixelTile windows straight from the input
+  // tensor (at_padded supplies the zero padding), packs them, and dots
+  // them against the shared filter planes, writing its disjoint pixel
+  // range of every output channel in reference order. The gathered tile
+  // is the ONLY activation transient — the full im2col matrix never
+  // exists.
+  for_each_output(pool, tiles, per_tile_words, [&](std::size_t ti) {
+    const std::int64_t m0 = static_cast<std::int64_t>(ti) * kConvPixelTile;
+    const std::int64_t m1 = std::min(pixels, m0 + kConvPixelTile);
+    std::vector<std::int32_t> window(static_cast<std::size_t>((m1 - m0) * k));
+    for (std::int64_t m = m0; m < m1; ++m) {
+      const int oy = static_cast<int>(m / p.out_w());
+      const int ox = static_cast<int>(m % p.out_w());
+      std::int32_t* dst =
+          window.data() + static_cast<std::size_t>(m - m0) * k;
+      std::int64_t col = 0;
+      // Same (ic, ky, kx) tap order as dnn::im2col — the filter planes
+      // were packed over exactly this K layout.
+      for (int ic = 0; ic < p.in_c; ++ic) {
+        for (int ky = 0; ky < p.kh; ++ky) {
+          const int iy = oy * p.stride - p.pad + ky;
+          for (int kx = 0; kx < p.kw; ++kx, ++col) {
+            const int ix = ox * p.stride - p.pad + kx;
+            dst[col] = input.at_padded(ic, iy, ix);
+          }
+        }
+      }
+    }
+    const BitPlanes x = pack_values(window.data(), m1 - m0, k, x_bits);
+    for (std::int64_t m = m0; m < m1; ++m) {
+      for (int oc = 0; oc < p.out_c; ++oc) {
+        out[static_cast<std::size_t>(oc) * pixels + m] =
+            packed_dot(x, m - m0, w, oc);
+      }
+    }
+  });
   if (stats != nullptr) {
-    // Work accounting is a pure function of the shapes — never touched
-    // inside the parallel region, so it cannot race or drift.
-    stats->macs += a.rows * b.rows * a.cols;
-    stats->word_ops += static_cast<std::int64_t>(total) * per_output_words;
+    stats->macs += pixels * p.out_c * k;
+    stats->word_ops += pixels * p.out_c * static_cast<std::int64_t>(x_bits) *
+                       w.bits * static_cast<std::int64_t>(w.words);
   }
+  // Transients: the shared filter planes plus, per concurrent task, one
+  // gathered int32 window tile and its packed planes.
+  note_peak(stats,
+            planes_bytes(p.out_c, k, w.bits) +
+                workers(pool) *
+                    (tile_rows * k *
+                         static_cast<std::int64_t>(sizeof(std::int32_t)) +
+                     planes_bytes(tile_rows, k, x_bits)));
   return out;
 }
 
@@ -59,8 +229,20 @@ std::vector<std::int64_t> packed_conv(const dnn::Tensor& input,
                                       const dnn::ConvParams& p, int x_bits,
                                       int w_bits, engine::ThreadPool* pool,
                                       KernelStats* stats) {
-  // Same lowering the systolic model prices: the packed path executes the
-  // exact GEMM view the analytical backends cost.
+  const std::int64_t k = static_cast<std::int64_t>(p.in_c) * p.kh * p.kw;
+  BPVEC_CHECK(static_cast<std::int64_t>(weights.size()) == p.out_c * k);
+  // The weight vector is already row-major [out_c][in_c·kh·kw] — pack it
+  // in place, no weights_as_matrix copy.
+  const BitPlanes w = pack_values(weights.data(), p.out_c, k, w_bits);
+  return packed_conv(input, w, p, x_bits, pool, stats);
+}
+
+std::vector<std::int64_t> packed_conv_im2col(
+    const dnn::Tensor& input, const std::vector<std::int32_t>& weights,
+    const dnn::ConvParams& p, int x_bits, int w_bits,
+    engine::ThreadPool* pool, KernelStats* stats) {
+  // The systolic model's lowering, executed literally: materialize the
+  // full patch matrix, pack both operands, GEMM, transpose.
   const dnn::Matrix patches = dnn::im2col(input, p);
   const dnn::Matrix wm = dnn::weights_as_matrix(weights, p);
   const BitPlanes x = pack_rows(patches, x_bits);
@@ -78,6 +260,33 @@ std::vector<std::int64_t> packed_conv(const dnn::Tensor& input,
           gemm[static_cast<std::size_t>(m) * p.out_c + oc];
     }
   }
+  // Transients: patch matrix + weight matrix copy + both packed operand
+  // plane sets + the pre-transpose GEMM buffer, all live at once. This
+  // is the number direct conv exists to beat.
+  note_peak(stats,
+            patches.rows * patches.cols *
+                    static_cast<std::int64_t>(sizeof(std::int32_t)) +
+                wm.rows * wm.cols *
+                    static_cast<std::int64_t>(sizeof(std::int32_t)) +
+                planes_bytes(patches.rows, patches.cols, x_bits) +
+                planes_bytes(wm.rows, wm.cols, w_bits) +
+                static_cast<std::int64_t>(gemm.size()) *
+                    static_cast<std::int64_t>(sizeof(std::int64_t)));
+  return out;
+}
+
+std::vector<std::int64_t> packed_fc(const std::vector<std::int32_t>& input,
+                                    const BitPlanes& w, const dnn::FcParams& p,
+                                    int x_bits, engine::ThreadPool* pool,
+                                    KernelStats* stats) {
+  BPVEC_CHECK(static_cast<int>(input.size()) == p.in_features);
+  BPVEC_CHECK_MSG(w.rows == p.out_features && w.cols == p.in_features,
+                  "packed fc: weight planes do not match the fc shape");
+  const BitPlanes x = pack_vector(input, x_bits);
+  // Single-row GEMM: out[n] = Σ_k in[k]·w[n][k], already fc_reference
+  // order.
+  auto out = packed_gemm(x, w, pool, stats);
+  note_peak(stats, planes_bytes(1, p.in_features, x_bits));
   return out;
 }
 
@@ -86,18 +295,42 @@ std::vector<std::int64_t> packed_fc(const std::vector<std::int32_t>& input,
                                     const dnn::FcParams& p, int x_bits,
                                     int w_bits, engine::ThreadPool* pool,
                                     KernelStats* stats) {
-  BPVEC_CHECK(static_cast<int>(input.size()) == p.in_features);
   BPVEC_CHECK(static_cast<std::int64_t>(weights.size()) ==
               static_cast<std::int64_t>(p.in_features) * p.out_features);
-  const BitPlanes x = pack_vector(input, x_bits);
-  dnn::Matrix wm;
-  wm.rows = p.out_features;
-  wm.cols = p.in_features;
-  wm.data = weights;
-  const BitPlanes w = pack_rows(wm, w_bits);
-  // Single-row GEMM: out[n] = Σ_k in[k]·w[n][k], already fc_reference
-  // order.
-  return packed_gemm(x, w, pool, stats);
+  const BitPlanes w =
+      pack_values(weights.data(), p.out_features, p.in_features, w_bits);
+  auto out = packed_fc(input, w, p, x_bits, pool, stats);
+  note_peak(stats, planes_bytes(p.out_features, p.in_features, w_bits) +
+                       planes_bytes(1, p.in_features, x_bits));
+  return out;
+}
+
+std::vector<std::int32_t> packed_rnn_step(const std::vector<std::int32_t>& x,
+                                          const std::vector<std::int32_t>& h,
+                                          const BitPlanes& w, int hidden,
+                                          int shift, int out_bits, int x_bits,
+                                          engine::ThreadPool* pool,
+                                          KernelStats* stats) {
+  const std::int64_t k = static_cast<std::int64_t>(x.size() + h.size());
+  BPVEC_CHECK_MSG(w.rows == hidden && w.cols == k,
+                  "packed rnn step: gate planes do not match [x; h]");
+  std::vector<std::int32_t> xh;
+  xh.reserve(static_cast<std::size_t>(k));
+  xh.insert(xh.end(), x.begin(), x.end());
+  xh.insert(xh.end(), h.begin(), h.end());
+  const BitPlanes xp = pack_vector(xh, x_bits);
+  const std::vector<std::int64_t> acc = packed_gemm(xp, w, pool, stats);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(hidden));
+  for (int n = 0; n < hidden; ++n) {
+    out[static_cast<std::size_t>(n)] =
+        dnn::requantize(acc[static_cast<std::size_t>(n)], shift, out_bits);
+  }
+  note_peak(stats,
+            k * static_cast<std::int64_t>(sizeof(std::int32_t)) +
+                planes_bytes(1, k, x_bits) +
+                static_cast<std::int64_t>(acc.size()) *
+                    static_cast<std::int64_t>(sizeof(std::int64_t)));
+  return out;
 }
 
 std::vector<std::int32_t> packed_rnn_step(
@@ -108,22 +341,10 @@ std::vector<std::int32_t> packed_rnn_step(
   const std::int64_t k = static_cast<std::int64_t>(x.size() + h.size());
   BPVEC_CHECK(static_cast<std::int64_t>(weights.size()) ==
               static_cast<std::int64_t>(hidden) * k);
-  std::vector<std::int32_t> xh;
-  xh.reserve(static_cast<std::size_t>(k));
-  xh.insert(xh.end(), x.begin(), x.end());
-  xh.insert(xh.end(), h.begin(), h.end());
-  const BitPlanes xp = pack_vector(xh, x_bits);
-  dnn::Matrix wm;
-  wm.rows = hidden;
-  wm.cols = k;
-  wm.data = weights;
-  const BitPlanes wp = pack_rows(wm, w_bits);
-  const std::vector<std::int64_t> acc = packed_gemm(xp, wp, pool, stats);
-  std::vector<std::int32_t> out(static_cast<std::size_t>(hidden));
-  for (int n = 0; n < hidden; ++n) {
-    out[static_cast<std::size_t>(n)] =
-        dnn::requantize(acc[static_cast<std::size_t>(n)], shift, out_bits);
-  }
+  const BitPlanes w = pack_values(weights.data(), hidden, k, w_bits);
+  auto out = packed_rnn_step(x, h, w, hidden, shift, out_bits, x_bits, pool,
+                             stats);
+  note_peak(stats, planes_bytes(hidden, k, w_bits));
   return out;
 }
 

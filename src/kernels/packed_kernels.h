@@ -3,16 +3,32 @@
 // Each kernel computes a layer's integer arithmetic exactly, via the
 // bit-plane popcount GEMM (see bitplane.h), and is verified bit-for-bit
 // against dnn/reference_ops (and, through the functional backend,
-// against the scalar CVU executor in core/gemm_executor). Convolutions
-// go through the same im2col lowering the systolic model prices
-// (dnn/gemm_lowering), so the packed path executes precisely the GEMM
-// view the analytical backends cost.
+// against the scalar CVU executor in core/gemm_executor).
 //
-// Parallelism: kernels take an optional engine::ThreadPool and split the
-// output-row dimension into tiles. Tiles write disjoint output ranges
-// and read shared immutable packed operands, so results are
-// bit-identical at any thread count (integer arithmetic, no reduction
-// reordering across tiles).
+// Throughput design (this is the hot path of every functional probe):
+//   * packed_gemm is cache-blocked: output tiles of kGemmBlockM ×
+//     kGemmBlockN rows are computed over K-word chunks of kGemmBlockWords
+//     so the operand planes a tile touches stay L1-resident instead of
+//     being streamed bits-squared times. Blocking only reorders int64
+//     additions, so results are bit-identical to the unblocked fold at
+//     any block size (packed_gemm_unblocked remains as the in-run
+//     baseline the perf gate measures against).
+//   * packed_conv is DIRECT (im2col-free): each filter is packed once,
+//     and output pixels stream through per-task scratch tiles packed
+//     straight from the input tensor — the O(out_h·out_w·k²·C) im2col
+//     materialization never exists. packed_conv_im2col keeps the old
+//     lowering alive as the exactness/peak-memory baseline;
+//     KernelStats::peak_bytes quantifies the difference.
+//   * conv/fc/rnn kernels take pre-packed weight planes (BitPlanes)
+//     overloads so a persistent weight cache (weight_cache.h) can
+//     amortize packing across probes; the value-vector overloads pack
+//     once and delegate.
+//
+// Parallelism: kernels take an optional engine::ThreadPool and split
+// output tiles across it. Tiles write disjoint output ranges and read
+// shared immutable packed operands, so results are bit-identical at any
+// thread count (integer arithmetic, no reduction reordering across
+// tiles).
 #pragma once
 
 #include <cstdint>
@@ -31,18 +47,81 @@ namespace bpvec::kernels {
 struct KernelStats {
   std::int64_t macs = 0;      // multiply-accumulates computed
   std::int64_t word_ops = 0;  // 64-bit AND+popcount words consumed
+  /// Peak transient working-set bytes the kernel allocated beyond its
+  /// inputs and final output (im2col buffers, packed operand planes,
+  /// scratch window tiles, per-task accumulators). Computed analytically
+  /// from the shapes and the worker count — deterministic, never sampled
+  /// — and folded with max() across calls, so one KernelStats can track
+  /// a whole probe. This is the number that proves direct conv beats the
+  /// im2col lowering on memory.
+  std::int64_t peak_bytes = 0;
 };
 
-/// out[m·b.rows + n] = Σ_k a[m][k]·b[n][k], exact in int64. Output rows
-/// (the M dimension) are tiled over `pool` when given; pass nullptr for
-/// the serial loop.
+// Default GEMM block sizes (see the sweep in bench/functional_kernels,
+// which reports these against neighboring geometries in-run, on the
+// machine being measured). Two regimes drove the choices:
+//   * kGemmBlockWords = 256 (16 Ki lanes per chunk). Below ~256 words a
+//     per-(m,n) pass's operand planes (2 · bits · words · 8 B ≈ 18 KiB
+//     for 8-bit fc6) are ALREADY L1-resident, so finer K-chunks only add
+//     per-chunk call overhead — the sweep shows words = 32 losing ~30%
+//     to words = 256. The chunk exists to bound the working set for
+//     pathological K (beyond ~16 Ki lanes a chunk of one tile touches
+//     (8+8)·8·256·8 B = 256 KiB, held L2-resident across the tile's
+//     bits² plane-pair passes instead of streaming from L3/DRAM).
+//   * kGemmBlockM = kGemmBlockN = 8: an 8×8 output tile reuses each
+//     loaded B-plane segment across 8 A-rows (and vice versa) while the
+//     64-entry int64 accumulator tile stays register/L1-trivial; the
+//     sweep shows the m/n choice is flat within noise at these probe
+//     sizes, so the smallest geometry with full reuse wins.
+inline constexpr std::int64_t kGemmBlockM = 8;
+inline constexpr std::int64_t kGemmBlockN = 8;
+inline constexpr std::size_t kGemmBlockWords = 256;
+
+/// Cache-blocking geometry for packed_gemm. Any positive values are
+/// valid (tails are handled); results are bit-identical across
+/// geometries because blocking only reorders exact int64 additions.
+struct GemmBlocking {
+  std::int64_t m_rows = kGemmBlockM;  // A-rows (outputs) per tile
+  std::int64_t n_rows = kGemmBlockN;  // B-rows (outputs) per tile
+  std::size_t words = kGemmBlockWords;  // K-words per resident chunk
+};
+
+/// out[m·b.rows + n] = Σ_k a[m][k]·b[n][k], exact in int64, cache-blocked
+/// per `blocking`. Output tiles are distributed over `pool` when given;
+/// pass nullptr for the serial loop.
 std::vector<std::int64_t> packed_gemm(const BitPlanes& a, const BitPlanes& b,
+                                      engine::ThreadPool* pool = nullptr,
+                                      KernelStats* stats = nullptr,
+                                      const GemmBlocking& blocking = {});
+
+/// The pre-blocking baseline: flat (m, n) outputs, each consuming its
+/// full-length planes in one pass. Bit-identical to packed_gemm; kept so
+/// the bench/CI perf gate can assert blocked ≥ unblocked in the same
+/// run, on the same machine.
+std::vector<std::int64_t> packed_gemm_unblocked(
+    const BitPlanes& a, const BitPlanes& b,
+    engine::ThreadPool* pool = nullptr, KernelStats* stats = nullptr);
+
+/// Output pixels per direct-convolution scratch tile: bounds the only
+/// transient the direct path allocates (one tile of gathered windows per
+/// worker) while keeping enough rows per pack/dot pass to amortize
+/// per-tile overhead.
+inline constexpr std::int64_t kConvPixelTile = 64;
+
+/// Direct packed convolution over pre-packed filter planes (`w` is
+/// pack_values over the [out_c][in_c·kh·kw] weight vector): output
+/// pixels stream through per-task scratch tiles of ≤ kConvPixelTile
+/// gathered windows — no im2col matrix is ever materialized. Returns
+/// results in conv2d_reference order (out[(oc·out_h + oy)·out_w + ox]).
+std::vector<std::int64_t> packed_conv(const dnn::Tensor& input,
+                                      const BitPlanes& w,
+                                      const dnn::ConvParams& p, int x_bits,
                                       engine::ThreadPool* pool = nullptr,
                                       KernelStats* stats = nullptr);
 
-/// Packed convolution: im2col → pack → popcount GEMM. Returns results in
-/// conv2d_reference order (out[(oc·out_h + oy)·out_w + ox]) so the two
-/// are directly comparable.
+/// Direct packed convolution from raw weights: packs the filters once
+/// (straight from the vector — [out_c][in_c·kh·kw] is already the GEMM
+/// row layout) and delegates to the pre-packed overload.
 std::vector<std::int64_t> packed_conv(const dnn::Tensor& input,
                                       const std::vector<std::int32_t>& weights,
                                       const dnn::ConvParams& p, int x_bits,
@@ -50,7 +129,26 @@ std::vector<std::int64_t> packed_conv(const dnn::Tensor& input,
                                       engine::ThreadPool* pool = nullptr,
                                       KernelStats* stats = nullptr);
 
-/// Packed fully-connected layer, fc_reference order.
+/// The former lowering, kept as the direct path's baseline: im2col →
+/// pack → popcount GEMM → transpose. Bit-identical to packed_conv;
+/// reports a much larger KernelStats::peak_bytes (the bench/CI gate
+/// asserts direct < im2col on every measured shape).
+std::vector<std::int64_t> packed_conv_im2col(
+    const dnn::Tensor& input, const std::vector<std::int32_t>& weights,
+    const dnn::ConvParams& p, int x_bits, int w_bits,
+    engine::ThreadPool* pool = nullptr, KernelStats* stats = nullptr);
+
+/// Packed fully-connected layer over pre-packed weight planes (`w` is
+/// pack_values over the [out_features][in_features] vector),
+/// fc_reference order.
+std::vector<std::int64_t> packed_fc(const std::vector<std::int32_t>& input,
+                                    const BitPlanes& w,
+                                    const dnn::FcParams& p, int x_bits,
+                                    engine::ThreadPool* pool = nullptr,
+                                    KernelStats* stats = nullptr);
+
+/// Packed fully-connected layer from raw weights (packs once, no matrix
+/// copy, then delegates).
 std::vector<std::int64_t> packed_fc(const std::vector<std::int32_t>& input,
                                     const std::vector<std::int32_t>& weights,
                                     const dnn::FcParams& p, int x_bits,
@@ -58,10 +156,17 @@ std::vector<std::int64_t> packed_fc(const std::vector<std::int32_t>& input,
                                     engine::ThreadPool* pool = nullptr,
                                     KernelStats* stats = nullptr);
 
-/// One packed recurrent step, bit-identical to rnn_step_reference:
-/// h' = requantize(W·[x; h], shift, out_bits). `weights` is
-/// [hidden][x.size() + h.size()] row-major; x and h values must fit
-/// `x_bits` signed.
+/// One packed recurrent step over pre-packed gate planes (`w` is
+/// pack_values over the [hidden][x.size() + h.size()] gate matrix),
+/// bit-identical to rnn_step_reference:
+/// h' = requantize(W·[x; h], shift, out_bits).
+std::vector<std::int32_t> packed_rnn_step(
+    const std::vector<std::int32_t>& x, const std::vector<std::int32_t>& h,
+    const BitPlanes& w, int hidden, int shift, int out_bits, int x_bits,
+    engine::ThreadPool* pool = nullptr, KernelStats* stats = nullptr);
+
+/// One packed recurrent step from raw weights ([hidden][x.size() +
+/// h.size()] row-major; packs once, then delegates).
 std::vector<std::int32_t> packed_rnn_step(
     const std::vector<std::int32_t>& x, const std::vector<std::int32_t>& h,
     const std::vector<std::int32_t>& weights, int hidden, int shift,

@@ -1,18 +1,26 @@
 // The one SIMD-variant-specific primitive behind the bit-packed kernels:
-// AND two bit-plane words streams and count the surviving ones.
+// AND two bit-plane word streams and count the surviving ones.
 //
-// Everything above this call site is portable C++; the variant (AVX2 on
-// x86-64, NEON on aarch64, plain 64-bit scalar otherwise) is chosen at
-// configure time (see the BPVEC_SIMD option in CMakeLists.txt) and
-// compiled into exactly one translation unit, simd_popcount.cpp — the
-// only file built with ISA-specific flags. `simd_variant()` names the
-// compiled-in variant; backend fingerprints fold it in so cache entries
-// produced by one kernel build are never served to another (results are
-// bit-identical across variants, but measured wall-clock is not).
+// Everything above this call site is portable C++; the variant is chosen
+// at RUNTIME, on the first and_popcount call, by cpuid — not at configure
+// time. On x86-64 three implementations are compiled side by side via
+// function target attributes (scalar baseline, AVX2+POPCNT, AVX-512
+// VPOPCNTDQ) and the best one the host supports wins; on aarch64 NEON is
+// part of the baseline ISA so it is simply the default. The environment
+// variable BPVEC_SIMD forces a variant ("scalar", "avx2", "avx512",
+// "neon", or "auto"); an unsupported or unknown force falls back to
+// auto-detection rather than crashing on an illegal instruction.
+//
+// `simd_variant()` names the SELECTED variant; backend fingerprints fold
+// it in so cache entries produced under one variant are never served to
+// another (results are bit-identical across variants, but measured
+// wall-clock is not).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace bpvec::kernels {
 
@@ -22,7 +30,59 @@ namespace bpvec::kernels {
 std::int64_t and_popcount(const std::uint64_t* a, const std::uint64_t* b,
                           std::size_t words);
 
-/// Compiled-in kernel variant: "avx2", "neon", or "scalar".
+/// The resolved and_popcount implementation as a raw function pointer.
+/// Hot kernels (the blocked GEMM tile loop) fetch this once per call and
+/// invoke it directly, hoisting the per-call dispatch lookup out of
+/// plane-pair loops that run bits² × K-chunks times. The pointer stays
+/// valid for the process lifetime; it reflects the variant selected at
+/// the moment of the call (re-fetch after simd_set_variant to follow a
+/// switch).
+using PopcountFn = std::int64_t (*)(const std::uint64_t*,
+                                    const std::uint64_t*, std::size_t);
+PopcountFn simd_popcount_fn();
+
+/// Fused plane-pair dot: Σ_p Σ_q products[p·b_bits + q] ·
+/// Σ_i popcount(a[p·a_stride + i] & b[q·b_stride + i]) over `words`
+/// words. One call scores one (A-row, B-row) pair over ALL bits²
+/// significance-plane combinations — the wide variants keep each loaded
+/// A-vector live across several B-planes and amortize call/reduce
+/// overhead bits² ways, which is where the blocked GEMM's throughput
+/// edge over the per-pair baseline comes from. `a` points at the row's
+/// plane 0 (consecutive planes `a_stride` words apart — BitPlanes
+/// layout), likewise `b`; `products` is the precomputed
+/// plane_weight(p)·plane_weight(q) table. Exact int64; bit-identical
+/// across variants.
+using PlanesDotFn = std::int64_t (*)(const std::uint64_t* a,
+                                     std::size_t a_stride, int a_bits,
+                                     const std::uint64_t* b,
+                                     std::size_t b_stride, int b_bits,
+                                     std::size_t words,
+                                     const std::int64_t* products);
+std::int64_t planes_dot(const std::uint64_t* a, std::size_t a_stride,
+                        int a_bits, const std::uint64_t* b,
+                        std::size_t b_stride, int b_bits, std::size_t words,
+                        const std::int64_t* products);
+
+/// The resolved planes_dot implementation; same hoisting contract as
+/// simd_popcount_fn.
+PlanesDotFn simd_planes_dot_fn();
+
+/// Name of the variant and_popcount currently dispatches to: "avx512",
+/// "avx2", "neon", or "scalar". Resolves the dispatch (cpuid +
+/// BPVEC_SIMD override) if no call has done so yet.
 const char* simd_variant();
+
+/// Forces the dispatch to `name` ("scalar", "avx2", "avx512", "neon"),
+/// or back to cpuid/BPVEC_SIMD resolution with "auto". Returns false —
+/// and leaves the dispatch unchanged — when the host cannot execute the
+/// requested variant (or the name is unknown). Tests and benches use
+/// this to cover every reachable variant in one process; note that the
+/// functional backend folds simd_variant() into its fingerprint, so
+/// switching variants mid-run re-keys its caches as intended.
+bool simd_set_variant(const std::string& name);
+
+/// Every variant the host can execute, best first (always ends with
+/// "scalar"). Each entry is accepted by simd_set_variant.
+std::vector<std::string> simd_available_variants();
 
 }  // namespace bpvec::kernels

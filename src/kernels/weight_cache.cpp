@@ -1,0 +1,46 @@
+#include "src/kernels/weight_cache.h"
+
+#include <mutex>
+#include <utility>
+
+namespace bpvec::kernels {
+
+WeightPlaneCache& WeightPlaneCache::instance() {
+  static WeightPlaneCache cache;
+  return cache;
+}
+
+std::shared_ptr<const PackedWeights> WeightPlaneCache::get_or_pack(
+    std::uint64_t key, const Factory& make) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // Build outside the lock: packing can be milliseconds, and concurrent
+  // probes of OTHER layers must not serialize behind it. A concurrent
+  // miss on the same key builds a bit-identical duplicate; first insert
+  // wins.
+  auto built = std::make_shared<const PackedWeights>(make());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  auto [it, inserted] = entries_.emplace(key, std::move(built));
+  (void)inserted;  // lost the race: serve the winner's entry
+  return it->second;
+}
+
+std::size_t WeightPlaneCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+void WeightPlaneCache::clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace bpvec::kernels

@@ -1,0 +1,87 @@
+// WeightPlaneCache — process-wide memo of packed probe weights.
+//
+// Every functional probe of a given layer draws the SAME deterministic
+// weights (Rng seeded from the layer fingerprint) and packs them into
+// the same bit-planes. Zoo sweeps, DSE candidate storms, and warm serve
+// requests therefore re-pack identical planes thousands of times; this
+// cache pays the draw + pack once per (probe config, layer) key and
+// hands every later probe a shared immutable entry.
+//
+// The cache is process-wide (like the Network/Backend registries)
+// because probe weights are a pure function of the key: the key folds
+// the functional seed, the probe bounds, and the layer fingerprint —
+// everything the draw depends on — so two backends that agree on the key
+// want byte-identical entries by construction. Packing is
+// variant-independent (bit layout only), so the SIMD dispatch variant is
+// deliberately NOT in the key: switching variants mid-process keeps the
+// planes valid.
+//
+// Concurrency: lookups take a shared lock; inserts take an exclusive
+// lock. Concurrent misses on one key may both build — the first insert
+// wins and the duplicate (bit-identical by determinism) is dropped, so
+// results never depend on the race. Hit/miss counters are monotone
+// atomics surfaced through EngineStats (engine::SimEngine::stats reads
+// them), which keeps the serve layer's before/after delta semantics
+// valid; clear() drops entries but never rewinds counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernels/bitplane.h"
+
+namespace bpvec::kernels {
+
+/// One cached probe weight draw: the raw values (the reference operators
+/// verify against them) plus their packed planes — one BitPlanes per
+/// recurrent gate; conv/fc entries use planes[0].
+struct PackedWeights {
+  std::vector<std::int32_t> values;
+  std::vector<BitPlanes> planes;
+};
+
+class WeightPlaneCache {
+ public:
+  /// Entry-count cap. Far above any real probe working set (the zoo has
+  /// ~10² unique layers); on overflow the map is cleared wholesale —
+  /// entries are recomputable, so eviction policy is not worth state.
+  static constexpr std::size_t kMaxEntries = 4096;
+
+  static WeightPlaneCache& instance();
+
+  using Factory = std::function<PackedWeights()>;
+
+  /// Returns the entry for `key`, invoking `make` (outside any lock) to
+  /// build it on a miss. The returned pointer is immutable and safe to
+  /// hold across clear().
+  std::shared_ptr<const PackedWeights> get_or_pack(std::uint64_t key,
+                                                   const Factory& make);
+
+  std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const;
+
+  /// Drops every entry (counters keep counting — they are monotone by
+  /// contract). Outstanding shared_ptrs stay valid.
+  void clear();
+
+ private:
+  WeightPlaneCache() = default;
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const PackedWeights>>
+      entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace bpvec::kernels

@@ -40,6 +40,20 @@ engine::SimEngine& Session::engine() {
   return *engine_;
 }
 
+void Session::set_grain(std::size_t grain) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (engine_ != nullptr) {
+    if (options_.grain != grain) {
+      throw Error(
+          "\"grain\" cannot change once the engine exists (current " +
+          std::to_string(options_.grain) + ", requested " +
+          std::to_string(grain) + "); restart the daemon to re-tune it");
+    }
+    return;
+  }
+  options_.grain = grain;
+}
+
 engine::EngineStats Session::fleet_stats() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -281,6 +295,9 @@ common::json::Value Session::stats_json() {
             rate(fleet.layer_cache_hits,
                  fleet.layer_cache_hits + fleet.layers_priced));
   rates.set("disk", rate(fleet.disk_hits, fleet.disk_hits + fleet.disk_misses));
+  rates.set("weight_plane",
+            rate(fleet.weight_cache_hits,
+                 fleet.weight_cache_hits + fleet.weight_cache_misses));
   v.set("cache_hit_rates", std::move(rates));
   // Disk-cache shard/size gauges (operator visibility: how many shard
   // files the warm path rides, whether a compaction is due, whether

@@ -95,6 +95,14 @@ class Session {
   /// list-only sessions never spin up a thread pool).
   engine::SimEngine& engine();
 
+  /// Sets the engine parallel_for grain (the envelope's "grain" key).
+  /// The grain is an engine-construction parameter, so this must happen
+  /// before the engine exists (before the first price/search request);
+  /// afterwards it is accepted only when it matches the live engine's
+  /// value and throws bpvec::Error otherwise. Results are
+  /// grain-invariant either way — this only tunes task granularity.
+  void set_grain(std::size_t grain);
+
   /// Cumulative engine counters; all-zero before the engine exists.
   engine::EngineStats fleet_stats();
 

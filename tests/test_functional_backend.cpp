@@ -12,9 +12,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/backend/backend_registry.h"
@@ -25,6 +27,8 @@
 #include "src/engine/sim_engine.h"
 #include "src/engine/thread_pool.h"
 #include "src/kernels/packed_kernels.h"
+#include "src/kernels/simd.h"
+#include "src/kernels/weight_cache.h"
 #include "tests/run_result_identical.h"
 
 namespace bpvec::backend {
@@ -157,6 +161,170 @@ TEST(FunctionalBackend, EveryUniqueZooLayerVerifiesInBothBitwidthModes) {
   }
   // The zoo must actually exercise the sweep: every kind, many shapes.
   EXPECT_GT(priced, 50);
+}
+
+TEST(FunctionalBackend, ZooLayersVerifyOnEveryReachableDispatchVariant) {
+  // The three-way exactness check must hold under every SIMD variant the
+  // host can execute, not just the auto-selected one: price the deduped
+  // zoo under each variant in turn. Pricing throws on any packed /
+  // reference / CVU mismatch, so completing the sweep IS the proof. The
+  // measured_macs must also agree across variants (everything but
+  // wall-clock is variant-independent).
+  const FunctionalBackend be(small_probes(), sim::bpvec_accelerator(),
+                             arch::ddr4());
+  std::vector<dnn::Layer> unique_layers;
+  std::set<std::uint64_t> seen;
+  for (const auto mode : {dnn::BitwidthMode::kHomogeneous8b,
+                          dnn::BitwidthMode::kHeterogeneous}) {
+    for (const auto& net : dnn::all_models(mode)) {
+      for (const dnn::Layer& layer : net.layers()) {
+        const std::uint64_t fp =
+            layer_fingerprint(layer, sim::bpvec_accelerator().time_chunk);
+        if (seen.insert(fp).second) unique_layers.push_back(layer);
+      }
+    }
+  }
+  ASSERT_GT(unique_layers.size(), 50u);
+
+  std::vector<std::vector<std::int64_t>> macs_per_variant;
+  for (const std::string& v : kernels::simd_available_variants()) {
+    ASSERT_TRUE(kernels::simd_set_variant(v)) << v;
+    std::vector<std::int64_t> macs;
+    macs.reserve(unique_layers.size());
+    for (const dnn::Layer& layer : unique_layers) {
+      macs.push_back(be.price_layer(layer).measured_macs);
+    }
+    macs_per_variant.push_back(std::move(macs));
+  }
+  ASSERT_TRUE(kernels::simd_set_variant("auto"));
+  for (std::size_t i = 1; i < macs_per_variant.size(); ++i) {
+    EXPECT_EQ(macs_per_variant[i], macs_per_variant[0])
+        << kernels::simd_available_variants()[i];
+  }
+}
+
+TEST(FunctionalBackend, WeightPlaneCacheHitsOnRepeatAndKeepsResultsIdentical) {
+  auto& cache = kernels::WeightPlaneCache::instance();
+  const FunctionalBackend be(small_probes(), sim::bpvec_accelerator(),
+                             arch::ddr4());
+  const dnn::Layer layer =
+      dnn::make_conv("wc", {32, 9, 9, 24, 3, 3, 1, 1});
+
+  cache.clear();
+  const std::uint64_t h0 = cache.hits(), m0 = cache.misses();
+  const sim::LayerResult first = be.price_layer(layer);
+  EXPECT_EQ(cache.misses(), m0 + 1);  // cold: one draw+pack
+  EXPECT_EQ(cache.hits(), h0);
+
+  const sim::LayerResult second = be.price_layer(layer);
+  EXPECT_EQ(cache.misses(), m0 + 1);  // warm: no re-pack
+  EXPECT_EQ(cache.hits(), h0 + 1);
+  EXPECT_EQ(first.measured_macs, second.measured_macs);
+  EXPECT_EQ(first.total_cycles, second.total_cycles);
+
+  // clear() drops entries but never rewinds the monotone counters; the
+  // next probe re-packs and still reproduces the same results (the draw
+  // is a pure function of the key).
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), m0 + 1);
+  const sim::LayerResult third = be.price_layer(layer);
+  EXPECT_EQ(cache.misses(), m0 + 2);
+  EXPECT_EQ(first.measured_macs, third.measured_macs);
+  EXPECT_EQ(first.total_cycles, third.total_cycles);
+}
+
+TEST(FunctionalBackend, WeightKeySeparatesLayersAndProbeConfigs) {
+  const auto platform = sim::bpvec_accelerator();
+  const FunctionalBackend base(small_probes(), platform, arch::ddr4());
+  const dnn::Layer conv_a = dnn::make_conv("a", {16, 8, 8, 8, 3, 3, 1, 1});
+  const dnn::Layer conv_b = dnn::make_conv("b", {16, 8, 8, 8, 5, 5, 1, 2});
+
+  // Stable across calls and instances; structural on the layer (the name
+  // is not part of the fingerprint).
+  const FunctionalBackend twin(small_probes(), platform, arch::ddr4());
+  EXPECT_EQ(base.weight_key(conv_a), base.weight_key(conv_a));
+  EXPECT_EQ(base.weight_key(conv_a), twin.weight_key(conv_a));
+  dnn::Layer renamed = conv_a;
+  renamed.name = "renamed";
+  EXPECT_EQ(base.weight_key(conv_a), base.weight_key(renamed));
+
+  // Different shapes, seeds, and probe bounds draw different weights —
+  // they must never share an entry.
+  EXPECT_NE(base.weight_key(conv_a), base.weight_key(conv_b));
+  FunctionalConfig reseeded = small_probes();
+  reseeded.seed ^= 1;
+  EXPECT_NE(base.weight_key(conv_a),
+            FunctionalBackend(reseeded, platform, arch::ddr4())
+                .weight_key(conv_a));
+  FunctionalConfig wider = small_probes();
+  wider.max_channels *= 2;
+  EXPECT_NE(base.weight_key(conv_a),
+            FunctionalBackend(wider, platform, arch::ddr4())
+                .weight_key(conv_a));
+}
+
+TEST(FunctionalBackend, WeightPlaneCacheIsSafeUnderConcurrentProbes) {
+  // Threads hammer get_or_pack on a mix of shared and distinct keys
+  // (exercising the build-outside-lock race, first-insert-wins, and the
+  // shared-lock hit path). TSan covers this test in CI.
+  auto& cache = kernels::WeightPlaneCache::instance();
+  cache.clear();
+  const FunctionalBackend be(small_probes(), sim::bpvec_accelerator(),
+                             arch::ddr4());
+  const std::vector<dnn::Layer> layers = {
+      dnn::make_conv("c0", {8, 6, 6, 8, 3, 3, 1, 1}),
+      dnn::make_conv("c1", {8, 6, 6, 8, 1, 1, 1, 0}),
+      dnn::make_fc("f0", {128, 32}),
+  };
+  const sim::LayerResult expected0 = be.price_layer(layers[0]);
+  const sim::LayerResult expected1 = be.price_layer(layers[1]);
+  const sim::LayerResult expected2 = be.price_layer(layers[2]);
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 6; ++i) {
+        const dnn::Layer& layer = layers[(t + i) % layers.size()];
+        const sim::LayerResult r = be.price_layer(layer);
+        const sim::LayerResult& want = (t + i) % layers.size() == 0
+                                           ? expected0
+                                           : ((t + i) % layers.size() == 1
+                                                  ? expected1
+                                                  : expected2);
+        if (r.measured_macs != want.measured_macs ||
+            r.total_cycles != want.total_cycles) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST(FunctionalBackend, EngineStatsSurfaceWeightCacheCounters) {
+  auto& cache = kernels::WeightPlaneCache::instance();
+  std::vector<engine::Scenario> batch;
+  batch.push_back(engine::make_scenario(
+      "functional", engine::Platform::kBpvec, core::Memory::kDdr4,
+      dnn::make_alexnet(dnn::BitwidthMode::kHomogeneous8b)));
+
+  engine::SimEngine eng(engine::EngineOptions{});
+  const engine::EngineStats before = eng.stats();
+  EXPECT_EQ(before.weight_cache_hits, cache.hits());
+  EXPECT_EQ(before.weight_cache_misses, cache.misses());
+
+  (void)eng.run_batch(batch);
+  const engine::EngineStats after = eng.stats();
+  const engine::EngineStats delta = after - before;
+  // AlexNet pricing draws at least one fresh or cached weight set per
+  // compute layer; either way the counters moved and match the cache.
+  EXPECT_GT(delta.weight_cache_hits + delta.weight_cache_misses, 0u);
+  EXPECT_EQ(after.weight_cache_hits, cache.hits());
+  EXPECT_EQ(after.weight_cache_misses, cache.misses());
 }
 
 TEST(FunctionalBackend, ProbeKeepsFullDepthAndCapsOutputs) {

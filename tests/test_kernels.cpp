@@ -20,7 +20,94 @@ namespace {
 
 TEST(Simd, VariantIsOneOfTheKnownStrings) {
   const std::string v = simd_variant();
-  EXPECT_TRUE(v == "avx2" || v == "neon" || v == "scalar") << v;
+  EXPECT_TRUE(v == "avx512" || v == "avx2" || v == "neon" || v == "scalar")
+      << v;
+}
+
+TEST(Simd, AvailableVariantsAlwaysEndWithScalar) {
+  const std::vector<std::string> variants = simd_available_variants();
+  ASSERT_FALSE(variants.empty());
+  EXPECT_EQ(variants.back(), "scalar");
+  // The active variant must be one of the supported ones.
+  bool found = false;
+  for (const std::string& v : variants) found = found || v == simd_variant();
+  EXPECT_TRUE(found) << simd_variant();
+}
+
+TEST(Simd, SetVariantSwitchesAndRejectsUnsupported) {
+  for (const std::string& v : simd_available_variants()) {
+    ASSERT_TRUE(simd_set_variant(v)) << v;
+    EXPECT_EQ(simd_variant(), v);
+  }
+  const std::string before = simd_variant();
+  EXPECT_FALSE(simd_set_variant("not-a-variant"));
+  EXPECT_EQ(simd_variant(), before);  // unchanged on rejection
+  ASSERT_TRUE(simd_set_variant("auto"));
+}
+
+TEST(Simd, EveryReachableVariantMatchesTheScalarFold) {
+  Rng rng(43);
+  // Lengths cover every vector body + tail split (AVX-512 eats 8 words
+  // per iteration, AVX2 4, NEON 2).
+  const std::vector<std::size_t> lengths = {0,  1,  2,  3,  4,  5,  7, 8,
+                                            9,  15, 16, 17, 31, 64, 129};
+  for (const std::string& v : simd_available_variants()) {
+    ASSERT_TRUE(simd_set_variant(v)) << v;
+    for (const std::size_t words : lengths) {
+      std::vector<std::uint64_t> a(words), b(words);
+      for (auto& w : a) w = rng.next_u64();
+      for (auto& w : b) w = rng.next_u64();
+      std::int64_t expected = 0;
+      for (std::size_t i = 0; i < words; ++i) {
+        expected += __builtin_popcountll(a[i] & b[i]);
+      }
+      EXPECT_EQ(and_popcount(a.data(), b.data(), words), expected)
+          << v << " words=" << words;
+    }
+  }
+  ASSERT_TRUE(simd_set_variant("auto"));
+}
+
+TEST(Simd, PlanesDotMatchesPerPairPopcountsOnEveryVariant) {
+  Rng rng(91);
+  // Odd/even plane counts hit both the paired B-plane body and the
+  // single-plane cleanup; lengths cover vector bodies + tails.
+  for (const std::string& v : simd_available_variants()) {
+    ASSERT_TRUE(simd_set_variant(v)) << v;
+    for (const int a_bits : {1, 2, 3, 8}) {
+      for (const int b_bits : {1, 2, 5, 8}) {
+        for (const std::size_t words : {1ul, 7ul, 8ul, 17ul, 130ul}) {
+          // Strides larger than `words` mimic chunked BitPlanes access.
+          const std::size_t a_stride = words + 3;
+          const std::size_t b_stride = words + 1;
+          std::vector<std::uint64_t> a(a_bits * a_stride);
+          std::vector<std::uint64_t> b(b_bits * b_stride);
+          for (auto& w : a) w = rng.next_u64();
+          for (auto& w : b) w = rng.next_u64();
+          std::vector<std::int64_t> products(
+              static_cast<std::size_t>(a_bits) * b_bits);
+          for (auto& x : products) {
+            x = static_cast<std::int64_t>(rng.next_u64() % 513) - 256;
+          }
+          std::int64_t expected = 0;
+          for (int p = 0; p < a_bits; ++p) {
+            for (int q = 0; q < b_bits; ++q) {
+              expected +=
+                  products[static_cast<std::size_t>(p) * b_bits + q] *
+                  and_popcount(a.data() + p * a_stride,
+                               b.data() + q * b_stride, words);
+            }
+          }
+          EXPECT_EQ(planes_dot(a.data(), a_stride, a_bits, b.data(),
+                               b_stride, b_bits, words, products.data()),
+                    expected)
+              << v << " a_bits=" << a_bits << " b_bits=" << b_bits
+              << " words=" << words;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(simd_set_variant("auto"));
 }
 
 TEST(Simd, AndPopcountMatchesScalarFoldAcrossLengths) {
@@ -196,6 +283,159 @@ TEST(PackedPool, MatchesPoolReferenceForMaxAndAverage) {
     engine::ThreadPool pool(4);
     EXPECT_EQ(packed_pool(input, p, &pool).data(), expected.data());
   }
+}
+
+TEST(BitPlanes, PackValuesMatchesPackRowsAndPackVector) {
+  Rng rng(47);
+  const std::int64_t rows = 5, cols = 70;  // straddles the 64-lane word
+  dnn::Matrix m{rows, cols, {}};
+  m.data = rng.signed_vector(static_cast<std::size_t>(rows * cols), 6);
+  const BitPlanes via_rows = pack_rows(m, 6);
+  const BitPlanes via_values = pack_values(m.data.data(), rows, cols, 6);
+  EXPECT_EQ(via_values.data, via_rows.data);
+  EXPECT_EQ(via_values.words, via_rows.words);
+
+  const auto vec = rng.signed_vector(130, 9);
+  const BitPlanes via_vector = pack_vector(vec, 9);
+  const BitPlanes via_values2 =
+      pack_values(vec.data(), 1, static_cast<std::int64_t>(vec.size()), 9);
+  EXPECT_EQ(via_values2.data, via_vector.data);
+}
+
+TEST(PackedGemm, TileBoundaryShapesMatchReference) {
+  Rng rng(53);
+  // M and N straddle the kGemmBlockM/kGemmBlockN = 8 boundaries (1, just
+  // under, exact, just over, 2×+1); cols straddle the 64-lane word and
+  // the kGemmBlockWords K-chunk.
+  for (const std::int64_t m : {1, 7, 8, 9, 17}) {
+    for (const std::int64_t n : {1, 3, 8, 9}) {
+      for (const std::int64_t cols : {63, 64, 65, 130}) {
+        dnn::Matrix a{m, cols, {}};
+        dnn::Matrix b{n, cols, {}};
+        a.data = rng.signed_vector(static_cast<std::size_t>(m * cols), 5);
+        b.data = rng.signed_vector(static_cast<std::size_t>(n * cols), 4);
+        const auto expected = dnn::gemm_reference(a, b);
+        const BitPlanes ap = pack_rows(a, 5);
+        const BitPlanes bp = pack_rows(b, 4);
+        EXPECT_EQ(packed_gemm(ap, bp), expected)
+            << "m=" << m << " n=" << n << " cols=" << cols;
+        engine::ThreadPool pool(3);
+        EXPECT_EQ(packed_gemm(ap, bp, &pool), expected)
+            << "m=" << m << " n=" << n << " cols=" << cols << " threaded";
+      }
+    }
+  }
+}
+
+TEST(PackedGemm, BlockedEqualsUnblockedForAnyBlocking) {
+  Rng rng(59);
+  dnn::Matrix a{13, 200, {}};
+  dnn::Matrix b{11, 200, {}};
+  a.data = rng.signed_vector(static_cast<std::size_t>(a.rows * a.cols), 8);
+  b.data = rng.signed_vector(static_cast<std::size_t>(b.rows * b.cols), 8);
+  const BitPlanes ap = pack_rows(a, 8);
+  const BitPlanes bp = pack_rows(b, 8);
+  const auto expected = packed_gemm_unblocked(ap, bp);
+  EXPECT_EQ(expected, dnn::gemm_reference(a, b));
+  // Exactness is blocking-invariant: int64 accumulation is associative,
+  // so ANY tile geometry must reproduce the unblocked result bit-for-bit
+  // — including degenerate 1×1×1-word tiles.
+  for (const GemmBlocking blocking :
+       {GemmBlocking{3, 5, 1}, GemmBlocking{1, 1, 2}, GemmBlocking{64, 64, 512},
+        GemmBlocking{}}) {
+    EXPECT_EQ(packed_gemm(ap, bp, nullptr, nullptr, blocking), expected)
+        << blocking.m_rows << "x" << blocking.n_rows << "x" << blocking.words;
+    engine::ThreadPool pool(2);
+    EXPECT_EQ(packed_gemm(ap, bp, &pool, nullptr, blocking), expected);
+  }
+}
+
+TEST(PackedConv, BoundaryShapesMatchReferenceDirectAndIm2col) {
+  Rng rng(61);
+  struct Shape {
+    dnn::ConvParams p;
+    int x_bits, w_bits;
+  };
+  const std::vector<Shape> shapes = {
+      // 1×1 kernel: K == in_c, the pointwise degenerate.
+      {{8, 5, 5, 3, 1, 1, 1, 0}, 4, 4},
+      // Full-image kernel, no pad: exactly one output pixel.
+      {{2, 6, 6, 3, 6, 6, 1, 0}, 8, 3},
+      // K = in_c·kh·kw = 7·3·3 = 63 and 65: packed columns straddle the
+      // 64-lane word boundary from both sides.
+      {{7, 7, 7, 4, 3, 3, 1, 1}, 5, 5},
+      {{13, 5, 5, 2, 5, 1, 1, 0}, 5, 5},  // 13·5·1 = 65
+      // Stride 3 + pad 2: windows hanging off every edge.
+      {{3, 9, 9, 2, 4, 4, 3, 2}, 6, 6},
+      // Single output pixel count not divisible by the pixel tile is the
+      // common case above; also check out_c == 1.
+      {{4, 8, 8, 1, 3, 3, 2, 1}, 8, 8},
+  };
+  for (const auto& [p, x_bits, w_bits] : shapes) {
+    dnn::Tensor input(p.in_c, p.in_h, p.in_w);
+    for (auto& v : input.data()) v = rng.signed_value(x_bits);
+    const auto weights = rng.signed_vector(
+        static_cast<std::size_t>(p.out_c) * p.in_c * p.kh * p.kw, w_bits);
+    const auto expected = dnn::conv2d_reference(input, weights, p);
+    const auto label = [&] {
+      return "in_c=" + std::to_string(p.in_c) + " k=" + std::to_string(p.kh) +
+             "x" + std::to_string(p.kw) + " stride=" +
+             std::to_string(p.stride) + " pad=" + std::to_string(p.pad);
+    };
+    EXPECT_EQ(packed_conv(input, weights, p, x_bits, w_bits), expected)
+        << label();
+    EXPECT_EQ(packed_conv_im2col(input, weights, p, x_bits, w_bits), expected)
+        << label() << " im2col";
+    engine::ThreadPool pool(3);
+    EXPECT_EQ(packed_conv(input, weights, p, x_bits, w_bits, &pool), expected)
+        << label() << " threaded";
+    EXPECT_EQ(packed_conv_im2col(input, weights, p, x_bits, w_bits, &pool),
+              expected)
+        << label() << " im2col threaded";
+  }
+}
+
+TEST(PackedConv, DirectConvPeakBytesBeatIm2col) {
+  Rng rng(67);
+  // A realistically sized tile (AlexNet conv2-like shrunk): im2col must
+  // materialize pixels×K patches + their planes; direct conv holds one
+  // 64-pixel window tile per worker.
+  const dnn::ConvParams p{48, 27, 27, 32, 5, 5, 1, 2};
+  dnn::Tensor input(p.in_c, p.in_h, p.in_w);
+  for (auto& v : input.data()) v = rng.signed_value(4);
+  const auto weights = rng.signed_vector(
+      static_cast<std::size_t>(p.out_c) * p.in_c * p.kh * p.kw, 4);
+  KernelStats direct, im2col;
+  const auto out_direct = packed_conv(input, weights, p, 4, 4, nullptr,
+                                      &direct);
+  const auto out_im2col = packed_conv_im2col(input, weights, p, 4, 4, nullptr,
+                                             &im2col);
+  EXPECT_EQ(out_direct, out_im2col);
+  EXPECT_GT(direct.peak_bytes, 0);
+  EXPECT_GT(im2col.peak_bytes, 0);
+  EXPECT_LT(direct.peak_bytes, im2col.peak_bytes);
+  EXPECT_EQ(direct.macs, im2col.macs);
+}
+
+TEST(PackedGemm, StatsReportBlockedPeakBytes) {
+  Rng rng(71);
+  dnn::Matrix a{16, 128, {}};
+  dnn::Matrix b{16, 128, {}};
+  a.data = rng.signed_vector(static_cast<std::size_t>(a.rows * a.cols), 8);
+  b.data = rng.signed_vector(static_cast<std::size_t>(b.rows * b.cols), 8);
+  const BitPlanes ap = pack_rows(a, 8);
+  const BitPlanes bp = pack_rows(b, 8);
+  KernelStats stats;
+  (void)packed_gemm(ap, bp, nullptr, &stats);
+  // Serial blocked GEMM: one worker × one kGemmBlockM×kGemmBlockN tile
+  // of int64 accumulators.
+  EXPECT_EQ(stats.peak_bytes,
+            kGemmBlockM * kGemmBlockN * static_cast<std::int64_t>(8));
+  // peak_bytes folds with max() across calls on a shared stats object.
+  KernelStats folded = stats;
+  (void)packed_gemm(ap, bp, nullptr, &folded);
+  EXPECT_EQ(folded.peak_bytes, stats.peak_bytes);
+  EXPECT_EQ(folded.macs, 2 * stats.macs);
 }
 
 TEST(PackedGemm, ThreadedResultIsBitIdenticalAtAnyPoolSize) {
